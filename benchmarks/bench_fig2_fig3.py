@@ -1,0 +1,30 @@
+"""Bench F2/F3 — problem illustration: non-protected users and data loss.
+
+Regenerates, per dataset, the series of Figures 2 and 3: the share of
+users a single LPPM (or the hybrid baseline) fails to protect against
+the three re-identification attacks, and the record loss incurred by
+deleting those users' traces.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_3 import format_fig2_3, run_fig2_3
+
+
+def test_fig2_fig3(benchmark, bundle):
+    rows = run_once(benchmark, lambda: run_fig2_3(bundle))
+    print()
+    print(format_fig2_3(rows))
+    by_mech = {r.mechanism: r for r in rows}
+    # Figure 2's headline: single LPPMs leave a substantial share of
+    # users non-protected on every dataset.
+    assert by_mech["Geo-I"].non_protected_pct > 20.0
+    # Hybrid is never worse than the best single mechanism.
+    best_single = min(
+        by_mech[m].non_protected for m in ["Geo-I", "TRL", "HMC"]
+    )
+    assert by_mech["HybridLPPM"].non_protected <= best_single
+    # Figure 3: loss is record-weighted and bounded.
+    for row in rows:
+        assert 0.0 <= row.data_loss_pct <= 100.0

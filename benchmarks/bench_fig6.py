@@ -1,0 +1,23 @@
+"""Bench F6 — resilience of MooD's composition to a single attack (AP).
+
+Regenerates the six bars of Figure 6 for each dataset: non-protected
+users under no-LPPM, Geo-I, TRL, HMC, HybridLPPM, and MooD, when the
+virtual adversary runs only the AP-attack.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+def test_fig6(benchmark, bundle):
+    result = run_once(benchmark, lambda: run_fig6(bundle))
+    print()
+    print(format_fig6(result))
+    counts = result.counts
+    # Paper shape: MooD ≤ Hybrid ≤ best single; HMC the best single
+    # against the heatmap attack.
+    assert counts["MooD"] <= counts["HybridLPPM"]
+    assert counts["HybridLPPM"] <= min(counts["Geo-I"], counts["TRL"], counts["HMC"]) + 1
+    assert counts["HMC"] <= counts["Geo-I"]
+    # MooD cures (almost) everyone: at most a couple of orphans remain.
+    assert counts["MooD"] <= max(2, result.users_total // 6)

@@ -1,0 +1,21 @@
+"""Bench F7 — resilience of MooD's composition to multiple attacks.
+
+Regenerates the six bars of Figure 7 for each dataset: non-protected
+users when the adversary combines POI-, PIT-, and AP-attack (Eq. 4).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_fig7(benchmark, bundle):
+    result = run_once(benchmark, lambda: run_fig7(bundle))
+    print()
+    print(format_fig7(result))
+    counts = result.counts
+    # Paper shape (Figure 7): the cascade strictly improves.
+    assert counts["MooD"] <= counts["HybridLPPM"] <= counts["no-LPPM"]
+    # Geo-I at medium ε is essentially no protection.
+    assert counts["Geo-I"] >= counts["no-LPPM"] - 2
+    # MooD leaves at most a small handful of orphans.
+    assert counts["MooD"] <= max(3, result.users_total // 4)

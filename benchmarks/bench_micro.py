@@ -1,0 +1,123 @@
+"""Micro-benchmarks and ablations (DESIGN.md X1/X2 and §5).
+
+Covers the operational costs the deployment story depends on — attack
+training, per-trace re-identification, LPPM application — plus the
+ablations DESIGN.md calls out: composition-search cost vs n (the §6
+brute-force caveat), the δ floor sweep, and split policies.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_context
+from repro.core.composition import composition_count, enumerate_compositions
+from repro.core.mood import Mood
+from repro.core.pipeline import evaluate_mood
+from repro.core.split import split_fixed_time, split_on_gaps
+from repro.lppm import GeoInd, Trilateration
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context("privamov")
+
+
+class TestAttackCosts:
+    def test_ap_attack_fit(self, benchmark, ctx):
+        from repro.attacks import ApAttack
+
+        attack = ApAttack(cell_size_m=800.0, ref_lat=45.76)
+        benchmark(lambda: ApAttack(cell_size_m=800.0, ref_lat=45.76).fit(ctx.train))
+        assert attack.fit(ctx.train).is_fitted
+
+    def test_ap_attack_rank(self, benchmark, ctx):
+        attack = ctx.attack_by_name["AP-attack"]
+        trace = ctx.test.traces()[0]
+        ranked = benchmark(lambda: attack.rank(trace))
+        assert len(ranked) >= 1
+
+    def test_poi_attack_rank(self, benchmark, ctx):
+        attack = ctx.attack_by_name["POI-attack"]
+        trace = ctx.test.traces()[0]
+        benchmark(lambda: attack.rank(trace))
+
+    def test_pit_attack_rank(self, benchmark, ctx):
+        attack = ctx.attack_by_name["PIT-attack"]
+        trace = ctx.test.traces()[0]
+        benchmark(lambda: attack.rank(trace))
+
+
+class TestLppmCosts:
+    def test_geoi_apply(self, benchmark, ctx):
+        trace = ctx.test.traces()[0]
+        out = benchmark(lambda: GeoInd(0.01).apply(trace, rng=0))
+        assert len(out) == len(trace)
+
+    def test_trl_apply(self, benchmark, ctx):
+        trace = ctx.test.traces()[0]
+        out = benchmark(lambda: Trilateration(1000.0).apply(trace, rng=0))
+        assert len(out) == 3 * len(trace)
+
+    def test_hmc_apply(self, benchmark, ctx):
+        hmc = ctx.lppm_by_name["HMC"]
+        trace = ctx.test.traces()[0]
+        out = benchmark(lambda: hmc.apply(trace, rng=0))
+        assert len(out) == len(trace)
+
+
+class TestCompositionAblation:
+    """X2: brute-force composition search cost grows super-exponentially."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_search_space_vs_n(self, benchmark, ctx, n):
+        lppms = (ctx.lppms * 2)[:n]
+        # Rename duplicates so composition constraints allow them.
+        import copy
+
+        stages = []
+        for i, lppm in enumerate(lppms):
+            clone = copy.copy(lppm)
+            clone.name = f"{lppm.name}#{i}"
+            stages.append(clone)
+        chains = benchmark.pedantic(
+            lambda: enumerate_compositions(stages), rounds=3, iterations=1
+        )
+        assert len(chains) == composition_count(n)
+
+    def test_mood_protect_one_user(self, benchmark, ctx):
+        mood = ctx.mood()
+        trace = ctx.test.traces()[0]
+        result = benchmark.pedantic(
+            lambda: mood.protect(trace), rounds=1, iterations=1
+        )
+        assert result.original_records == len(trace)
+
+
+class TestDeltaAblation:
+    """DESIGN.md §5: the δ floor bounds both loss and shredding depth."""
+
+    @pytest.mark.parametrize("delta_h", [2.0, 4.0, 12.0])
+    def test_delta_sweep(self, benchmark, ctx, delta_h):
+        mood = Mood(
+            ctx.lppms, ctx.attacks, delta_s=delta_h * 3600.0, seed=ctx.seed
+        )
+        ev = benchmark.pedantic(
+            lambda: evaluate_mood(mood, ctx.test), rounds=1, iterations=1
+        )
+        losses = ev.data_loss()
+        print(f"\nδ={delta_h}h → data loss {100 * losses:.2f}%")
+        assert 0.0 <= losses <= 1.0
+
+
+class TestSplitPolicyAblation:
+    """Paper §6 future work: time-based vs gap-based splitting."""
+
+    def test_fixed_time_policy(self, benchmark, ctx):
+        trace = ctx.test.traces()[0]
+        chunks = benchmark(lambda: split_fixed_time(trace, 86_400.0))
+        assert sum(len(c) for c in chunks) == len(trace)
+
+    def test_gap_policy(self, benchmark, ctx):
+        trace = ctx.test.traces()[0]
+        pieces = benchmark(lambda: split_on_gaps(trace, 3 * 3600.0))
+        assert sum(len(p) for p in pieces) == len(trace)

@@ -1,0 +1,16 @@
+"""Bench T1 — regenerate Table 1 (dataset description)."""
+
+from benchmarks.conftest import BENCH_SIZES, run_once
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark):
+    rows = run_once(
+        benchmark, lambda: run_table1(seed=2019, sizes=BENCH_SIZES)
+    )
+    print()
+    print(format_table1(rows))
+    assert len(rows) == 4
+    for row in rows:
+        assert row.records > 0
+        assert row.users == BENCH_SIZES[row.name]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benches run the *same harness code* as the paper-scale
+experiments (``python -m repro experiment all``) on bench-scale corpora,
+so one `pytest benchmarks/ --benchmark-only` pass regenerates every
+table and figure in minutes.  User counts and campaign length are scaled
+down; `python -m repro experiment <fig>` reproduces the full-scale
+versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext, prepare_context
+from repro.experiments.runner import FigureBundle
+
+#: Bench-scale corpus sizes (full scale: 48/41/41/64 users over 30 days).
+BENCH_SIZES = {"mdc": 16, "privamov": 14, "geolife": 14, "cabspotting": 18}
+BENCH_DAYS = 14
+BENCH_SEED = 2019  # the paper's vintage
+
+ALL_DATASETS = tuple(sorted(BENCH_SIZES))
+
+_contexts = {}
+_bundles = {}
+
+
+def get_context(name: str) -> ExperimentContext:
+    if name not in _contexts:
+        _contexts[name] = prepare_context(
+            name, seed=BENCH_SEED, n_users=BENCH_SIZES[name], days=BENCH_DAYS
+        )
+    return _contexts[name]
+
+
+def get_bundle(name: str) -> FigureBundle:
+    if name not in _bundles:
+        _bundles[name] = FigureBundle(get_context(name))
+    return _bundles[name]
+
+
+@pytest.fixture(params=ALL_DATASETS)
+def dataset_name(request):
+    return request.param
+
+
+@pytest.fixture
+def context(dataset_name) -> ExperimentContext:
+    return get_context(dataset_name)
+
+
+@pytest.fixture
+def bundle(dataset_name) -> FigureBundle:
+    return get_bundle(dataset_name)
+
+
+def run_once(benchmark, fn):
+    """Benchmark *fn* with a single measured execution (fig harnesses are
+    deterministic and expensive; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Deployment scenario: a crowdsensing campaign behind a MooD proxy.
+
+Models the paper's motivating deployment (§3.4, §4.6): phones buffer
+GPS fixes and upload a chunk every 24 h; the MooD middleware protects
+each chunk before it reaches the collection server; the server runs
+count-style analytics (e.g. a noise or congestion map) on the protected
+stream.  The report shows the privacy/utility/operational trade-off:
+almost no data erased, pseudonyms unlinkable across days, and per-cell
+density counts that still correlate with ground truth.
+
+Run:  python examples/crowdsensing_campaign.py [dataset] [n_users]
+"""
+
+import sys
+
+from repro.experiments.harness import prepare_context
+from repro.service import CrowdsensingCampaign
+
+
+def main(dataset: str = "privamov", n_users: int = 16) -> None:
+    ctx = prepare_context(dataset, seed=3, n_users=n_users, days=12)
+    print(f"campaign corpus: {ctx.test} (attacker trained on the prior week)")
+
+    campaign = CrowdsensingCampaign(ctx.test, ctx.mood(), chunk_s=86_400.0)
+    report = campaign.run()
+
+    print()
+    print(f"clients                : {report.clients}")
+    print(f"virtual days simulated : {report.days:.0f}")
+    print(f"daily chunks processed : {report.proxy.chunks_processed}")
+    print(f"pieces published       : {report.proxy.pieces_published}")
+    print(
+        f"records erased         : {report.proxy.records_erased} "
+        f"({100 * report.data_loss:.2f}% data loss)"
+    )
+    print(f"distinct pseudonyms    : {report.server.distinct_pseudonyms}")
+    print(f"count-query fidelity   : {report.count_query_fidelity:.3f} "
+          "(Pearson r of per-cell densities, protected vs raw)")
+
+    print("\nmechanisms the proxy ended up using:")
+    for mech, count in sorted(
+        report.proxy.mechanism_usage.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {mech:24s} {count} chunks")
+
+    # The server-side congestion map still identifies the busiest areas.
+    print("\ntop-5 busiest cells on the server:")
+    for cell, count in campaign.server.top_cells(5):
+        lat, lng = campaign.server.grid.center_of(cell)
+        print(f"  ({lat:.4f}, {lng:.4f}): {count} records")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "privamov"
+    users = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    main(name, users)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Data-publishing scenario: a security expert protects a whole corpus.
+
+This is the workflow of the paper's problem illustration (§2.4) and its
+resolution (§4.6): compare the data loss of publishing with a single
+LPPM (erase every re-identifiable trace) against publishing with MooD
+(erase only the sub-traces even fine-grained protection cannot cure).
+
+Run:  python examples/publish_dataset.py [dataset] [n_users]
+"""
+
+import sys
+
+from repro import evaluate_lppm, evaluate_mood, data_loss
+from repro.experiments.harness import prepare_context
+from repro.experiments.reporting import ascii_table
+
+
+def main(dataset: str = "geolife", n_users: int = 20) -> None:
+    # Prepare the corpus, train the attacks on the first half.
+    ctx = prepare_context(dataset, seed=11, n_users=n_users, days=14)
+    print(f"corpus   : {ctx.raw}")
+    print(f"attacker : {[a.name for a in ctx.attacks]} trained on {ctx.train.name}")
+    print()
+
+    rows = []
+
+    # Strategy 1 — pick one LPPM, delete whatever stays re-identifiable.
+    for lppm in ctx.lppms:
+        ev = evaluate_lppm(lppm, ctx.test, ctx.attacks, seed=ctx.seed)
+        vulnerable = ev.non_protected()
+        loss = data_loss(ctx.test, vulnerable)
+        rows.append(
+            [lppm.name, f"{len(vulnerable)}/{len(ctx.test)}", f"{100 * loss:.1f}%"]
+        )
+
+    # Strategy 2 — MooD: compositions + fine-grained splitting.
+    mood_ev = evaluate_mood(ctx.mood(), ctx.test)
+    rows.append(
+        [
+            "MooD",
+            f"{len(mood_ev.non_protected())}/{len(ctx.test)}",
+            f"{100 * mood_ev.data_loss():.1f}%",
+        ]
+    )
+
+    print(
+        ascii_table(
+            ["strategy", "users with erased data", "records erased"],
+            rows,
+            title=f"Publishing {dataset!r}: erasure cost per protection strategy",
+        )
+    )
+
+    # What actually gets published under MooD?
+    published = mood_ev.published_dataset()
+    print()
+    print(f"published dataset: {published}")
+    print(
+        f"(original users: {len(ctx.test)}; published pseudonyms: {len(published)} — "
+        "fine-grained users appear as several unlinkable sub-traces)"
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "geolife"
+    users = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    main(name, users)

@@ -1,0 +1,10 @@
+"""Legacy shim: lets ``pip install -e .`` work without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only exists so
+pip can fall back to ``setup.py develop`` in offline environments whose
+setuptools cannot build editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

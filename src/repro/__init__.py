@@ -1,0 +1,113 @@
+"""repro — a reproduction of MooD (Middleware '19).
+
+MooD is a user-centric, fine-grained, multi-LPPM middleware that
+protects mobility traces against user re-identification attacks.  This
+package provides the full system: the mobility data model, POI/MMC/
+heatmap profiling, three re-identification attacks, three LPPMs plus the
+HybridLPPM baseline, the MooD engine, utility/privacy metrics, synthetic
+stand-ins for the four evaluation datasets, a crowdsensing deployment
+simulator, and the experiment harnesses that regenerate every table and
+figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        Mood, default_attack_suite, default_lppm_suite,
+        generate_dataset, train_test_split,
+    )
+
+    raw = generate_dataset("privamov", seed=42)
+    background, to_share = train_test_split(raw)
+    attacks = [a.fit(background) for a in default_attack_suite()]
+    mood = Mood(default_lppm_suite(background), attacks)
+    result = mood.protect(to_share.traces()[0])
+    print(result.fully_protected, result.mean_distortion_m())
+"""
+
+from repro.attacks import ApAttack, Attack, PitAttack, PoiAttack, default_attack_suite
+from repro.core import (
+    ComposedLPPM,
+    MobilityDataset,
+    Mood,
+    MoodResult,
+    ProtectedPiece,
+    Record,
+    Trace,
+    composition_count,
+    enumerate_compositions,
+    evaluate_hybrid,
+    evaluate_lppm,
+    evaluate_mood,
+    merge_traces,
+    most_active_window,
+    split_fixed_time,
+    split_in_half,
+    split_on_gaps,
+    train_test_split,
+)
+from repro.datasets import DATASET_NAMES, generate_dataset
+from repro.errors import ReproError
+from repro.lppm import (
+    GeoInd,
+    HeatmapConfusion,
+    HybridLPPM,
+    Identity,
+    LPPM,
+    Trilateration,
+    default_lppm_suite,
+)
+from repro.metrics import (
+    data_loss,
+    distortion_buckets,
+    spatial_temporal_distortion,
+    topsoe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # data model
+    "Record",
+    "Trace",
+    "merge_traces",
+    "MobilityDataset",
+    "split_in_half",
+    "split_fixed_time",
+    "split_on_gaps",
+    "most_active_window",
+    "train_test_split",
+    # LPPMs
+    "LPPM",
+    "Identity",
+    "GeoInd",
+    "Trilateration",
+    "HeatmapConfusion",
+    "HybridLPPM",
+    "default_lppm_suite",
+    # attacks
+    "Attack",
+    "PoiAttack",
+    "PitAttack",
+    "ApAttack",
+    "default_attack_suite",
+    # MooD
+    "Mood",
+    "MoodResult",
+    "ProtectedPiece",
+    "ComposedLPPM",
+    "composition_count",
+    "enumerate_compositions",
+    "evaluate_lppm",
+    "evaluate_hybrid",
+    "evaluate_mood",
+    # metrics
+    "spatial_temporal_distortion",
+    "distortion_buckets",
+    "data_loss",
+    "topsoe",
+    # datasets
+    "DATASET_NAMES",
+    "generate_dataset",
+]

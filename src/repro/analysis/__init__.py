@@ -1,0 +1,15 @@
+"""Analysis tooling: mobility uniqueness and attack-difficulty audits."""
+
+from repro.analysis.uniqueness import (
+    UniquenessReport,
+    anonymity_rank,
+    top_k_reidentification_rate,
+    uniqueness_report,
+)
+
+__all__ = [
+    "anonymity_rank",
+    "top_k_reidentification_rate",
+    "uniqueness_report",
+    "UniquenessReport",
+]

@@ -1,0 +1,77 @@
+"""Re-identification attack abstraction (paper §2.2, Eq. 1).
+
+An attack has a *training phase* — :meth:`Attack.fit` consumes the
+background knowledge ``H`` (past, unprotected traces of known users) and
+builds per-user mobility profiles — and an *attack phase* —
+:meth:`Attack.reidentify` links an anonymous (possibly protected) trace
+to the closest known profile.
+
+When an attack cannot profile a trace at all (e.g. a short sub-trace
+with no POI), it returns :data:`UNKNOWN_USER`, a sentinel that never
+equals a real user id — i.e. the attack *fails*, which is how such cases
+are scored in the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.errors import NotFittedError
+
+#: Sentinel guess returned when an attack cannot form any hypothesis.
+UNKNOWN_USER = "<unknown>"
+
+
+class Attack(abc.ABC):
+    """Base class for user re-identification attacks."""
+
+    #: Short, unique attack name used in reports.
+    name: str = "attack"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, background: MobilityDataset) -> "Attack":
+        """Build mobility profiles from the background knowledge *H*."""
+        self._build_profiles(background)
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _build_profiles(self, background: MobilityDataset) -> None:
+        """Subclass hook: construct per-user profiles."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} must be fitted before attacking")
+
+    # -- attack -------------------------------------------------------------
+
+    def reidentify(self, trace: Trace) -> str:
+        """Guess the user id behind *trace* (or :data:`UNKNOWN_USER`)."""
+        ranked = self.rank(trace)
+        return ranked[0][0] if ranked else UNKNOWN_USER
+
+    @abc.abstractmethod
+    def rank(self, trace: Trace) -> List[Tuple[str, float]]:
+        """All candidate users sorted by ascending distance to *trace*.
+
+        An empty list means the attack could not form a hypothesis.
+        Ties are broken by user id for determinism.
+        """
+
+    def reidentify_dataset(self, dataset: MobilityDataset) -> Dict[str, str]:
+        """Guess for every trace of *dataset*: ``{true_user: guess}``."""
+        return {t.user_id: self.reidentify(t) for t in dataset.traces()}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self._fitted})"

@@ -1,0 +1,145 @@
+"""PIT-attack [16] (Gambs et al.): de-anonymisation via Mobility Markov Chains.
+
+Each user is modelled as an MMC whose states are her POIs ranked by
+importance.  The attack compares the anonymous trace's MMC against every
+known MMC with the *stats-prox* distance, the most effective of the
+distances proposed in [16], combining:
+
+* a **proximity** component — how far the chains' POIs are on the ground
+  (weighted nearest-neighbour distance between state sets), and
+* a **stationary** component — how different the time the user spends in
+  matched states is (L1 gap between stationary probabilities of the
+  matched pairs).
+
+The exact functional form in [16] is tied to their implementation; we
+re-derive it as a documented, dimensionally consistent combination
+
+    stats_prox = proximity_m × (1 + stationary_l1)
+
+so that geographically identical chains (proximity 0) have distance 0
+and the stationary term modulates rather than dominates.  Benchmarked to
+reproduce the paper's qualitative ordering (PIT weaker than AP, stronger
+than nothing).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.attacks.base import Attack
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.poi.mmc import MarkovChain, build_mmc
+
+
+def _matched_components(anon: MarkovChain, known: MarkovChain):
+    """``(proximity_m, stationary_l1)`` under nearest-state matching."""
+    prox_acc = 0.0
+    stat_acc = 0.0
+    weight_acc = 0.0
+    for i, state in enumerate(anon.states):
+        best_j = 0
+        best_d = math.inf
+        for j, other in enumerate(known.states):
+            d = state.distance_m(other)
+            if d < best_d:
+                best_d = d
+                best_j = j
+        w = float(anon.stationary[i])
+        prox_acc += w * best_d
+        stat_acc += w * abs(float(anon.stationary[i]) - float(known.stationary[best_j]))
+        weight_acc += w
+    if weight_acc <= 0:
+        return (math.inf, math.inf)
+    return (prox_acc / weight_acc, stat_acc / weight_acc)
+
+
+def proximity_distance(anon: MarkovChain, known: MarkovChain) -> float:
+    """Pure geographic component of [16]: matched-POI distance, metres."""
+    if len(anon) == 0 or len(known) == 0:
+        return math.inf
+    return _matched_components(anon, known)[0]
+
+
+def stationary_distance(anon: MarkovChain, known: MarkovChain) -> float:
+    """Pure stationary component of [16]: L1 gap of matched states' mass."""
+    if len(anon) == 0 or len(known) == 0:
+        return math.inf
+    return _matched_components(anon, known)[1]
+
+
+def stats_prox_distance(anon: MarkovChain, known: MarkovChain) -> float:
+    """Stats-prox distance between two MMCs (see module docstring)."""
+    if len(anon) == 0 or len(known) == 0:
+        return math.inf
+    proximity_m, stationary_l1 = _matched_components(anon, known)
+    if not math.isfinite(proximity_m):
+        return math.inf
+    return proximity_m * (1.0 + stationary_l1)
+
+
+#: Selectable MMC distances, as in [16]'s comparison of candidates.
+PIT_DISTANCES = {
+    "stats-prox": stats_prox_distance,
+    "proximity": proximity_distance,
+    "stationary": stationary_distance,
+}
+
+
+class PitAttack(Attack):
+    """Re-identification by MMC matching with the stats-prox distance."""
+
+    name = "PIT-attack"
+
+    def __init__(
+        self,
+        diameter_m: float = 200.0,
+        min_dwell_s: float = 3600.0,
+        max_states: int = 10,
+        distance: str = "stats-prox",
+    ) -> None:
+        super().__init__()
+        if distance not in PIT_DISTANCES:
+            raise ValueError(
+                f"unknown PIT distance {distance!r}; choose from {sorted(PIT_DISTANCES)}"
+            )
+        self.diameter_m = float(diameter_m)
+        self.min_dwell_s = float(min_dwell_s)
+        self.max_states = int(max_states)
+        self.distance_name = distance
+        self._distance_fn = PIT_DISTANCES[distance]
+        self._profiles: Dict[str, MarkovChain] = {}
+
+    def _model(self, trace: Trace) -> MarkovChain:
+        return build_mmc(
+            trace,
+            diameter_m=self.diameter_m,
+            min_dwell_s=self.min_dwell_s,
+            max_states=self.max_states,
+        )
+
+    def _build_profiles(self, background: MobilityDataset) -> None:
+        self._profiles = {}
+        for trace in background.traces():
+            mmc = self._model(trace)
+            if len(mmc) > 0:
+                self._profiles[trace.user_id] = mmc
+
+    def profile_of(self, user_id: str) -> MarkovChain:
+        """The learned MMC of *user_id*; raises ``KeyError`` if unprofiled."""
+        self._require_fitted()
+        return self._profiles[user_id]
+
+    def rank(self, trace: Trace) -> List[Tuple[str, float]]:
+        self._require_fitted()
+        anon = self._model(trace)
+        if len(anon) == 0:
+            return []
+        scored = [
+            (user, self._distance_fn(anon, known))
+            for user, known in self._profiles.items()
+        ]
+        scored = [(u, d) for u, d in scored if math.isfinite(d)]
+        scored.sort(key=lambda ud: (ud[1], ud[0]))
+        return scored

@@ -1,0 +1,160 @@
+"""Command-line interface: ``mood <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``mood generate <dataset> --out file.csv``
+    Generate a synthetic corpus and save it as CSV.
+``mood protect --dataset privamov``
+    Run the full MooD pipeline on one corpus and print the summary.
+``mood experiment <table1|fig2_3|fig6|fig7|fig8|fig9|fig10|all> [--dataset D]``
+    Regenerate a paper table/figure as an ASCII table.
+``mood campaign --dataset privamov``
+    Run the crowdsensing deployment simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.datasets.generators import DATASET_NAMES, generate_dataset
+from repro.datasets.io import save_csv
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--users", type=int, default=None, help="override the user count"
+    )
+    parser.add_argument("--days", type=int, default=30, help="campaign days")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mood",
+        description="MooD: user-centric multi-LPPM mobility data protection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus as CSV")
+    gen.add_argument("dataset", choices=DATASET_NAMES)
+    gen.add_argument("--out", required=True, help="output CSV path")
+    _add_common(gen)
+
+    prot = sub.add_parser("protect", help="run the full MooD pipeline on a corpus")
+    prot.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
+    _add_common(prot)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "which",
+        choices=["table1", "fig2_3", "fig6", "fig7", "fig8", "fig9", "fig10", "all"],
+    )
+    exp.add_argument("--dataset", choices=DATASET_NAMES, default=None)
+    _add_common(exp)
+
+    camp = sub.add_parser("campaign", help="run the crowdsensing deployment simulation")
+    camp.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
+    _add_common(camp)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
+    rows = save_csv(dataset, args.out)
+    print(f"wrote {rows} records for {len(dataset)} users to {args.out}")
+    return 0
+
+
+def _cmd_protect(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import evaluate_mood
+    from repro.experiments.harness import prepare_context
+
+    t0 = time.time()
+    ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
+    ev = evaluate_mood(ctx.mood(), ctx.test)
+    protected = len(ctx.test) - len(ev.non_protected())
+    print(f"dataset            : {ctx.name}")
+    print(f"users              : {len(ctx.test)}")
+    print(f"fully protected    : {protected}")
+    print(f"data loss          : {100.0 * ev.data_loss():.2f}%")
+    finite = [d for d in ev.distortions().values() if d < float('inf')]
+    if finite:
+        print(f"median distortion  : {sorted(finite)[len(finite) // 2]:.0f} m")
+    print(f"wall time          : {time.time() - t0:.1f}s")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        FigureBundle,
+        fig2_3,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        prepare_context,
+        table1,
+    )
+
+    which = args.which
+    if which == "table1":
+        table1.main(seed=args.seed)
+        return 0
+    names = [args.dataset] if args.dataset else list(DATASET_NAMES)
+    per_dataset = {
+        "fig2_3": fig2_3.main,
+        "fig6": fig6.main,
+        "fig7": fig7.main,
+        "fig8": fig8.main,
+        "fig9": fig9.main,
+        "fig10": fig10.main,
+    }
+    targets = list(per_dataset) if which == "all" else [which]
+    for name in names:
+        ctx = prepare_context(name, seed=args.seed, n_users=args.users, days=args.days)
+        for target in targets:
+            per_dataset[target](ctx)
+            print()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import prepare_context
+    from repro.service import CrowdsensingCampaign
+
+    ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
+    campaign = CrowdsensingCampaign(ctx.test, ctx.mood())
+    report = campaign.run()
+    print(f"dataset              : {ctx.name}")
+    print(f"clients              : {report.clients}")
+    print(f"campaign days        : {report.days:.0f}")
+    print(f"chunks processed     : {report.proxy.chunks_processed}")
+    print(f"pieces published     : {report.proxy.pieces_published}")
+    print(f"records erased       : {report.proxy.records_erased} "
+          f"({100.0 * report.data_loss:.2f}%)")
+    print(f"pseudonyms on server : {report.server.distinct_pseudonyms}")
+    print(f"count-query fidelity : {report.count_query_fidelity:.3f}")
+    print("mechanism usage      :")
+    for mech, count in sorted(report.proxy.mechanism_usage.items(), key=lambda kv: -kv[1]):
+        print(f"  {mech:24s} {count}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "protect": _cmd_protect,
+        "experiment": _cmd_experiment,
+        "campaign": _cmd_campaign,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Ordered composition of LPPMs (paper §3.1, Eq. 3).
+
+A composition ``C_p = L_ip ∘ … ∘ L_i1`` applies *p* distinct LPPMs
+sequentially: the output trace of one is the input of the next.  Order
+matters (function composition), so from ``n`` base LPPMs there are
+
+    |C| = Σ_{i=1..n} n! / (n−i)!
+
+compositions — 15 for n = 3, of which the 12 with p ≥ 2 are the true
+*multi-LPPM* chains searched by MooD after every single LPPM has failed.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import factorial
+from typing import List, Optional, Sequence
+
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.lppm.base import LPPM
+from repro.rng import SeedLike, make_rng
+
+
+class ComposedLPPM(LPPM):
+    """The sequential application of an ordered list of LPPMs."""
+
+    def __init__(self, stages: Sequence[LPPM]) -> None:
+        if not stages:
+            raise ConfigurationError("a composition needs at least one LPPM")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"a composition must not repeat a mechanism, got {names}"
+            )
+        self.stages: List[LPPM] = list(stages)
+        self.name = "+".join(names)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def apply(self, trace: Trace, rng: Optional[SeedLike] = None) -> Trace:
+        gen = make_rng(rng)
+        out = trace
+        for stage in self.stages:
+            out = stage.apply(out, gen)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ComposedLPPM({self.name!r})"
+
+
+def composition_count(n: int) -> int:
+    """``Σ_{i=1..n} n!/(n−i)!`` — the size of C for *n* base LPPMs."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return sum(factorial(n) // factorial(n - i) for i in range(1, n + 1))
+
+
+def enumerate_compositions(
+    lppms: Sequence[LPPM],
+    min_length: int = 1,
+    max_length: Optional[int] = None,
+) -> List[ComposedLPPM]:
+    """All ordered compositions of distinct LPPMs, shortest first.
+
+    With ``min_length=2`` this yields ``C − L``, the multi-LPPM chains of
+    Algorithm 1 line 16.  Enumeration order is deterministic: by length,
+    then by the order of *lppms*, so experiment runs are reproducible.
+    """
+    n = len(lppms)
+    if len({l.name for l in lppms}) != n:
+        raise ConfigurationError("base LPPMs must have unique names")
+    top = n if max_length is None else min(max_length, n)
+    out: List[ComposedLPPM] = []
+    for length in range(max(1, min_length), top + 1):
+        for combo in permutations(lppms, length):
+            out.append(ComposedLPPM(combo))
+    return out

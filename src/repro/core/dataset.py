@@ -1,0 +1,118 @@
+"""Mobility datasets: a collection of one trace per user.
+
+Mirrors the paper's system model (§3.1): every user contributes the trace
+``T_u`` she wants to share, while a second dataset of past traces ``H_u``
+forms the attacker's background knowledge.  :class:`MobilityDataset` is
+deliberately dict-like and immutable-ish: transformations return new
+datasets, which keeps experiment code free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.trace import Trace
+from repro.errors import DuplicateUserError, UnknownUserError
+
+
+class MobilityDataset:
+    """A named set of mobility traces, at most one per user id."""
+
+    def __init__(self, name: str, traces: Iterable[Trace] = ()) -> None:
+        self.name = name
+        self._traces: Dict[str, Trace] = {}
+        for trace in traces:
+            self.add(trace)
+
+    # -- mutation (construction time only) ------------------------------
+
+    def add(self, trace: Trace) -> None:
+        """Insert *trace*; raises :class:`DuplicateUserError` on id clash."""
+        if trace.user_id in self._traces:
+            raise DuplicateUserError(
+                f"dataset {self.name!r} already has a trace for {trace.user_id!r}"
+            )
+        self._traces[trace.user_id] = trace
+
+    # -- dict-like access ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces.values())
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._traces
+
+    def __getitem__(self, user_id: str) -> Trace:
+        try:
+            return self._traces[user_id]
+        except KeyError:
+            raise UnknownUserError(user_id) from None
+
+    def get(self, user_id: str, default: Optional[Trace] = None) -> Optional[Trace]:
+        """Trace of *user_id*, or *default* if absent."""
+        return self._traces.get(user_id, default)
+
+    def user_ids(self) -> List[str]:
+        """Sorted list of user ids (stable iteration order for experiments)."""
+        return sorted(self._traces)
+
+    def traces(self) -> List[Trace]:
+        """Traces sorted by user id."""
+        return [self._traces[u] for u in self.user_ids()]
+
+    def __repr__(self) -> str:
+        return (
+            f"MobilityDataset(name={self.name!r}, users={len(self)}, "
+            f"records={self.record_count()})"
+        )
+
+    # -- statistics --------------------------------------------------------
+
+    def record_count(self) -> int:
+        """Total number of records across all traces (``|D|_r`` in Eq. 7)."""
+        return sum(len(t) for t in self._traces.values())
+
+    def time_span(self) -> Tuple[float, float]:
+        """``(earliest, latest)`` timestamp over non-empty traces."""
+        nonempty = [t for t in self._traces.values() if len(t) > 0]
+        if not nonempty:
+            raise ValueError(f"dataset {self.name!r} has no records")
+        return (
+            min(t.start_time() for t in nonempty),
+            max(t.end_time() for t in nonempty),
+        )
+
+    # -- transformations ------------------------------------------------------
+
+    def map_traces(self, fn: Callable[[Trace], Trace], name: Optional[str] = None) -> "MobilityDataset":
+        """Apply *fn* to every trace, producing a new dataset."""
+        return MobilityDataset(name or self.name, (fn(t) for t in self.traces()))
+
+    def filter_users(
+        self, predicate: Callable[[Trace], bool], name: Optional[str] = None
+    ) -> "MobilityDataset":
+        """Keep only traces for which *predicate* holds."""
+        return MobilityDataset(name or self.name, (t for t in self.traces() if predicate(t)))
+
+    def subset(self, user_ids: Iterable[str], name: Optional[str] = None) -> "MobilityDataset":
+        """Dataset restricted to *user_ids* (all of which must exist)."""
+        return MobilityDataset(name or self.name, (self[u] for u in user_ids))
+
+    def without_users(self, user_ids: Iterable[str], name: Optional[str] = None) -> "MobilityDataset":
+        """Dataset with the given users removed."""
+        drop = set(user_ids)
+        return MobilityDataset(
+            name or self.name, (t for t in self.traces() if t.user_id not in drop)
+        )
+
+    def slice_time(self, t_from: float, t_to: float, name: Optional[str] = None) -> "MobilityDataset":
+        """Restrict every trace to the window ``[t_from, t_to)``, dropping emptied users."""
+        out = MobilityDataset(name or self.name)
+        for trace in self.traces():
+            sub = trace.slice_time(t_from, t_to)
+            if len(sub) > 0:
+                out.add(sub)
+        return out

@@ -1,0 +1,36 @@
+"""A single spatio-temporal record ``r = (lat, lng, t)`` (paper §2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidRecordError
+
+
+@dataclass(frozen=True, order=True)
+class Record:
+    """One GPS fix: latitude/longitude in decimal degrees, POSIX timestamp.
+
+    Ordering is lexicographic on ``(t, lat, lng)`` so that sorting a list
+    of records sorts them chronologically.
+    """
+
+    t: float
+    lat: float
+    lng: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise InvalidRecordError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lng <= 180.0:
+            raise InvalidRecordError(f"longitude out of range: {self.lng}")
+        if not self.t == self.t or self.t in (float("inf"), float("-inf")):
+            raise InvalidRecordError(f"timestamp must be finite, got {self.t}")
+
+    def shifted(self, dt: float) -> "Record":
+        """Copy of this record with the timestamp moved by *dt* seconds."""
+        return Record(self.t + dt, self.lat, self.lng)
+
+    def moved(self, lat: float, lng: float) -> "Record":
+        """Copy of this record at a new position, same timestamp."""
+        return Record(self.t, lat, lng)

@@ -1,0 +1,46 @@
+"""Dataset substrate: synthetic corpora, city models, CSV I/O."""
+
+from repro.datasets.cities import BEIJING, CITIES, GENEVA, LYON, SAN_FRANCISCO, City
+from repro.datasets.generators import (
+    DATASET_NAMES,
+    DEFAULT_DAYS,
+    DEFAULT_START_T,
+    SPECS,
+    DatasetSpec,
+    generate_all,
+    generate_dataset,
+)
+from repro.datasets.io import load_csv, save_csv, to_csv_string
+from repro.datasets.mobility import (
+    CabConfig,
+    CabSimulator,
+    ResidentConfig,
+    ResidentSimulator,
+    Segment,
+    sample_segments,
+)
+
+__all__ = [
+    "City",
+    "CITIES",
+    "GENEVA",
+    "LYON",
+    "BEIJING",
+    "SAN_FRANCISCO",
+    "DatasetSpec",
+    "SPECS",
+    "DATASET_NAMES",
+    "DEFAULT_DAYS",
+    "DEFAULT_START_T",
+    "generate_dataset",
+    "generate_all",
+    "load_csv",
+    "save_csv",
+    "to_csv_string",
+    "ResidentSimulator",
+    "ResidentConfig",
+    "CabSimulator",
+    "CabConfig",
+    "Segment",
+    "sample_segments",
+]

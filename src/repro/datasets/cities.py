@@ -1,0 +1,69 @@
+"""City models for the synthetic mobility generators.
+
+Each of the paper's four corpora was collected in one metropolitan area;
+the generators anchor their agents to these cities so that coordinate
+magnitudes, grid reference latitudes, and inter-place distances are
+realistic.  A :class:`City` also owns the pool of *shared places*
+(shops, restaurants, transit hubs) that creates inter-user overlap —
+the raw material of both re-identification and confusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geo.geodesy import local_projector
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class City:
+    """A metropolitan area: centre coordinates and an effective radius."""
+
+    name: str
+    center_lat: float
+    center_lng: float
+    radius_m: float
+
+    def projector(self):
+        """``(to_xy, to_latlng)`` local tangent-plane converters."""
+        return local_projector(self.center_lat, self.center_lng)
+
+    def random_point(
+        self, rng: SeedLike = None, spread: float = 1.0
+    ) -> Tuple[float, float]:
+        """Gaussian-ish random point: radius folded within the city limits."""
+        gen = make_rng(rng)
+        _, to_latlng = self.projector()
+        sigma = self.radius_m * spread / 2.0
+        x = float(np.clip(gen.normal(0.0, sigma), -self.radius_m, self.radius_m))
+        y = float(np.clip(gen.normal(0.0, sigma), -self.radius_m, self.radius_m))
+        return to_latlng(x, y)
+
+    def random_points(self, count: int, rng: SeedLike = None, spread: float = 1.0) -> List[Tuple[float, float]]:
+        """*count* independent random points."""
+        gen = make_rng(rng)
+        return [self.random_point(gen, spread=spread) for _ in range(count)]
+
+
+#: Geneva — the MDC campaign (Nokia / Idiap).
+GENEVA = City("geneva", 46.2044, 6.1432, radius_m=8_000.0)
+
+#: Lyon — the PrivaMov campaign (mostly students around the campuses).
+LYON = City("lyon", 45.7640, 4.8357, radius_m=6_000.0)
+
+#: Beijing — the Geolife corpus (Microsoft Research Asia).
+BEIJING = City("beijing", 39.9042, 116.4074, radius_m=15_000.0)
+
+#: San Francisco — the Cabspotting taxi corpus.
+SAN_FRANCISCO = City("san_francisco", 37.7749, -122.4194, radius_m=7_000.0)
+
+CITIES = {
+    "geneva": GENEVA,
+    "lyon": LYON,
+    "beijing": BEIJING,
+    "san_francisco": SAN_FRANCISCO,
+}

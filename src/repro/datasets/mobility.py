@@ -1,0 +1,373 @@
+"""Agent-based mobility simulation.
+
+Two agent families cover the paper's four corpora:
+
+* :class:`ResidentSimulator` — commuters with a home, (usually) a
+  workplace, and a few shared leisure places.  Daily schedules follow a
+  wake → commute → work → leisure → home pattern with per-user phase
+  noise, producing the POI/MMC/heatmap structure that re-identification
+  attacks exploit.  A configurable fraction of *drifters* re-draw their
+  anchor places mid-campaign, which makes them naturally hard to
+  re-identify (their background knowledge goes stale) — the paper's
+  "naturally insensitive" users.
+* :class:`CabSimulator` — taxi drivers roaming between city waypoints
+  during shifts.  Drivers share one waypoint pool with per-driver zone
+  preferences of varying peakedness, reproducing Cabspotting's
+  homogeneity (about half the fleet is naturally protected).
+
+Traces are sampled at a fixed GPS period with white position noise and
+random hour-long sensing gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.trace import Trace
+from repro.datasets.cities import City
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_HOUR = 3_600.0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A linear piece of an agent's day: position interpolates t0→t1."""
+
+    t0: float
+    t1: float
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        if self.t1 <= self.t0:
+            return self.start
+        w = min(1.0, max(0.0, (t - self.t0) / (self.t1 - self.t0)))
+        return (
+            self.start[0] + w * (self.end[0] - self.start[0]),
+            self.start[1] + w * (self.end[1] - self.start[1]),
+        )
+
+
+def sample_segments(
+    user_id: str,
+    segments: Sequence[Segment],
+    sample_period_s: float,
+    gps_noise_m: float,
+    gap_probability_per_hour: float,
+    rng: np.random.Generator,
+) -> Trace:
+    """Sample a GPS trace along a chronological list of segments.
+
+    Each hour of the campaign is independently dropped with
+    ``gap_probability_per_hour`` (phone off / no fix), then positions are
+    sampled every ``sample_period_s`` within the remaining segments with
+    isotropic Gaussian GPS noise.
+    """
+    if not segments:
+        return Trace.empty(user_id)
+    t_begin = segments[0].t0
+    t_end = segments[-1].t1
+    times = np.arange(t_begin, t_end, sample_period_s)
+    if times.size == 0:
+        return Trace.empty(user_id)
+    hours = np.floor((times - t_begin) / SECONDS_PER_HOUR).astype(np.int64)
+    n_hours = int(hours.max()) + 1
+    dropped = rng.uniform(size=n_hours) < gap_probability_per_hour
+    keep = ~dropped[hours]
+    times = times[keep]
+    if times.size == 0:
+        return Trace.empty(user_id)
+    starts = np.array([s.t0 for s in segments])
+    ends = np.array([s.t1 for s in segments])
+    idx = np.clip(np.searchsorted(starts, times, side="right") - 1, 0, len(segments) - 1)
+    # Drop samples falling in holes between segments (e.g. overnight
+    # between taxi shifts) — otherwise they would clamp to the previous
+    # segment's end and fabricate phantom dwells.
+    covered = times <= ends[idx]
+    times = times[covered]
+    idx = idx[covered]
+    if times.size == 0:
+        return Trace.empty(user_id)
+    lats = np.empty(times.size)
+    lngs = np.empty(times.size)
+    for k in range(times.size):
+        lat, lng = segments[int(idx[k])].position_at(float(times[k]))
+        lats[k] = lat
+        lngs[k] = lng
+    # GPS noise: metres to degrees at the segment latitude.
+    m_per_deg = 111_320.0
+    noise = rng.normal(0.0, gps_noise_m, size=(times.size, 2))
+    lats = lats + noise[:, 0] / m_per_deg
+    lngs = lngs + noise[:, 1] / (m_per_deg * np.cos(np.radians(lats)))
+    return Trace(user_id, times, lats, lngs)
+
+
+# ---------------------------------------------------------------------------
+# Residents (MDC, PrivaMov, Geolife)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResidentConfig:
+    """Parameters of the commuter simulator."""
+
+    sample_period_s: float = 600.0
+    gps_noise_m: float = 15.0
+    gap_probability_per_hour: float = 0.25
+    #: Fraction of users whose anchors change mid-campaign (naturally
+    #: protected users).
+    drift_fraction: float = 0.2
+    #: Fraction of users with a workplace (others stay around home/leisure).
+    worker_fraction: float = 0.85
+    #: Number of shared leisure places in the city pool.
+    leisure_pool: int = 25
+    #: Leisure places per user.
+    leisure_per_user: int = 3
+    #: Probability of a leisure outing on any evening.
+    leisure_probability: float = 0.5
+    #: Spatial spread of homes relative to the city radius.
+    home_spread: float = 1.0
+    #: Travel speed (m/s): brisk multimodal commute.
+    speed_mps: float = 8.0
+
+
+@dataclass
+class _Anchors:
+    home: Tuple[float, float]
+    work: Optional[Tuple[float, float]]
+    leisure: List[Tuple[float, float]]
+
+
+class ResidentSimulator:
+    """Simulates commuting residents of a city."""
+
+    def __init__(self, city: City, config: Optional[ResidentConfig] = None) -> None:
+        self.city = city
+        self.config = config or ResidentConfig()
+
+    def _draw_anchors(self, rng: np.random.Generator) -> _Anchors:
+        cfg = self.config
+        home = self.city.random_point(rng, spread=cfg.home_spread)
+        work = (
+            self.city.random_point(rng, spread=0.8)
+            if rng.uniform() < cfg.worker_fraction
+            else None
+        )
+        return _Anchors(home=home, work=work, leisure=[])
+
+    def simulate_user(
+        self,
+        user_id: str,
+        start_t: float,
+        days: int,
+        rng: SeedLike = None,
+        leisure_pool: Optional[List[Tuple[float, float]]] = None,
+    ) -> Trace:
+        """Generate one user's trace over *days* days starting at *start_t*."""
+        if days <= 0:
+            raise ConfigurationError(f"days must be positive, got {days}")
+        gen = make_rng(rng)
+        cfg = self.config
+        pool = leisure_pool or self.city.random_points(cfg.leisure_pool, gen, spread=0.7)
+        anchors = self._draw_anchors(gen)
+        anchors.leisure = [
+            pool[int(i)]
+            for i in gen.choice(len(pool), size=min(cfg.leisure_per_user, len(pool)), replace=False)
+        ]
+        drifts = gen.uniform() < cfg.drift_fraction
+        drift_day = days // 2
+        segments: List[Segment] = []
+        current = anchors
+        for day in range(days):
+            if drifts and day == drift_day:
+                fresh = self._draw_anchors(gen)
+                fresh.leisure = [
+                    pool[int(i)]
+                    for i in gen.choice(
+                        len(pool), size=min(cfg.leisure_per_user, len(pool)), replace=False
+                    )
+                ]
+                current = fresh
+            day_start = start_t + day * SECONDS_PER_DAY
+            weekday = day % 7 < 5
+            segments.extend(self._simulate_day(day_start, current, weekday, gen))
+        return sample_segments(
+            user_id,
+            segments,
+            cfg.sample_period_s,
+            cfg.gps_noise_m,
+            cfg.gap_probability_per_hour,
+            gen,
+        )
+
+    def _simulate_day(
+        self,
+        day_start: float,
+        anchors: _Anchors,
+        weekday: bool,
+        rng: np.random.Generator,
+    ) -> List[Segment]:
+        """One day's schedule as a chronological list of segments."""
+        cfg = self.config
+        segments: List[Segment] = []
+        t = day_start
+        here = anchors.home
+
+        def dwell(until: float, place: Tuple[float, float]) -> None:
+            nonlocal t
+            if until > t:
+                segments.append(Segment(t, until, place, place))
+                t = until
+
+        def travel(to: Tuple[float, float]) -> Tuple[float, float]:
+            nonlocal t, here
+            dist = _approx_distance_m(here, to)
+            duration = max(120.0, dist / cfg.speed_mps)
+            segments.append(Segment(t, t + duration, here, to))
+            t += duration
+            here = to
+            return to
+
+        wake = day_start + (7.0 + rng.normal(0.0, 0.7)) * SECONDS_PER_HOUR
+        dwell(wake, anchors.home)
+        if weekday and anchors.work is not None:
+            travel(anchors.work)
+            work_end = day_start + (17.0 + rng.normal(0.0, 1.0)) * SECONDS_PER_HOUR
+            dwell(max(work_end, t + SECONDS_PER_HOUR), anchors.work)
+        elif anchors.leisure and rng.uniform() < 0.7:
+            place = anchors.leisure[int(rng.integers(len(anchors.leisure)))]
+            travel(place)
+            dwell(t + rng.uniform(2.0, 5.0) * SECONDS_PER_HOUR, place)
+        if anchors.leisure and rng.uniform() < cfg.leisure_probability:
+            place = anchors.leisure[int(rng.integers(len(anchors.leisure)))]
+            travel(place)
+            dwell(t + rng.uniform(1.0, 3.0) * SECONDS_PER_HOUR, place)
+        travel(anchors.home)
+        dwell(day_start + SECONDS_PER_DAY, anchors.home)
+        return segments
+
+
+# ---------------------------------------------------------------------------
+# Taxi fleet (Cabspotting)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CabConfig:
+    """Parameters of the taxi-fleet simulator."""
+
+    sample_period_s: float = 300.0
+    gps_noise_m: float = 15.0
+    gap_probability_per_hour: float = 0.1
+    #: Number of shared pickup/dropoff waypoints across the city.
+    waypoints: int = 40
+    #: Fraction of drivers with strongly peaked zone preferences — these
+    #: are the re-identifiable half of the fleet.
+    biased_fraction: float = 0.5
+    #: Dirichlet concentration for biased / unbiased drivers.
+    biased_alpha: float = 0.9
+    uniform_alpha: float = 5.0
+    #: Day-to-day stability of a driver's zone preferences: each day's
+    #: effective preference vector is drawn from Dirichlet(stability ×
+    #: base + ε).  High stability → the driver repeats her zones week
+    #: after week (re-identifiable); low stability → demand-driven
+    #: roaming that decorrelates the training and attack weeks, which is
+    #: what makes roughly half of the real Cabspotting fleet naturally
+    #: protected.
+    pref_stability_biased: float = 120.0
+    pref_stability_uniform: float = 4.0
+    speed_mps: float = 10.0
+    shift_start_h: float = 7.0
+    shift_hours: float = 11.0
+    #: Idle wait at each waypoint, seconds (uniform between the two).
+    wait_s: Tuple[float, float] = (300.0, 1200.0)
+    #: Per-cycle probability of parking at the driver's preferred taxi
+    #: stand for a long wait — this is what gives drivers POIs (real cab
+    #: corpora have them too, which is why POI/PIT attacks also bite on
+    #: Cabspotting in the paper).
+    stand_probability: float = 0.12
+    #: Long-wait duration at the stand, seconds (uniform between the two).
+    stand_wait_s: Tuple[float, float] = (3900.0, 6000.0)
+
+
+class CabSimulator:
+    """Simulates a fleet of taxis sharing a waypoint pool."""
+
+    def __init__(self, city: City, config: Optional[CabConfig] = None) -> None:
+        self.city = city
+        self.config = config or CabConfig()
+
+    def simulate_user(
+        self,
+        user_id: str,
+        start_t: float,
+        days: int,
+        rng: SeedLike = None,
+        waypoint_pool: Optional[List[Tuple[float, float]]] = None,
+    ) -> Trace:
+        if days <= 0:
+            raise ConfigurationError(f"days must be positive, got {days}")
+        gen = make_rng(rng)
+        cfg = self.config
+        pool = waypoint_pool or self.city.random_points(cfg.waypoints, gen, spread=0.9)
+        biased = gen.uniform() < cfg.biased_fraction
+        alpha = cfg.biased_alpha if biased else cfg.uniform_alpha
+        stability = cfg.pref_stability_biased if biased else cfg.pref_stability_uniform
+        base_prefs = gen.dirichlet(np.full(len(pool), alpha))
+        #: The driver's habitual taxi stand — a personal, dwell-worthy POI
+        #: for biased drivers; demand-driven drivers queue wherever the
+        #: day takes them.
+        personal_stand = pool[int(gen.choice(len(pool), p=base_prefs))]
+        segments: List[Segment] = []
+        for day in range(days):
+            prefs = gen.dirichlet(base_prefs * stability + 1e-3)
+            stand = (
+                personal_stand
+                if biased
+                else pool[int(gen.choice(len(pool), p=prefs))]
+            )
+            day_start = start_t + day * SECONDS_PER_DAY
+            t = day_start + (cfg.shift_start_h + gen.normal(0.0, 0.5)) * SECONDS_PER_HOUR
+            shift_end = t + cfg.shift_hours * SECONDS_PER_HOUR
+            here = pool[int(gen.choice(len(pool), p=prefs))]
+            while t < shift_end:
+                if gen.uniform() < cfg.stand_probability:
+                    dist = _approx_distance_m(here, stand)
+                    duration = max(60.0, dist / cfg.speed_mps)
+                    segments.append(Segment(t, t + duration, here, stand))
+                    t += duration
+                    here = stand
+                    wait = gen.uniform(*cfg.stand_wait_s)
+                else:
+                    wait = gen.uniform(*cfg.wait_s)
+                segments.append(Segment(t, t + wait, here, here))
+                t += wait
+                target = pool[int(gen.choice(len(pool), p=prefs))]
+                dist = _approx_distance_m(here, target)
+                duration = max(60.0, dist / cfg.speed_mps)
+                segments.append(Segment(t, t + duration, here, target))
+                t += duration
+                here = target
+        return sample_segments(
+            user_id,
+            segments,
+            cfg.sample_period_s,
+            cfg.gps_noise_m,
+            cfg.gap_probability_per_hour,
+            gen,
+        )
+
+
+def _approx_distance_m(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Equirectangular distance between two (lat, lng) pairs, metres."""
+    m_per_deg = 111_320.0
+    dy = (b[0] - a[0]) * m_per_deg
+    dx = (b[1] - a[1]) * m_per_deg * math.cos(math.radians(0.5 * (a[0] + b[0])))
+    return math.hypot(dx, dy)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single exception type at API boundaries while still
+being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidRecordError(ReproError, ValueError):
+    """A spatio-temporal record has out-of-range coordinates or timestamp."""
+
+
+class EmptyTraceError(ReproError, ValueError):
+    """An operation requiring a non-empty mobility trace received an empty one."""
+
+
+class UnsortedTraceError(ReproError, ValueError):
+    """A trace's records are not in non-decreasing timestamp order."""
+
+
+class UnknownUserError(ReproError, KeyError):
+    """A user id was requested that does not exist in the dataset."""
+
+
+class DuplicateUserError(ReproError, ValueError):
+    """Two traces with the same user id were inserted into a dataset."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An attack was asked to re-identify before being trained on background knowledge."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An LPPM, attack, or experiment was configured with invalid parameters."""
+
+
+class ProtectionFailedError(ReproError, RuntimeError):
+    """MooD could not protect a trace and erasure was disallowed by the caller."""

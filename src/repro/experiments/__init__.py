@@ -1,0 +1,30 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Usage pattern::
+
+    from repro.experiments import prepare_context, FigureBundle
+    from repro.experiments import fig7
+
+    ctx = prepare_context("privamov", seed=0)
+    bundle = FigureBundle(ctx)
+    result = fig7.run_fig7(bundle)
+    print(fig7.format_fig7(result))
+"""
+
+from repro.experiments import fig2_3, fig6, fig7, fig8, fig9, fig10, table1
+from repro.experiments.harness import ExperimentContext, prepare_all, prepare_context
+from repro.experiments.runner import FigureBundle
+
+__all__ = [
+    "ExperimentContext",
+    "prepare_context",
+    "prepare_all",
+    "FigureBundle",
+    "table1",
+    "fig2_3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+]

@@ -1,0 +1,61 @@
+"""Figure 10 — data loss of MooD versus its competitors.
+
+For single LPPMs and the hybrid baseline, loss is the record share of
+non-protected traces (which would be erased before publication).  For
+MooD, loss counts only the records of the sub-traces erased by the
+fine-grained stage — the paper's headline 0–2.5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.paper_values import FIG10_DATA_LOSS_PCT
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import ALL_LPPM_ORDER, FigureBundle
+from repro.metrics.dataloss import data_loss
+
+MECHANISMS = ALL_LPPM_ORDER + ["HybridLPPM", "MooD"]
+
+
+@dataclass
+class Fig10Result:
+    dataset: str
+    #: mechanism -> data loss in percent.
+    loss_pct: Dict[str, float]
+    paper: Dict[str, float]
+
+
+def run_fig10(bundle: FigureBundle) -> Fig10Result:
+    ctx = bundle.context
+    loss: Dict[str, float] = {}
+    for mech in ALL_LPPM_ORDER:
+        non_protected = bundle.single_eval(mech).non_protected()
+        loss[mech] = 100.0 * data_loss(ctx.test, non_protected)
+    loss["HybridLPPM"] = 100.0 * bundle.hybrid_eval("all").data_loss(ctx.test)
+    loss["MooD"] = 100.0 * bundle.mood_eval("all", fine_grained=True).data_loss()
+    return Fig10Result(
+        dataset=ctx.name,
+        loss_pct=loss,
+        paper={k: float(v) for k, v in FIG10_DATA_LOSS_PCT[ctx.name].items()},
+    )
+
+
+def format_fig10(result: Fig10Result) -> str:
+    rows = [
+        [mech, f"{result.loss_pct[mech]:.2f}%", f"{result.paper[mech]:.2f}%"]
+        for mech in MECHANISMS
+    ]
+    return ascii_table(
+        ["mechanism", "data loss", "paper"],
+        rows,
+        title=f"Figure 10 ({result.dataset}) — data loss, MooD vs competitors",
+    )
+
+
+def main(context: ExperimentContext) -> Fig10Result:
+    result = run_fig10(FigureBundle(context))
+    print(format_fig10(result))
+    return result

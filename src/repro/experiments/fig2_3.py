@@ -1,0 +1,86 @@
+"""Figures 2 & 3 — the problem illustration.
+
+Figure 2: ratio of non-protected users per single LPPM (and Hybrid)
+under the three re-identification attacks.  Figure 3: the data loss a
+security expert incurs by deleting the non-protected traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.paper_values import FIG2_NON_PROTECTED_PCT, FIG3_DATA_LOSS_PCT
+from repro.experiments.reporting import ascii_table, percentage
+from repro.experiments.runner import ALL_LPPM_ORDER, FigureBundle
+from repro.metrics.dataloss import data_loss
+
+MECHANISMS = ALL_LPPM_ORDER + ["HybridLPPM"]
+
+
+@dataclass
+class Fig23Row:
+    dataset: str
+    mechanism: str
+    users_total: int
+    non_protected: int
+    non_protected_pct: float
+    data_loss_pct: float
+    paper_non_protected_pct: float
+    paper_data_loss_pct: float
+
+
+def run_fig2_3(bundle: FigureBundle) -> List[Fig23Row]:
+    """Evaluate the three single LPPMs + Hybrid on one dataset."""
+    ctx = bundle.context
+    total = len(ctx.test)
+    rows: List[Fig23Row] = []
+    for mech in MECHANISMS:
+        if mech == "HybridLPPM":
+            non_protected = bundle.hybrid_eval("all").non_protected()
+        else:
+            non_protected = bundle.single_eval(mech).non_protected()
+        loss = data_loss(ctx.test, non_protected)
+        rows.append(
+            Fig23Row(
+                dataset=ctx.name,
+                mechanism=mech,
+                users_total=total,
+                non_protected=len(non_protected),
+                non_protected_pct=percentage(len(non_protected), total),
+                data_loss_pct=100.0 * loss,
+                paper_non_protected_pct=float(FIG2_NON_PROTECTED_PCT[ctx.name][mech]),
+                paper_data_loss_pct=float(FIG3_DATA_LOSS_PCT[ctx.name][mech]),
+            )
+        )
+    return rows
+
+
+def format_fig2_3(rows: List[Fig23Row]) -> str:
+    return ascii_table(
+        [
+            "dataset",
+            "mechanism",
+            "non-protected",
+            "non-prot % (paper)",
+            "data loss % (paper)",
+        ],
+        [
+            [
+                r.dataset,
+                r.mechanism,
+                f"{r.non_protected}/{r.users_total}",
+                f"{r.non_protected_pct:.0f} ({r.paper_non_protected_pct:.0f})",
+                f"{r.data_loss_pct:.0f} ({r.paper_data_loss_pct:.0f})",
+            ]
+            for r in rows
+        ],
+        title="Figures 2 & 3 — non-protected users and data loss, single LPPMs",
+    )
+
+
+def main(context: ExperimentContext) -> List[Fig23Row]:
+    rows = run_fig2_3(FigureBundle(context))
+    print(format_fig2_3(rows))
+    return rows

@@ -1,0 +1,61 @@
+"""Figure 6 — resilience of MooD's composition to a *single* attack.
+
+The virtual adversary runs only AP-attack (the strongest known attack);
+the bars count non-protected users under no-LPPM, each single LPPM, the
+hybrid baseline, and MooD's multi-LPPM composition search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.paper_values import FIG6_NON_PROTECTED
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import FigureBundle
+
+BAR_ORDER = ["no-LPPM", "Geo-I", "TRL", "HMC", "HybridLPPM", "MooD"]
+
+
+@dataclass
+class Fig6Result:
+    dataset: str
+    users_total: int
+    counts: Dict[str, int]
+    paper: Dict[str, int]
+
+
+def run_fig6(bundle: FigureBundle) -> Fig6Result:
+    counts = bundle.non_protected_counts(mode="ap")
+    paper = FIG6_NON_PROTECTED[bundle.context.name]
+    return Fig6Result(
+        dataset=bundle.context.name,
+        users_total=len(bundle.context.test),
+        counts=counts,
+        paper=paper,
+    )
+
+
+def format_fig6(result: Fig6Result) -> str:
+    rows = [
+        [
+            mech,
+            result.counts[mech],
+            result.users_total,
+            result.paper[mech],
+            result.paper["total"],
+        ]
+        for mech in BAR_ORDER
+    ]
+    return ascii_table(
+        ["mechanism", "#non-protected", "of", "paper #", "paper of"],
+        rows,
+        title=f"Figure 6 ({result.dataset}) — resilience to AP-attack alone",
+    )
+
+
+def main(context: ExperimentContext) -> Fig6Result:
+    result = run_fig6(FigureBundle(context))
+    print(format_fig6(result))
+    return result

@@ -1,0 +1,67 @@
+"""Figure 8 — fine-grained protection of the composition survivors.
+
+The users that resist every LPPM composition (Figure 7's MooD bar) have
+their traces cut into 24 h sub-traces; each sub-trace goes through the
+composition search independently.  The figure reports, per survivor,
+the share of sub-traces MooD manages to protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.paper_values import FIG8_SUBTRACE_PROTECTED_PCT
+from repro.experiments.reporting import ascii_table, percentage
+from repro.experiments.runner import FigureBundle
+
+
+@dataclass
+class Fig8Result:
+    dataset: str
+    #: user -> {"chunks": total sub-traces, "protected": protected ones}
+    per_user: Dict[str, Dict[str, int]]
+
+    @property
+    def overall_protected_pct(self) -> float:
+        chunks = sum(v["chunks"] for v in self.per_user.values())
+        protected = sum(v["protected"] for v in self.per_user.values())
+        return percentage(protected, chunks)
+
+
+def run_fig8(bundle: FigureBundle) -> Fig8Result:
+    return Fig8Result(
+        dataset=bundle.context.name,
+        per_user=bundle.fine_grained_outcomes(mode="all"),
+    )
+
+
+def format_fig8(result: Fig8Result) -> str:
+    rows: List[List] = []
+    for user, stats in sorted(result.per_user.items()):
+        rows.append(
+            [
+                user,
+                stats["chunks"],
+                stats["protected"],
+                f"{percentage(stats['protected'], stats['chunks']):.0f}%",
+            ]
+        )
+    paper = FIG8_SUBTRACE_PROTECTED_PCT.get(result.dataset, {})
+    title = (
+        f"Figure 8 ({result.dataset}) — 24h sub-traces protected for "
+        f"composition survivors (overall {result.overall_protected_pct:.0f}%"
+    )
+    if "overall" in paper:
+        title += f", paper {paper['overall']}%"
+    title += ")"
+    if not rows:
+        rows = [["(no survivors)", 0, 0, "-"]]
+    return ascii_table(["survivor", "sub-traces", "protected", "ratio"], rows, title=title)
+
+
+def main(context: ExperimentContext) -> Fig8Result:
+    result = run_fig8(FigureBundle(context))
+    print(format_fig8(result))
+    return result

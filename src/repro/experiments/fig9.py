@@ -1,0 +1,104 @@
+"""Figure 9 — utility of the data protected by each mechanism.
+
+For the *protected* users of each mechanism, the spatio-temporal
+distortion (STD) is bucketed into the paper's four bands (<500 m,
+<1 km, <5 km, ≥5 km; the first three cumulative).  MooD's distortions
+are record-weighted means over its published pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.paper_values import FIG9_BUCKETS_PCT
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import ALL_LPPM_ORDER, FigureBundle
+from repro.metrics.distortion import DISTORTION_BUCKETS, distortion_buckets
+
+MECHANISMS = ALL_LPPM_ORDER + ["HybridLPPM", "MooD"]
+
+
+@dataclass
+class Fig9Result:
+    dataset: str
+    #: mechanism -> bucket label -> share of protected users (0..1).
+    buckets: Dict[str, Dict[str, float]]
+    #: mechanism -> number of protected users the buckets are over.
+    protected_counts: Dict[str, int]
+
+
+def _mechanism_distortions(bundle: FigureBundle, mechanism: str) -> List[float]:
+    """STD values of the users the mechanism actually protects."""
+    if mechanism == "HybridLPPM":
+        return sorted(bundle.hybrid_eval("all").distortions().values())
+    if mechanism == "MooD":
+        mood_ev = bundle.mood_eval("all", fine_grained=True)
+        return sorted(
+            d for u, d in mood_ev.distortions().items()
+            if u not in mood_ev.non_protected()
+        )
+    ev = bundle.single_eval(mechanism)
+    protected = ev.protected()
+    return sorted(ev.distortions[u] for u in protected)
+
+
+def run_fig9(bundle: FigureBundle) -> Fig9Result:
+    buckets: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for mech in MECHANISMS:
+        distortions = _mechanism_distortions(bundle, mech)
+        buckets[mech] = distortion_buckets(distortions)
+        counts[mech] = len(distortions)
+    return Fig9Result(dataset=bundle.context.name, buckets=buckets, protected_counts=counts)
+
+
+def aggregate_fig9(results: List[Fig9Result]) -> Fig9Result:
+    """Population-weighted aggregation over datasets (the paper's overall row)."""
+    buckets: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for mech in MECHANISMS:
+        total = sum(r.protected_counts.get(mech, 0) for r in results)
+        counts[mech] = total
+        agg: Dict[str, float] = {}
+        for label, _ in DISTORTION_BUCKETS:
+            if total == 0:
+                agg[label] = 0.0
+            else:
+                agg[label] = (
+                    sum(
+                        r.buckets[mech][label] * r.protected_counts[mech]
+                        for r in results
+                        if mech in r.buckets
+                    )
+                    / total
+                )
+        buckets[mech] = agg
+    return Fig9Result(dataset="all", buckets=buckets, protected_counts=counts)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    headers = ["mechanism", "#protected"] + [label for label, _ in DISTORTION_BUCKETS]
+    rows: List[List] = []
+    for mech in MECHANISMS:
+        row = [mech, result.protected_counts.get(mech, 0)]
+        for label, _ in DISTORTION_BUCKETS:
+            pct = 100.0 * result.buckets[mech][label]
+            paper = FIG9_BUCKETS_PCT.get(mech, {}).get(label)
+            row.append(f"{pct:.0f}%" + (f" ({paper:.0f})" if paper is not None else ""))
+        rows.append(row)
+    return ascii_table(
+        headers,
+        rows,
+        title=(
+            f"Figure 9 ({result.dataset}) — distortion buckets of protected users "
+            "(cumulative; paper overall values in parentheses)"
+        ),
+    )
+
+
+def main(context: ExperimentContext) -> Fig9Result:
+    result = run_fig9(FigureBundle(context))
+    print(format_fig9(result))
+    return result

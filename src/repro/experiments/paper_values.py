@@ -1,0 +1,137 @@
+"""The numbers the paper reports, transcribed for side-by-side comparison.
+
+Every harness prints its measured values next to these constants and
+EXPERIMENTS.md records both.  Absolute values are not expected to match
+(synthetic corpora, scaled user counts); the *shape* — orderings,
+approximate ratios, crossovers — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — corpus descriptions.
+TABLE1 = {
+    "cabspotting": {"users": 531, "records": 11_179_014, "location": "San Francisco"},
+    "geolife": {"users": 41, "records": 1_468_989, "location": "Beijing"},
+    "mdc": {"users": 141, "records": 904_282, "location": "Geneva"},
+    "privamov": {"users": 41, "records": 948_965, "location": "Lyon"},
+}
+
+#: Figure 2 — ratio (%) of non-protected users, three attacks combined.
+FIG2_NON_PROTECTED_PCT = {
+    "mdc": {"Geo-I": 76, "TRL": 61, "HMC": 46, "HybridLPPM": 36},
+    "privamov": {"Geo-I": 88, "TRL": 71, "HMC": 49, "HybridLPPM": 24},
+    "geolife": {"Geo-I": 66, "TRL": 54, "HMC": 37, "HybridLPPM": 24},
+    "cabspotting": {"Geo-I": 50, "TRL": 19, "HMC": 25, "HybridLPPM": 5},
+}
+
+#: Figure 3 — data loss (%) when erasing non-protected traces.
+FIG3_DATA_LOSS_PCT = {
+    "mdc": {"Geo-I": 89, "TRL": 73, "HMC": 54, "HybridLPPM": 42},
+    "privamov": {"Geo-I": 95, "TRL": 71, "HMC": 47, "HybridLPPM": 31},
+    "geolife": {"Geo-I": 93, "TRL": 61, "HMC": 15, "HybridLPPM": 9},
+    "cabspotting": {"Geo-I": 52, "TRL": 13, "HMC": 26, "HybridLPPM": 5},
+}
+
+#: Figure 6 — # non-protected users against AP-attack alone.
+FIG6_NON_PROTECTED = {
+    "mdc": {
+        "no-LPPM": 96,
+        "Geo-I": 95,
+        "TRL": 79,
+        "HMC": 14,
+        "HybridLPPM": 10,
+        "MooD": 0,
+        "total": 141,
+    },
+    "privamov": {
+        "no-LPPM": 32,
+        "Geo-I": 31,
+        "TRL": 26,
+        "HMC": 9,
+        "HybridLPPM": 4,
+        "MooD": 2,
+        "total": 41,
+    },
+    "geolife": {
+        "no-LPPM": 32,
+        "Geo-I": 32,
+        "TRL": 32,
+        "HMC": 4,
+        "HybridLPPM": 4,
+        "MooD": 1,
+        "total": 41,
+    },
+    "cabspotting": {
+        "no-LPPM": 242,
+        "Geo-I": 207,
+        "TRL": 56,
+        "HMC": 12,
+        "HybridLPPM": 4,
+        "MooD": 0,
+        "total": 531,
+    },
+}
+
+#: Figure 7 — # non-protected users against all three attacks.
+FIG7_NON_PROTECTED = {
+    "mdc": {
+        "no-LPPM": 107,
+        "Geo-I": 107,
+        "TRL": 86,
+        "HMC": 65,
+        "HybridLPPM": 51,
+        "MooD": 3,
+        "total": 141,
+    },
+    "privamov": {
+        "no-LPPM": 37,
+        "Geo-I": 36,
+        "TRL": 29,
+        "HMC": 20,
+        "HybridLPPM": 10,
+        "MooD": 3,
+        "total": 41,
+    },
+    "geolife": {
+        "no-LPPM": 32,
+        "Geo-I": 27,
+        "TRL": 22,
+        "HMC": 15,
+        "HybridLPPM": 10,
+        "MooD": 2,
+        "total": 41,
+    },
+    "cabspotting": {
+        "no-LPPM": 281,
+        "Geo-I": 263,
+        "TRL": 65,
+        "HMC": 131,
+        "HybridLPPM": 27,
+        "MooD": 0,
+        "total": 531,
+    },
+}
+
+#: Figure 8 — % of 24 h sub-traces protected for the Figure 7 survivors.
+FIG8_SUBTRACE_PROTECTED_PCT = {
+    "mdc": {"overall": 68, "per_user": {"A": 100, "B": 92, "C": 11}},
+    "privamov": {"per_user": {"D": 67, "E": 43, "F": 50}},
+    "geolife": {"overall": 25, "per_user": {}},
+}
+
+#: Figure 9 — cumulative distortion buckets over all protected users (%).
+FIG9_BUCKETS_PCT = {
+    "Geo-I": {"low(<500m)": 38, "medium(<1000m)": 38},
+    "TRL": {"low(<500m)": 12, "medium(<1000m)": 70},
+    "HMC": {"low(<500m)": 45, "medium(<1000m)": 48},
+    "HybridLPPM": {"low(<500m)": 49, "medium(<1000m)": 74},
+    "MooD": {"low(<500m)": 53.47, "medium(<1000m)": 78},
+}
+
+#: Figure 10 — data loss (%) including MooD's fine-grained stage.
+FIG10_DATA_LOSS_PCT = {
+    "mdc": {"Geo-I": 88, "TRL": 73, "HMC": 53, "HybridLPPM": 42, "MooD": 0.33},
+    "privamov": {"Geo-I": 95, "TRL": 70, "HMC": 46, "HybridLPPM": 30, "MooD": 2.5},
+    "geolife": {"Geo-I": 68, "TRL": 60, "HMC": 14, "HybridLPPM": 9, "MooD": 0.37},
+    "cabspotting": {"Geo-I": 52, "TRL": 13, "HMC": 25, "HybridLPPM": 5, "MooD": 0.0},
+}

@@ -1,0 +1,70 @@
+"""ASCII reporting helpers for the experiment harnesses.
+
+All figures are regenerated as plain-text tables (this repository runs
+headless); each table prints measured values next to the paper's, in the
+same row/series layout as the original figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cellish = Union[str, int, float, None]
+
+
+def fmt(value: Cellish, digits: int = 1) -> str:
+    """Human formatting: ints plain, floats rounded, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cellish]],
+    title: Optional[str] = None,
+    digits: int = 1,
+) -> str:
+    """Render a boxed ASCII table."""
+    str_rows: List[List[str]] = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def paired_row(label: str, measured: Cellish, paper: Cellish, digits: int = 1) -> List[str]:
+    """A ``label | measured | paper`` row for comparison tables."""
+    return [label, fmt(measured, digits), fmt(paper, digits)]
+
+
+def percentage(numerator: int, denominator: int) -> float:
+    """Safe percentage (0 for empty denominators)."""
+    if denominator <= 0:
+        return 0.0
+    return 100.0 * numerator / denominator

@@ -1,0 +1,119 @@
+"""Shared evaluation bundle behind all figure harnesses.
+
+Most figures read different projections of the same underlying runs
+(single-LPPM evaluations, the hybrid baseline, MooD with one or three
+attacks).  :class:`FigureBundle` computes each run lazily and caches it,
+so regenerating several figures for one dataset costs one evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import (
+    HybridEvaluation,
+    LppmEvaluation,
+    MoodEvaluation,
+    evaluate_hybrid,
+    evaluate_lppm,
+    evaluate_mood,
+)
+from repro.core.split import split_fixed_time
+from repro.experiments.harness import ExperimentContext
+from repro.lppm.identity import Identity
+
+AP = "AP-attack"
+ALL_LPPM_ORDER = ["Geo-I", "TRL", "HMC"]
+
+
+@dataclass
+class FigureBundle:
+    """Lazily computed evaluations for one dataset context."""
+
+    context: ExperimentContext
+    _single: Dict[str, LppmEvaluation] = field(default_factory=dict)
+    _identity: Optional[LppmEvaluation] = None
+    _hybrid: Dict[str, HybridEvaluation] = field(default_factory=dict)
+    _mood: Dict[str, MoodEvaluation] = field(default_factory=dict)
+
+    # -- attack subsets ------------------------------------------------------
+
+    def _attack_subset(self, mode: str):
+        if mode == "ap":
+            return [self.context.attack_by_name[AP]]
+        return self.context.attacks
+
+    # -- evaluations ----------------------------------------------------------
+
+    def identity_eval(self) -> LppmEvaluation:
+        """The no-LPPM baseline, attacked by all three attacks."""
+        if self._identity is None:
+            self._identity = evaluate_lppm(
+                Identity(), self.context.test, self.context.attacks, seed=self.context.seed
+            )
+        return self._identity
+
+    def single_eval(self, lppm_name: str) -> LppmEvaluation:
+        """One base LPPM applied to every user, attacked by all attacks."""
+        if lppm_name not in self._single:
+            lppm = self.context.lppm_by_name[lppm_name]
+            self._single[lppm_name] = evaluate_lppm(
+                lppm, self.context.test, self.context.attacks, seed=self.context.seed
+            )
+        return self._single[lppm_name]
+
+    def hybrid_eval(self, mode: str = "all") -> HybridEvaluation:
+        """Hybrid baseline protecting against the chosen attack subset."""
+        if mode not in self._hybrid:
+            hybrid = self.context.hybrid(self._attack_subset(mode))
+            self._hybrid[mode] = evaluate_hybrid(hybrid, self.context.test)
+        return self._hybrid[mode]
+
+    def mood_eval(self, mode: str = "all", fine_grained: bool = False) -> MoodEvaluation:
+        """MooD against the chosen attack subset.
+
+        ``fine_grained=False`` stops after the composition search (the
+        readout of Figures 6/7); ``True`` runs the full Algorithm 1 with
+        daily chunking (Figures 8/10).
+        """
+        key = f"{mode}:{'fg' if fine_grained else 'comp'}"
+        if key not in self._mood:
+            mood = self.context.mood(self._attack_subset(mode))
+            self._mood[key] = evaluate_mood(
+                mood, self.context.test, composition_only=not fine_grained
+            )
+        return self._mood[key]
+
+    # -- figure projections -----------------------------------------------------
+
+    def non_protected_counts(self, mode: str) -> Dict[str, int]:
+        """# non-protected users per mechanism (Figures 6/7 bar heights)."""
+        attack_names = [a.name for a in self._attack_subset(mode)]
+        counts: Dict[str, int] = {
+            "no-LPPM": len(self.identity_eval().non_protected(attack_names))
+        }
+        for name in ALL_LPPM_ORDER:
+            counts[name] = len(self.single_eval(name).non_protected(attack_names))
+        counts["HybridLPPM"] = len(self.hybrid_eval(mode).non_protected())
+        counts["MooD"] = len(self.mood_eval(mode).composition_survivors())
+        return counts
+
+    def fine_grained_outcomes(self, mode: str = "all") -> Dict[str, Dict[str, int]]:
+        """Per-survivor 24 h sub-trace protection (Figure 8).
+
+        For each user whose whole trace resisted the composition search,
+        split the trace into 24 h chunks and run the composition search
+        on each chunk independently.
+        """
+        survivors = sorted(self.mood_eval(mode).composition_survivors())
+        mood = self.context.mood(self._attack_subset(mode))
+        out: Dict[str, Dict[str, int]] = {}
+        for user in survivors:
+            trace = self.context.test[user]
+            chunks = split_fixed_time(trace, 86_400.0)
+            protected = sum(
+                1 for c in chunks if mood._search_protecting_lppm(c) is not None
+            )
+            out[user] = {"chunks": len(chunks), "protected": protected}
+        return out

@@ -1,0 +1,23 @@
+"""Geodesy substrate: distances, projections, metric grids, interpolation."""
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    destination_point,
+    equirectangular_distance_m,
+    haversine_m,
+    local_projector,
+)
+from repro.geo.grid import Cell, MetricGrid
+from repro.geo.interpolate import interpolate_position, temporal_projection_m
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "haversine_m",
+    "equirectangular_distance_m",
+    "destination_point",
+    "local_projector",
+    "Cell",
+    "MetricGrid",
+    "interpolate_position",
+    "temporal_projection_m",
+]

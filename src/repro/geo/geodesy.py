@@ -1,0 +1,98 @@
+"""Great-circle geometry on the WGS-84 sphere.
+
+All distances are in metres and all coordinates in decimal degrees.  The
+library works at city scale (< 100 km), where the spherical model is
+accurate to well under the GPS noise floor, so no ellipsoidal model is
+needed.  Vectorised variants accept numpy arrays and are used by the
+heatmap and attack code paths, which compare thousands of points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+_DEG = math.pi / 180.0
+
+
+def haversine_m(lat1: float, lng1: float, lat2: float, lng2: float) -> float:
+    """Great-circle distance between two points, in metres."""
+    phi1 = lat1 * _DEG
+    phi2 = lat2 * _DEG
+    dphi = (lat2 - lat1) * _DEG
+    dlmb = (lng2 - lng1) * _DEG
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_m_vec(
+    lat1: np.ndarray, lng1: np.ndarray, lat2: np.ndarray, lng2: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`haversine_m` over numpy arrays (broadcasting)."""
+    phi1 = np.radians(lat1)
+    phi2 = np.radians(lat2)
+    dphi = np.radians(lat2 - lat1)
+    dlmb = np.radians(lng2 - lng1)
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def equirectangular_distance_m(lat1: float, lng1: float, lat2: float, lng2: float) -> float:
+    """Fast flat-Earth distance, accurate to <0.1 % at city scale.
+
+    Used in inner loops (POI clustering, profile matching) where the full
+    haversine would dominate runtime.
+    """
+    mean_phi = 0.5 * (lat1 + lat2) * _DEG
+    x = (lng2 - lng1) * _DEG * math.cos(mean_phi)
+    y = (lat2 - lat1) * _DEG
+    return EARTH_RADIUS_M * math.hypot(x, y)
+
+
+def destination_point(lat: float, lng: float, bearing_rad: float, distance_m: float) -> Tuple[float, float]:
+    """Point reached from ``(lat, lng)`` after *distance_m* along *bearing_rad*.
+
+    Bearing is measured clockwise from north, in radians.  Uses the exact
+    spherical formula so it stays valid for multi-kilometre dummy
+    generation (TRL) as well as metre-scale Laplace noise (Geo-I).
+    """
+    delta = distance_m / EARTH_RADIUS_M
+    phi1 = lat * _DEG
+    lmb1 = lng * _DEG
+    sin_phi2 = math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(delta) * math.cos(bearing_rad)
+    phi2 = math.asin(max(-1.0, min(1.0, sin_phi2)))
+    y = math.sin(bearing_rad) * math.sin(delta) * math.cos(phi1)
+    x = math.cos(delta) - math.sin(phi1) * sin_phi2
+    lmb2 = lmb1 + math.atan2(y, x)
+    lng2 = (lmb2 / _DEG + 540.0) % 360.0 - 180.0
+    return (phi2 / _DEG, lng2)
+
+
+def local_projector(
+    origin_lat: float, origin_lng: float
+) -> Tuple[Callable[[float, float], Tuple[float, float]], Callable[[float, float], Tuple[float, float]]]:
+    """Return ``(to_xy, to_latlng)`` converters for a local tangent plane.
+
+    ``to_xy(lat, lng) -> (x_m, y_m)`` maps coordinates to metres east/north
+    of the origin; ``to_latlng(x_m, y_m)`` is its inverse.  City-scale
+    error is negligible and the conversion is branch-free, which makes it
+    the projection of choice for grids and generators.
+    """
+    cos_phi0 = math.cos(origin_lat * _DEG)
+    if abs(cos_phi0) < 1e-9:
+        raise ValueError("local projection undefined at the poles")
+    m_per_deg_lat = EARTH_RADIUS_M * _DEG
+    m_per_deg_lng = EARTH_RADIUS_M * _DEG * cos_phi0
+
+    def to_xy(lat: float, lng: float) -> Tuple[float, float]:
+        return ((lng - origin_lng) * m_per_deg_lng, (lat - origin_lat) * m_per_deg_lat)
+
+    def to_latlng(x_m: float, y_m: float) -> Tuple[float, float]:
+        return (origin_lat + y_m / m_per_deg_lat, origin_lng + x_m / m_per_deg_lng)
+
+    return to_xy, to_latlng

@@ -1,0 +1,61 @@
+"""Temporal interpolation of positions along a trace.
+
+This module implements the *temporal projection* that underpins the
+paper's spatio-temporal distortion metric (Eq. 8): the expected position
+of a user at an arbitrary time ``t``, obtained by linearly interpolating
+between the two records of the reference trace that bracket ``t``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence, Tuple
+
+from repro.errors import EmptyTraceError
+from repro.geo.geodesy import haversine_m
+
+
+def interpolate_position(
+    timestamps: Sequence[float],
+    lats: Sequence[float],
+    lngs: Sequence[float],
+    t: float,
+) -> Tuple[float, float]:
+    """Expected ``(lat, lng)`` at time *t* along a timestamp-sorted polyline.
+
+    Outside the covered time span, the position clamps to the first/last
+    record — the standard convention for STD so that obfuscated records
+    pushed slightly out of range are still scored.
+    """
+    n = len(timestamps)
+    if n == 0:
+        raise EmptyTraceError("cannot interpolate along an empty trace")
+    if t <= timestamps[0]:
+        return (lats[0], lngs[0])
+    if t >= timestamps[-1]:
+        return (lats[-1], lngs[-1])
+    hi = bisect.bisect_right(timestamps, t)
+    lo = hi - 1
+    t0, t1 = timestamps[lo], timestamps[hi]
+    if t1 <= t0:
+        return (lats[lo], lngs[lo])
+    w = (t - t0) / (t1 - t0)
+    return (lats[lo] + w * (lats[hi] - lats[lo]), lngs[lo] + w * (lngs[hi] - lngs[lo]))
+
+
+def temporal_projection_m(
+    ref_timestamps: Sequence[float],
+    ref_lats: Sequence[float],
+    ref_lngs: Sequence[float],
+    lat: float,
+    lng: float,
+    t: float,
+) -> float:
+    """Distance in metres between ``(lat, lng, t)`` and its temporal projection.
+
+    This is the per-record term of the STD metric: project the record's
+    timestamp onto the reference trace and measure how far the obfuscated
+    position strayed from where the user actually was at that instant.
+    """
+    exp_lat, exp_lng = interpolate_position(ref_timestamps, ref_lats, ref_lngs, t)
+    return haversine_m(lat, lng, exp_lat, exp_lng)

@@ -1,0 +1,62 @@
+"""Geo-Indistinguishability (Geo-I) LPPM [4].
+
+Geo-I is the location analogue of differential privacy: it guarantees
+that any two locations within radius ``r`` of each other produce a
+reported location with probability ratios bounded by ``exp(ε·r)``.  The
+mechanism achieving it adds *planar Laplace* noise to every record: the
+angle is uniform and the radius follows a Gamma(2, 1/ε) distribution
+(the radial law of the two-dimensional Laplace density).
+
+The paper fixes ``ε = 0.01 m⁻¹`` ("medium privacy"), i.e. an expected
+displacement of ``2/ε = 200 m`` per record — visible to a 200 m POI
+clusterer but mostly invisible to an 800 m heatmap, which is exactly why
+Geo-I alone fails against the AP-attack in the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import EARTH_RADIUS_M
+from repro.lppm.base import LPPM, coerce_rng
+from repro.rng import SeedLike
+
+_DEG = math.pi / 180.0
+
+
+class GeoInd(LPPM):
+    """Planar-Laplace perturbation with privacy parameter ``epsilon`` (1/m)."""
+
+    name = "Geo-I"
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def expected_displacement_m(self) -> float:
+        """Mean radial displacement, ``2/ε`` metres."""
+        return 2.0 / self.epsilon
+
+    def apply(self, trace: Trace, rng: Optional[SeedLike] = None) -> Trace:
+        if len(trace) == 0:
+            return trace
+        gen = coerce_rng(rng)
+        n = len(trace)
+        radii = gen.gamma(shape=2.0, scale=1.0 / self.epsilon, size=n)
+        thetas = gen.uniform(0.0, 2.0 * math.pi, size=n)
+        dlat = (radii * np.cos(thetas)) / (EARTH_RADIUS_M * _DEG)
+        cos_phi = np.cos(trace.lats * _DEG)
+        cos_phi = np.where(np.abs(cos_phi) < 1e-9, 1e-9, cos_phi)
+        dlng = (radii * np.sin(thetas)) / (EARTH_RADIUS_M * _DEG * cos_phi)
+        new_lat = np.clip(trace.lats + dlat, -90.0, 90.0)
+        new_lng = (trace.lngs + dlng + 540.0) % 360.0 - 180.0
+        return trace.with_positions(new_lat, new_lng)
+
+    def __repr__(self) -> str:
+        return f"GeoInd(epsilon={self.epsilon})"

@@ -1,0 +1,32 @@
+"""Privacy and utility metrics (paper §3.1 Eq. 7, §3.5 Eq. 8, §4.6)."""
+
+from repro.metrics.dataloss import data_loss, records_of
+from repro.metrics.distortion import (
+    DISTORTION_BUCKETS,
+    bucket_of,
+    distortion_buckets,
+    spatial_temporal_distortion,
+)
+from repro.metrics.divergence import jensen_shannon, kl_divergence, topsoe
+from repro.metrics.privacy import (
+    ReidentificationReport,
+    non_protected_users,
+    protection_ratio,
+    reidentification_rate,
+)
+
+__all__ = [
+    "spatial_temporal_distortion",
+    "distortion_buckets",
+    "bucket_of",
+    "DISTORTION_BUCKETS",
+    "data_loss",
+    "records_of",
+    "topsoe",
+    "jensen_shannon",
+    "kl_divergence",
+    "non_protected_users",
+    "protection_ratio",
+    "reidentification_rate",
+    "ReidentificationReport",
+]

@@ -1,0 +1,50 @@
+"""Data loss (Eq. 7): the share of records that must be erased.
+
+A trace that remains re-identifiable by at least one attack under every
+available protection must be deleted before publication; the data loss of
+a dataset is the record-weighted share of such traces:
+
+    data_loss(D, Λ, A) = |D_NP|_r / |D|_r
+
+where ``D_NP`` is the set of non-protected traces.  The helpers here are
+deliberately decoupled from how "non-protected" was decided, so the same
+code scores single LPPMs (Figure 3) and the full MooD pipeline
+(Figure 10), where loss is counted over erased *sub-traces*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+
+
+def records_of(traces: Iterable[Trace]) -> int:
+    """Total record count ``|·|_r`` of a collection of traces."""
+    return sum(len(t) for t in traces)
+
+
+def data_loss(dataset: MobilityDataset, non_protected_users: Set[str]) -> float:
+    """Fraction of *dataset*'s records owned by *non_protected_users*.
+
+    Returns 0.0 for an empty dataset (nothing to lose).
+    """
+    total = dataset.record_count()
+    if total == 0:
+        return 0.0
+    lost = sum(len(t) for t in dataset if t.user_id in non_protected_users)
+    return lost / total
+
+
+def record_loss(total_records: int, lost_records: int) -> float:
+    """Record-level loss ratio with validation (used by the MooD pipeline)."""
+    if total_records < 0 or lost_records < 0:
+        raise ValueError("record counts must be non-negative")
+    if lost_records > total_records:
+        raise ValueError(
+            f"lost records ({lost_records}) cannot exceed total ({total_records})"
+        )
+    if total_records == 0:
+        return 0.0
+    return lost_records / total_records

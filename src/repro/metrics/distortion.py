@@ -1,0 +1,101 @@
+"""Spatio-temporal distortion (STD), the paper's utility metric (Eq. 8).
+
+``STD(T, T')`` is the mean, over the records of the obfuscated trace
+``T'``, of the distance between each record and its *temporal projection*
+onto the original trace ``T`` — i.e. where the user actually was at that
+record's timestamp (linear interpolation between the bracketing records).
+Lower is better; the paper buckets users into <500 m, <1 km, <5 km and
+≥5 km distortion bands (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.trace import Trace
+from repro.errors import EmptyTraceError
+from repro.geo.geodesy import haversine_m_vec
+
+#: Figure 9's distortion bands: label and upper bound in metres.
+DISTORTION_BUCKETS: Tuple[Tuple[str, float], ...] = (
+    ("low(<500m)", 500.0),
+    ("medium(<1000m)", 1000.0),
+    ("high(<5000m)", 5000.0),
+    ("extreme(>=5000m)", float("inf")),
+)
+
+
+def _interpolate_many(ref: Trace, times: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised temporal projection of *times* onto *ref* (clamped)."""
+    t = ref.timestamps
+    lat = ref.lats
+    lng = ref.lngs
+    idx = np.searchsorted(t, times, side="right")
+    idx = np.clip(idx, 1, len(t) - 1) if len(t) > 1 else np.zeros_like(idx)
+    if len(t) == 1:
+        ones = np.ones_like(times)
+        return (lat[0] * ones, lng[0] * ones)
+    lo = idx - 1
+    hi = idx
+    t0 = t[lo]
+    t1 = t[hi]
+    span = np.where(t1 > t0, t1 - t0, 1.0)
+    w = np.clip((times - t0) / span, 0.0, 1.0)
+    return (lat[lo] + w * (lat[hi] - lat[lo]), lng[lo] + w * (lng[hi] - lng[lo]))
+
+
+def spatial_temporal_distortion(original: Trace, obfuscated: Trace) -> float:
+    """``STD(original, obfuscated)`` in metres (Eq. 8).
+
+    The obfuscated trace may have a different record count (TRL triples
+    records, HMC may resample) — each obfuscated record is projected onto
+    the original independently.
+    """
+    if len(original) == 0:
+        raise EmptyTraceError("original trace is empty")
+    if len(obfuscated) == 0:
+        raise EmptyTraceError("obfuscated trace is empty")
+    exp_lat, exp_lng = _interpolate_many(original, obfuscated.timestamps)
+    dists = haversine_m_vec(obfuscated.lats, obfuscated.lngs, exp_lat, exp_lng)
+    return float(dists.mean())
+
+
+def bucket_of(distortion_m: float) -> str:
+    """Figure 9 bucket label for a distortion value."""
+    if distortion_m < 0:
+        raise ValueError(f"distortion must be >= 0, got {distortion_m}")
+    for label, bound in DISTORTION_BUCKETS:
+        if distortion_m < bound:
+            return label
+    return DISTORTION_BUCKETS[-1][0]
+
+
+def distortion_buckets(distortions_m: Iterable[float]) -> Dict[str, float]:
+    """Fraction of values in each Figure 9 band (cumulative, like the paper).
+
+    The paper reports *cumulative* ratios ("53.47 % have <500 m",
+    "78 % have <1000 m"), so each band's value includes all lower bands;
+    the ``extreme`` band is the non-cumulative remainder (≥5 km).
+    """
+    values = list(distortions_m)
+    if not values:
+        return {label: 0.0 for label, _ in DISTORTION_BUCKETS}
+    arr = np.asarray(values, dtype=np.float64)
+    out: Dict[str, float] = {}
+    for label, bound in DISTORTION_BUCKETS:
+        if bound == float("inf"):
+            out[label] = float(np.mean(arr >= DISTORTION_BUCKETS[-2][1]))
+        else:
+            out[label] = float(np.mean(arr < bound))
+    return out
+
+
+def per_user_distortions(
+    originals: Sequence[Trace], obfuscateds: Sequence[Trace]
+) -> List[float]:
+    """STD per (original, obfuscated) pair; inputs must be aligned."""
+    if len(originals) != len(obfuscateds):
+        raise ValueError("originals and obfuscateds must have the same length")
+    return [spatial_temporal_distortion(o, p) for o, p in zip(originals, obfuscateds)]

@@ -1,0 +1,91 @@
+"""Privacy bookkeeping: who is re-identified, who is protected.
+
+These helpers turn raw attack outcomes into the quantities the paper
+reports: the set of non-protected users (Figures 2, 6, 7), protection
+ratios, and per-attack re-identification rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+
+@dataclass
+class ReidentificationReport:
+    """Outcome of running a set of attacks against a protected dataset.
+
+    ``outcomes[user][attack]`` is the user id each attack guessed for
+    that user's (protected) trace.
+    """
+
+    dataset_name: str
+    lppm_name: str
+    outcomes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def record(self, user_id: str, attack_name: str, guess: str) -> None:
+        """Store one attack's guess for one user."""
+        self.outcomes.setdefault(user_id, {})[attack_name] = guess
+
+    def reidentified_users(self) -> Set[str]:
+        """Users correctly re-identified by **at least one** attack (Eq. 4)."""
+        return {
+            user
+            for user, guesses in self.outcomes.items()
+            if any(guess == user for guess in guesses.values())
+        }
+
+    def protected_users(self) -> Set[str]:
+        """Users for whom **every** attack failed (Eq. 5)."""
+        return set(self.outcomes) - self.reidentified_users()
+
+    def reidentification_rate_by_attack(self) -> Dict[str, float]:
+        """Per-attack fraction of users correctly re-identified."""
+        rates: Dict[str, float] = {}
+        attacks: Set[str] = set()
+        for guesses in self.outcomes.values():
+            attacks.update(guesses)
+        for attack in sorted(attacks):
+            scored = [u for u, g in self.outcomes.items() if attack in g]
+            if not scored:
+                rates[attack] = 0.0
+                continue
+            hits = sum(1 for u in scored if self.outcomes[u][attack] == u)
+            rates[attack] = hits / len(scored)
+        return rates
+
+
+def non_protected_users(
+    truth_to_guesses: Mapping[str, Iterable[str]]
+) -> Set[str]:
+    """Users for whom any guess equals the truth.
+
+    *truth_to_guesses* maps each real user id to the guesses produced by
+    the attacks on that user's protected trace.
+    """
+    return {
+        user
+        for user, guesses in truth_to_guesses.items()
+        if any(g == user for g in guesses)
+    }
+
+
+def protection_ratio(total_users: int, non_protected: int) -> float:
+    """Share of protected users, in ``[0, 1]``."""
+    if total_users <= 0:
+        raise ValueError(f"total_users must be positive, got {total_users}")
+    if not 0 <= non_protected <= total_users:
+        raise ValueError(
+            f"non_protected ({non_protected}) must be within [0, {total_users}]"
+        )
+    return 1.0 - non_protected / total_users
+
+
+def reidentification_rate(truths: Sequence[str], guesses: Sequence[str]) -> float:
+    """Fraction of correct guesses in two aligned sequences."""
+    if len(truths) != len(guesses):
+        raise ValueError("truths and guesses must be aligned")
+    if not truths:
+        return 0.0
+    hits = sum(1 for t, g in zip(truths, guesses) if t == g)
+    return hits / len(truths)

@@ -1,0 +1,18 @@
+"""Mobility-profile substrates: POIs, Mobility Markov Chains, heatmaps.
+
+These three models (illustrated in Figure 1 of the paper) are the
+building blocks of the re-identification attacks and of the HMC LPPM.
+"""
+
+from repro.poi.clustering import POI, extract_pois
+from repro.poi.heatmap import Heatmap, build_heatmap
+from repro.poi.mmc import MarkovChain, build_mmc
+
+__all__ = [
+    "POI",
+    "extract_pois",
+    "Heatmap",
+    "build_heatmap",
+    "MarkovChain",
+    "build_mmc",
+]

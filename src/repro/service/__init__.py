@@ -1,0 +1,19 @@
+"""Deployment substrate: crowdsensing middleware simulation."""
+
+from repro.service.campaign import CampaignReport, CrowdsensingCampaign
+from repro.service.client import MobileClient, UploadChunk
+from repro.service.events import EventLoop
+from repro.service.proxy import MoodProxy, ProxyStats
+from repro.service.server import CollectionServer, ServerStats
+
+__all__ = [
+    "EventLoop",
+    "MobileClient",
+    "UploadChunk",
+    "MoodProxy",
+    "ProxyStats",
+    "CollectionServer",
+    "ServerStats",
+    "CrowdsensingCampaign",
+    "CampaignReport",
+]

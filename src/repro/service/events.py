@@ -1,0 +1,80 @@
+"""A minimal discrete-event simulation kernel.
+
+The deployment experiment (DESIGN.md D1) models a crowdsensing campaign:
+mobile clients collect GPS fixes all day and upload a daily chunk
+through a MooD proxy to a collection server.  The kernel here is a
+classic event-queue simulator — deterministic, single-threaded, with
+monotonic virtual time — sized exactly for that purpose.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventLoop:
+    """Deterministic discrete-event loop with virtual time."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule *action* at absolute virtual *time* (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._queue, _ScheduledEvent(time, next(self._counter), action, label))
+
+    def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule *action* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, action, label)
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Process events (chronologically) until the queue drains.
+
+        With *until*, stops before the first event strictly later than
+        that time (the event stays queued).  Returns the number of events
+        processed by this call.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = max(self._now, event.time)
+            event.action()
+            processed += 1
+            self._processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

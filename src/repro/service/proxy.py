@@ -1,0 +1,74 @@
+"""The MooD protection proxy.
+
+The deployment unit of the paper: a trusted middleware sitting between
+the mobile clients and the crowdsensing server.  Every daily chunk goes
+through the full MooD cascade (single LPPM → compositions → fine-grained
+splitting); only protected pieces — under fresh pseudonyms — are
+forwarded, and vulnerable leftovers are dropped on the proxy.
+
+The proxy also keeps operational counters (uploads, LPPM applications,
+erased records) so the deployment experiment can report middleware-side
+cost alongside privacy outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mood import Mood, MoodResult
+from repro.core.trace import Trace
+from repro.service.client import UploadChunk
+
+
+@dataclass
+class ProxyStats:
+    """Operational counters of the proxy."""
+
+    chunks_processed: int = 0
+    records_in: int = 0
+    records_published: int = 0
+    records_erased: int = 0
+    pieces_published: int = 0
+    #: Mechanism name -> number of chunks it ended up protecting.
+    mechanism_usage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def erasure_ratio(self) -> float:
+        """Share of incoming records the proxy had to drop."""
+        if self.records_in == 0:
+            return 0.0
+        return self.records_erased / self.records_in
+
+
+class MoodProxy:
+    """Applies MooD to each uploaded chunk and pseudonymises the output."""
+
+    def __init__(self, mood: Mood) -> None:
+        self.mood = mood
+        self.stats = ProxyStats()
+        self._piece_counter: Dict[str, int] = {}
+
+    def process(self, chunk: UploadChunk) -> List[Trace]:
+        """Protect one daily chunk; returns the publishable sub-traces.
+
+        Pseudonyms are unique across the whole campaign (``user#k`` with
+        a per-user running counter), so two days of the same user never
+        share a published id.
+        """
+        result = self.mood.protect(chunk.trace)
+        self.stats.chunks_processed += 1
+        self.stats.records_in += chunk.records
+        self.stats.records_erased += result.erased_records
+        published: List[Trace] = []
+        for piece in result.pieces:
+            k = self._piece_counter.get(chunk.user_id, 0)
+            self._piece_counter[chunk.user_id] = k + 1
+            pseudonym = f"{chunk.user_id}#{k}"
+            published.append(piece.published.with_user(pseudonym))
+            self.stats.pieces_published += 1
+            self.stats.records_published += len(piece.published)
+            self.stats.mechanism_usage[piece.mechanism] = (
+                self.stats.mechanism_usage.get(piece.mechanism, 0) + 1
+            )
+        return published

@@ -1,0 +1,30 @@
+"""Shared type aliases used across the library.
+
+Keeping aliases in one module documents the core vocabulary of the
+system: user ids, timestamps (POSIX seconds), and latitude/longitude
+pairs in decimal degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+#: Identifier of a user.  Real datasets use opaque strings; the synthetic
+#: generators produce ids such as ``"mdc_017"``.  MooD's fine-grained stage
+#: mints fresh pseudonyms (``"mdc_017#3"``) for published sub-traces.
+UserId = str
+
+#: POSIX timestamp in seconds.  Fractional seconds are allowed.
+Timestamp = float
+
+#: Latitude in decimal degrees, in ``[-90, 90]``.
+Latitude = float
+
+#: Longitude in decimal degrees, in ``[-180, 180]``.
+Longitude = float
+
+#: A ``(lat, lng)`` pair in decimal degrees.
+LatLng = Tuple[Latitude, Longitude]
+
+#: Anything acceptable as a random seed by :func:`repro.rng.make_rng`.
+SeedLike = Union[int, None, "numpy.random.Generator"]  # noqa: F821

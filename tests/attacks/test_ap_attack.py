@@ -1,0 +1,111 @@
+"""Tests for repro.attacks.ap_attack — heatmap matching with Topsoe."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ap_attack import ApAttack, _topsoe_rows
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.metrics.divergence import topsoe
+
+
+def cloud(user, lat, lng, n=80, spread=0.004, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        user,
+        np.arange(n) * 300.0,
+        lat + rng.normal(0, spread, n),
+        lng + rng.normal(0, spread, n),
+    )
+
+
+@pytest.fixture
+def background():
+    ds = MobilityDataset("bg")
+    ds.add(cloud("alice", 45.00, 4.00, seed=1))
+    ds.add(cloud("bob", 45.10, 4.10, seed=2))
+    ds.add(cloud("carol", 45.20, 4.20, seed=3))
+    return ds
+
+
+class TestTopsoeRows:
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0.0, 1.0, size=(4, 6))
+        p /= p.sum(axis=1, keepdims=True)
+        q = rng.uniform(0.0, 1.0, size=6)
+        q /= q.sum()
+        fast = _topsoe_rows(p, q)
+        for i in range(4):
+            assert fast[i] == pytest.approx(topsoe(p[i], q), rel=1e-9)
+
+    def test_identical_rows_zero(self):
+        q = np.array([0.25, 0.25, 0.5])
+        assert _topsoe_rows(q[None, :], q)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_support_bound(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([0.0, 1.0])
+        assert _topsoe_rows(p, q)[0] == pytest.approx(2 * np.log(2), rel=1e-9)
+
+    def test_handles_zeros_without_nan(self):
+        p = np.array([[0.5, 0.5, 0.0]])
+        q = np.array([0.0, 0.5, 0.5])
+        assert np.isfinite(_topsoe_rows(p, q)[0])
+
+
+class TestApAttack:
+    def test_reidentifies_same_neighbourhood(self, background):
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        probe = cloud("alice", 45.00, 4.00, seed=42)
+        assert attack.reidentify(probe) == "alice"
+
+    def test_rank_complete_and_sorted(self, background):
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        ranked = attack.rank(cloud("bob", 45.10, 4.10, seed=9))
+        assert len(ranked) == 3
+        distances = [d for _, d in ranked]
+        assert distances == sorted(distances)
+        assert ranked[0][0] == "bob"
+
+    def test_probe_with_novel_cells(self, background):
+        # A trace visiting cells never seen in training must still score.
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        probe = cloud("alice", 45.00, 4.00, seed=5).concat(
+            cloud("alice", 48.0, 8.0, n=20, seed=6)
+        )
+        ranked = attack.rank(probe)
+        assert len(ranked) == 3
+        assert all(np.isfinite(d) for _, d in ranked)
+
+    def test_completely_foreign_probe_maximal_divergence(self, background):
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        probe = cloud("mars", 50.0, 10.0, seed=7)
+        ranked = attack.rank(probe)
+        # Disjoint support: every divergence at the Topsoe bound.
+        for _, d in ranked:
+            assert d == pytest.approx(2 * np.log(2), rel=1e-6)
+
+    def test_empty_trace(self, background):
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        assert attack.rank(Trace.empty("x")) == []
+
+    def test_profile_matrix_rows_normalised(self, background):
+        attack = ApAttack(ref_lat=45.0).fit(background)
+        matrix = attack.profile_matrix()
+        assert matrix.shape[0] == 3
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_cell_size_matters(self, background):
+        # With 100 km cells everyone collapses into one cell: the attack
+        # cannot distinguish users any more.
+        coarse = ApAttack(cell_size_m=100_000.0, ref_lat=45.0).fit(background)
+        ranked = coarse.rank(cloud("alice", 45.00, 4.00, seed=11))
+        distances = [d for _, d in ranked]
+        assert max(distances) - min(distances) < 1e-9
+
+    def test_deterministic(self, background):
+        a1 = ApAttack(ref_lat=45.0).fit(background)
+        a2 = ApAttack(ref_lat=45.0).fit(background)
+        probe = cloud("carol", 45.20, 4.20, seed=13)
+        assert a1.rank(probe) == a2.rank(probe)

@@ -1,0 +1,103 @@
+"""Tests for repro.attacks.pit_attack — MMC matching."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import UNKNOWN_USER
+from repro.attacks.pit_attack import PitAttack, stats_prox_distance
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace, merge_traces
+from repro.poi.mmc import build_mmc
+
+from tests.conftest import dwell_trace
+
+
+def commuter(user, home, work, days=3, seed=0):
+    pieces = []
+    for day in range(days):
+        t0 = day * 86_400.0
+        pieces.append(dwell_trace(user, home[0], home[1], t0=t0, hours=4.0, seed=seed + day))
+        pieces.append(
+            dwell_trace(user, work[0], work[1], t0=t0 + 6 * 3600, hours=4.0, seed=seed + day + 50)
+        )
+    return merge_traces(user, pieces)
+
+
+@pytest.fixture
+def background():
+    ds = MobilityDataset("bg")
+    ds.add(commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=1))
+    ds.add(commuter("bob", (45.10, 4.10), (45.13, 4.13), seed=2))
+    return ds
+
+
+class TestStatsProxDistance:
+    def test_same_chain_zero(self):
+        mmc = build_mmc(commuter("u", (45.0, 4.0), (45.03, 4.03)))
+        assert stats_prox_distance(mmc, mmc) == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_chain_infinite(self):
+        full = build_mmc(commuter("u", (45.0, 4.0), (45.03, 4.03)))
+        empty = build_mmc(Trace.empty("v"))
+        assert stats_prox_distance(empty, full) == math.inf
+        assert stats_prox_distance(full, empty) == math.inf
+
+    def test_distance_grows_with_separation(self):
+        anon = build_mmc(commuter("u", (45.0, 4.0), (45.03, 4.03)))
+        near = build_mmc(commuter("v", (45.01, 4.01), (45.04, 4.04)))
+        far = build_mmc(commuter("w", (45.5, 4.5), (45.53, 4.53)))
+        assert stats_prox_distance(anon, near) < stats_prox_distance(anon, far)
+
+    def test_stationary_term_modulates(self):
+        # Same places, different time budget: the stationary L1 term must
+        # increase the distance over a perfect-stationary match.
+        home, work = (45.0, 4.0), (45.03, 4.03)
+        balanced = build_mmc(commuter("u", home, work))
+        # Skewed chain: overwhelming home presence.
+        pieces = [dwell_trace("v", *home, t0=0.0, hours=20.0)]
+        pieces.append(dwell_trace("v", *work, t0=22 * 3600.0, hours=1.5))
+        pieces.append(dwell_trace("v", *home, t0=30 * 3600.0, hours=20.0))
+        skewed = build_mmc(merge_traces("v", pieces))
+        d_self = stats_prox_distance(balanced, balanced)
+        d_skew = stats_prox_distance(balanced, skewed)
+        assert d_skew >= d_self
+
+
+class TestPitAttack:
+    def test_reidentifies_returning_user(self, background):
+        attack = PitAttack().fit(background)
+        probe = commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=42)
+        assert attack.reidentify(probe) == "alice"
+
+    def test_unprofilable_trace_unknown(self, background):
+        attack = PitAttack().fit(background)
+        n = 50
+        moving = Trace(
+            "x", np.arange(n) * 60.0, 45.0 + np.arange(n) * 0.003, np.full(n, 4.0)
+        )
+        assert attack.reidentify(moving) == UNKNOWN_USER
+
+    def test_rank_order(self, background):
+        attack = PitAttack().fit(background)
+        probe = commuter("bob", (45.10, 4.10), (45.13, 4.13), seed=7)
+        ranked = attack.rank(probe)
+        assert ranked[0][0] == "bob"
+        assert ranked[0][1] < ranked[1][1]
+
+    def test_profile_of_known_user(self, background):
+        attack = PitAttack().fit(background)
+        assert len(attack.profile_of("alice")) >= 1
+        with pytest.raises(KeyError):
+            attack.profile_of("nobody")
+
+    def test_users_without_pois_not_profiled(self):
+        ds = MobilityDataset("bg")
+        ds.add(commuter("alice", (45.0, 4.0), (45.03, 4.03)))
+        n = 50
+        ds.add(Trace("ghost", np.arange(n) * 60.0, 45.0 + np.arange(n) * 0.003, np.full(n, 4.0)))
+        attack = PitAttack().fit(ds)
+        probe = commuter("alice", (45.0, 4.0), (45.03, 4.03), seed=5)
+        ranked = attack.rank(probe)
+        assert all(user != "ghost" for user, _ in ranked)

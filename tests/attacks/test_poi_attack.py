@@ -1,0 +1,109 @@
+"""Tests for repro.attacks.poi_attack."""
+
+import math
+
+import pytest
+
+from repro.attacks.base import UNKNOWN_USER
+from repro.attacks.poi_attack import PoiAttack, poi_set_distance
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import merge_traces
+from repro.poi.clustering import POI
+
+from tests.conftest import dwell_trace, make_trace
+
+
+def commuter(user, home, work, days=2, seed=0):
+    pieces = []
+    for day in range(days):
+        t0 = day * 86_400.0
+        pieces.append(dwell_trace(user, home[0], home[1], t0=t0, hours=3.0, seed=seed + day))
+        pieces.append(
+            dwell_trace(user, work[0], work[1], t0=t0 + 5 * 3600, hours=3.0, seed=seed + day + 50)
+        )
+    return merge_traces(user, pieces)
+
+
+@pytest.fixture
+def background():
+    ds = MobilityDataset("bg")
+    ds.add(commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=1))
+    ds.add(commuter("bob", (45.10, 4.10), (45.13, 4.13), seed=2))
+    ds.add(commuter("carol", (45.20, 4.20), (45.23, 4.23), seed=3))
+    return ds
+
+
+class TestPoiSetDistance:
+    def _poi(self, lat, lng, weight=10):
+        return POI(lat, lng, weight, 3600.0, 0.0, 3600.0)
+
+    def test_identical_sets_zero(self):
+        a = [self._poi(45.0, 4.0), self._poi(45.1, 4.1)]
+        assert poi_set_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_sets_infinite(self):
+        assert poi_set_distance([], [self._poi(45.0, 4.0)]) == math.inf
+        assert poi_set_distance([self._poi(45.0, 4.0)], []) == math.inf
+
+    def test_symmetry(self):
+        a = [self._poi(45.0, 4.0)]
+        b = [self._poi(45.1, 4.1), self._poi(45.2, 4.2)]
+        assert poi_set_distance(a, b) == pytest.approx(poi_set_distance(b, a))
+
+    def test_weighting_matters(self):
+        # A heavy POI far away should dominate the distance.
+        near = self._poi(45.0, 4.0, weight=1)
+        far_heavy = self._poi(46.0, 4.0, weight=100)
+        ref = [self._poi(45.0, 4.0, weight=1)]
+        d_light = poi_set_distance([near, self._poi(46.0, 4.0, weight=1)], ref)
+        d_heavy = poi_set_distance([near, far_heavy], ref)
+        assert d_heavy > d_light
+
+
+class TestPoiAttack:
+    def test_reidentifies_returning_users(self, background):
+        attack = PoiAttack().fit(background)
+        # Same anchors, new noise: each user revisits home/work.
+        probe = commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=77)
+        assert attack.reidentify(probe) == "alice"
+        probe = commuter("bob", (45.10, 4.10), (45.13, 4.13), seed=88)
+        assert attack.reidentify(probe) == "bob"
+
+    def test_poi_free_trace_unknown(self, background):
+        attack = PoiAttack().fit(background)
+        # Constant movement: no POIs, no hypothesis.
+        moving = make_trace("x", [(45.0 + i * 0.002, 4.0) for i in range(50)], dt=60.0)
+        assert attack.reidentify(moving) == UNKNOWN_USER
+
+    def test_rank_sorted_ascending(self, background):
+        attack = PoiAttack().fit(background)
+        probe = commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=9)
+        ranked = attack.rank(probe)
+        distances = [d for _, d in ranked]
+        assert distances == sorted(distances)
+        assert ranked[0][0] == "alice"
+
+    def test_profile_of(self, background):
+        attack = PoiAttack().fit(background)
+        profile = attack.profile_of("alice")
+        assert 1 <= len(profile) <= 20
+        assert attack.profile_of("nobody") == []
+
+    def test_max_pois_cap(self, background):
+        attack = PoiAttack(max_pois=1).fit(background)
+        assert len(attack.profile_of("alice")) == 1
+
+    def test_stranger_matched_to_nearest(self, background):
+        # A user absent from training is (wrongly) matched to someone —
+        # the guess must never equal the stranger's own id.
+        attack = PoiAttack().fit(background)
+        probe = commuter("stranger", (45.5, 4.5), (45.53, 4.53))
+        assert attack.reidentify(probe) in {"alice", "bob", "carol"}
+
+    def test_refit_replaces_profiles(self, background):
+        attack = PoiAttack().fit(background)
+        smaller = MobilityDataset("bg2")
+        smaller.add(commuter("dave", (45.4, 4.4), (45.43, 4.43)))
+        attack.fit(smaller)
+        probe = commuter("alice", (45.00, 4.00), (45.03, 4.03), seed=5)
+        assert attack.reidentify(probe) == "dave"  # only candidate left

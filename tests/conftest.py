@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic corpora, fitted attacks) are session
+scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.experiments.harness import ExperimentContext, prepare_context
+
+HOUR = 3600.0
+DAY = 86_400.0
+
+
+def make_trace(user_id="u", points=None, t0=0.0, dt=60.0):
+    """Build a trace from ``(lat, lng)`` pairs spaced *dt* seconds apart."""
+    if points is None:
+        points = [(45.0, 4.0), (45.001, 4.001), (45.002, 4.002)]
+    ts = [t0 + i * dt for i in range(len(points))]
+    return Trace(user_id, ts, [p[0] for p in points], [p[1] for p in points])
+
+
+def dwell_trace(user_id="u", lat=45.0, lng=4.0, t0=0.0, hours=2.0, period_s=300.0,
+                jitter_m=5.0, seed=0):
+    """A stationary dwell at one place — yields exactly one POI."""
+    rng = np.random.default_rng(seed)
+    n = max(2, int(hours * HOUR / period_s))
+    ts = t0 + np.arange(n) * period_s
+    m = 111_320.0
+    lats = lat + rng.normal(0, jitter_m / m, size=n)
+    lngs = lng + rng.normal(0, jitter_m / (m * np.cos(np.radians(lat))), size=n)
+    return Trace(user_id, ts, lats, lngs)
+
+
+@pytest.fixture
+def trace3():
+    return make_trace()
+
+
+@pytest.fixture
+def empty_trace():
+    return Trace.empty("nobody")
+
+
+@pytest.fixture
+def small_dataset():
+    ds = MobilityDataset("small")
+    ds.add(make_trace("a", [(45.0, 4.0), (45.01, 4.01)]))
+    ds.add(make_trace("b", [(45.1, 4.1), (45.11, 4.11), (45.12, 4.12)]))
+    ds.add(make_trace("c", [(45.2, 4.2)]))
+    return ds
+
+
+@pytest.fixture(scope="session")
+def micro_ctx() -> ExperimentContext:
+    """A tiny but fully wired experiment context (privamov, 10 users, 8 days)."""
+    return prepare_context("privamov", seed=123, n_users=10, days=8)
+
+
+@pytest.fixture(scope="session")
+def micro_cab_ctx() -> ExperimentContext:
+    """A tiny cab-fleet context for Cabspotting-style tests."""
+    return prepare_context("cabspotting", seed=123, n_users=8, days=6)
+
+
+# Re-export helpers for test modules.
+@pytest.fixture
+def trace_factory():
+    return make_trace
+
+
+@pytest.fixture
+def dwell_factory():
+    return dwell_trace

@@ -1,0 +1,138 @@
+"""Tests for repro.core.composition — ordered LPPM chains."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import (
+    ComposedLPPM,
+    composition_count,
+    enumerate_compositions,
+)
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.lppm.base import LPPM
+from repro.lppm.geoi import GeoInd
+from repro.lppm.identity import Identity
+
+
+class _Shift(LPPM):
+    """Deterministic test LPPM: shifts latitude by a constant."""
+
+    def __init__(self, name, dlat):
+        self.name = name
+        self.dlat = dlat
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + self.dlat, trace.lngs)
+
+
+class _Scale(LPPM):
+    """Deterministic test LPPM: scales latitude (order-sensitive vs shift)."""
+
+    name = "scale"
+
+    def __init__(self, factor=2.0):
+        self.factor = factor
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats * self.factor, trace.lngs)
+
+
+def trace():
+    return Trace("u", [0.0, 60.0], [10.0, 10.0], [4.0, 4.0])
+
+
+class TestCompositionCount:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 0), (1, 1), (2, 4), (3, 15), (4, 64), (5, 325)],
+    )
+    def test_formula(self, n, expected):
+        # |C| = Σ_{i=1..n} n!/(n−i)! — paper §3.1 gives 15 for n = 3.
+        assert composition_count(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            composition_count(-1)
+
+    def test_matches_enumeration(self):
+        lppms = [_Shift("a", 1), _Shift("b", 2), _Shift("c", 3)]
+        assert len(enumerate_compositions(lppms)) == composition_count(3)
+
+
+class TestEnumeration:
+    def test_min_length_2_excludes_singles(self):
+        lppms = [_Shift("a", 1), _Shift("b", 2), _Shift("c", 3)]
+        chains = enumerate_compositions(lppms, min_length=2)
+        assert len(chains) == 15 - 3
+        assert all(len(c) >= 2 for c in chains)
+
+    def test_max_length_cap(self):
+        lppms = [_Shift("a", 1), _Shift("b", 2), _Shift("c", 3)]
+        chains = enumerate_compositions(lppms, max_length=2)
+        assert len(chains) == 3 + 6
+
+    def test_deterministic_order(self):
+        lppms = [_Shift("a", 1), _Shift("b", 2)]
+        names1 = [c.name for c in enumerate_compositions(lppms)]
+        names2 = [c.name for c in enumerate_compositions(lppms)]
+        assert names1 == names2 == ["a", "b", "a+b", "b+a"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_compositions([_Shift("a", 1), _Shift("a", 2)])
+
+    def test_no_repeated_mechanism_in_chain(self):
+        lppms = [_Shift("a", 1), _Shift("b", 2), _Shift("c", 3)]
+        for chain in enumerate_compositions(lppms):
+            names = chain.name.split("+")
+            assert len(names) == len(set(names))
+
+
+class TestComposedLPPM:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComposedLPPM([])
+
+    def test_repeated_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComposedLPPM([_Shift("a", 1), _Shift("a", 2)])
+
+    def test_single_stage_is_that_lppm(self):
+        c = ComposedLPPM([_Shift("a", 1.0)])
+        out = c.apply(trace())
+        assert out.lats[0] == pytest.approx(11.0)
+
+    def test_application_order_is_left_to_right(self):
+        # C([f, g]) must compute g(f(x)) (Eq. 3: L_ip ∘ … ∘ L_i1).
+        shift = _Shift("shift", 1.0)
+        scale = _Scale(2.0)
+        shift_then_scale = ComposedLPPM([shift, scale]).apply(trace())
+        scale_then_shift = ComposedLPPM([scale, shift]).apply(trace())
+        assert shift_then_scale.lats[0] == pytest.approx((10.0 + 1.0) * 2.0)
+        assert scale_then_shift.lats[0] == pytest.approx(10.0 * 2.0 + 1.0)
+
+    def test_order_matters(self):
+        a = ComposedLPPM([_Shift("shift", 1.0), _Scale(2.0)]).apply(trace())
+        b = ComposedLPPM([_Scale(2.0), _Shift("shift", 1.0)]).apply(trace())
+        assert not np.allclose(a.lats, b.lats)
+
+    def test_name_joins_stages(self):
+        c = ComposedLPPM([_Shift("x", 1), _Shift("y", 2)])
+        assert c.name == "x+y"
+
+    def test_len(self):
+        assert len(ComposedLPPM([_Shift("x", 1), _Shift("y", 2)])) == 2
+
+    def test_rng_threaded_through_stages(self):
+        # Same seed -> identical output even with stochastic stages.
+        c = ComposedLPPM([GeoInd(epsilon=0.01), _Scale(1.0)])
+        t = Trace("u", [0.0, 60.0], [45.0, 45.0], [4.0, 4.0])
+        out1 = c.apply(t, rng=np.random.default_rng(5))
+        out2 = c.apply(t, rng=np.random.default_rng(5))
+        assert np.allclose(out1.lats, out2.lats)
+
+    def test_identity_is_neutral(self):
+        c = ComposedLPPM([Identity(), _Shift("s", 1.0)])
+        out = c.apply(trace())
+        assert out.lats[0] == pytest.approx(11.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.core.dataset."""
+
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.errors import DuplicateUserError, UnknownUserError
+
+from tests.conftest import make_trace
+
+
+class TestConstruction:
+    def test_empty(self):
+        ds = MobilityDataset("d")
+        assert len(ds) == 0
+        assert ds.record_count() == 0
+
+    def test_add_and_len(self, small_dataset):
+        assert len(small_dataset) == 3
+
+    def test_duplicate_user_rejected(self, small_dataset):
+        with pytest.raises(DuplicateUserError):
+            small_dataset.add(make_trace("a"))
+
+    def test_init_from_iterable(self):
+        ds = MobilityDataset("d", [make_trace("x"), make_trace("y")])
+        assert sorted(ds.user_ids()) == ["x", "y"]
+
+
+class TestAccess:
+    def test_getitem(self, small_dataset):
+        assert small_dataset["a"].user_id == "a"
+
+    def test_unknown_user(self, small_dataset):
+        with pytest.raises(UnknownUserError):
+            small_dataset["zzz"]
+
+    def test_get_default(self, small_dataset):
+        assert small_dataset.get("zzz") is None
+        assert small_dataset.get("a").user_id == "a"
+
+    def test_contains(self, small_dataset):
+        assert "a" in small_dataset
+        assert "zzz" not in small_dataset
+
+    def test_user_ids_sorted(self, small_dataset):
+        assert small_dataset.user_ids() == ["a", "b", "c"]
+
+    def test_traces_sorted_by_user(self, small_dataset):
+        users = [t.user_id for t in small_dataset.traces()]
+        assert users == ["a", "b", "c"]
+
+    def test_iteration(self, small_dataset):
+        assert len(list(small_dataset)) == 3
+
+
+class TestStatistics:
+    def test_record_count(self, small_dataset):
+        assert small_dataset.record_count() == 2 + 3 + 1
+
+    def test_time_span(self):
+        ds = MobilityDataset("d")
+        ds.add(make_trace("a", [(45.0, 4.0)], t0=100.0))
+        ds.add(make_trace("b", [(45.0, 4.0), (45.0, 4.0)], t0=0.0, dt=500.0))
+        assert ds.time_span() == (0.0, 500.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            MobilityDataset("d").time_span()
+
+
+class TestTransformations:
+    def test_map_traces(self, small_dataset):
+        shifted = small_dataset.map_traces(lambda t: t.with_user(t.user_id.upper()))
+        assert shifted.user_ids() == ["A", "B", "C"]
+        assert len(small_dataset) == 3  # original untouched
+
+    def test_filter_users(self, small_dataset):
+        big = small_dataset.filter_users(lambda t: len(t) >= 2)
+        assert big.user_ids() == ["a", "b"]
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset(["a", "c"])
+        assert sub.user_ids() == ["a", "c"]
+
+    def test_subset_unknown_raises(self, small_dataset):
+        with pytest.raises(UnknownUserError):
+            small_dataset.subset(["nope"])
+
+    def test_without_users(self, small_dataset):
+        rest = small_dataset.without_users(["b"])
+        assert rest.user_ids() == ["a", "c"]
+
+    def test_slice_time_drops_empty(self):
+        ds = MobilityDataset("d")
+        ds.add(make_trace("early", [(45.0, 4.0)], t0=0.0))
+        ds.add(make_trace("late", [(45.0, 4.0)], t0=1000.0))
+        window = ds.slice_time(500.0, 2000.0)
+        assert window.user_ids() == ["late"]
+
+    def test_transformation_preserves_name_by_default(self, small_dataset):
+        assert small_dataset.filter_users(lambda t: True).name == "small"
+        assert small_dataset.filter_users(lambda t: True, name="x").name == "x"

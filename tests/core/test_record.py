@@ -1,0 +1,68 @@
+"""Tests for repro.core.record."""
+
+import pytest
+
+from repro.core.record import Record
+from repro.errors import InvalidRecordError
+
+
+class TestRecordValidation:
+    def test_valid(self):
+        r = Record(100.0, 45.0, 4.0)
+        assert (r.t, r.lat, r.lng) == (100.0, 45.0, 4.0)
+
+    @pytest.mark.parametrize("lat", [-90.0, 0.0, 90.0])
+    def test_latitude_bounds_inclusive(self, lat):
+        Record(0.0, lat, 0.0)
+
+    @pytest.mark.parametrize("lat", [-90.001, 91.0, 1000.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(InvalidRecordError):
+            Record(0.0, lat, 0.0)
+
+    @pytest.mark.parametrize("lng", [-180.0, 0.0, 180.0])
+    def test_longitude_bounds_inclusive(self, lng):
+        Record(0.0, 0.0, lng)
+
+    @pytest.mark.parametrize("lng", [-180.5, 181.0])
+    def test_longitude_out_of_range(self, lng):
+        with pytest.raises(InvalidRecordError):
+            Record(0.0, 0.0, lng)
+
+    @pytest.mark.parametrize("t", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_timestamp(self, t):
+        with pytest.raises(InvalidRecordError):
+            Record(t, 0.0, 0.0)
+
+    def test_negative_timestamp_allowed(self):
+        # Pre-epoch timestamps are legal (some corpora use relative time).
+        Record(-1.0, 0.0, 0.0)
+
+
+class TestRecordBehaviour:
+    def test_ordering_is_chronological(self):
+        records = [Record(3.0, 0, 0), Record(1.0, 10, 10), Record(2.0, -5, 5)]
+        assert [r.t for r in sorted(records)] == [1.0, 2.0, 3.0]
+
+    def test_immutability(self):
+        r = Record(0.0, 45.0, 4.0)
+        with pytest.raises(AttributeError):
+            r.lat = 50.0
+
+    def test_shifted(self):
+        r = Record(10.0, 45.0, 4.0).shifted(5.0)
+        assert r.t == 15.0
+        assert (r.lat, r.lng) == (45.0, 4.0)
+
+    def test_moved(self):
+        r = Record(10.0, 45.0, 4.0).moved(46.0, 5.0)
+        assert r.t == 10.0
+        assert (r.lat, r.lng) == (46.0, 5.0)
+
+    def test_moved_validates(self):
+        with pytest.raises(InvalidRecordError):
+            Record(0.0, 45.0, 4.0).moved(95.0, 4.0)
+
+    def test_equality(self):
+        assert Record(1.0, 2.0, 3.0) == Record(1.0, 2.0, 3.0)
+        assert Record(1.0, 2.0, 3.0) != Record(1.0, 2.0, 3.5)

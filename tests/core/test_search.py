@@ -1,0 +1,162 @@
+"""Tests for repro.core.search — composition-search strategies (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mood import Mood
+from repro.core.search import ExhaustiveSearch, GreedySuccessSearch
+from repro.core.trace import Trace
+from repro.lppm.base import LPPM
+
+
+class _Shift(LPPM):
+    def __init__(self, name, dlat):
+        self.name = name
+        self.dlat = dlat
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + self.dlat, trace.lngs)
+
+
+class _ThresholdAttack:
+    name = "atk"
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def reidentify(self, trace):
+        if float(np.mean(trace.lats)) - 45.0 >= self.threshold:
+            return "<confused>"
+        return trace.user_id
+
+
+def trace(user="u", n=30):
+    return Trace(user, np.arange(n) * 600.0, np.full(n, 45.0), np.full(n, 4.0))
+
+
+class TestExhaustiveSearch:
+    def test_order_preserved(self):
+        assert ExhaustiveSearch().order(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_no_early_stop(self):
+        assert not ExhaustiveSearch().stop_at_first_success
+
+
+class TestGreedySuccessSearch:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            GreedySuccessSearch(alpha=0.0)
+
+    def test_unseen_start_at_half(self):
+        s = GreedySuccessSearch()
+        assert s.success_rate("new") == pytest.approx(0.5)
+
+    def test_successful_mechanism_rises(self):
+        s = GreedySuccessSearch()
+        for _ in range(5):
+            s.record_outcome("good", True)
+            s.record_outcome("bad", False)
+        assert s.order(["bad", "good"]) == ["good", "bad"]
+        assert s.success_rate("good") > 0.5 > s.success_rate("bad")
+
+    def test_stable_tiebreak(self):
+        s = GreedySuccessSearch()
+        assert s.order(["x", "y", "z"]) == ["x", "y", "z"]
+
+    def test_snapshot(self):
+        s = GreedySuccessSearch()
+        s.record_outcome("a", True)
+        snap = s.snapshot()
+        assert set(snap) == {"a"}
+        assert snap["a"] > 0.5
+
+
+class TestMoodWithStrategy:
+    def _mood(self, strategy):
+        return Mood(
+            [_Shift("weak", 0.05), _Shift("strong", 0.3)],
+            [_ThresholdAttack(0.2)],
+            search_strategy=strategy,
+            seed=1,
+        )
+
+    def test_greedy_protects_same_users(self):
+        exhaustive = self._mood(None).protect(trace())
+        greedy = self._mood(GreedySuccessSearch()).protect(trace())
+        assert exhaustive.fully_protected == greedy.fully_protected
+
+    def test_greedy_reduces_evaluations(self):
+        # After warm-up on several users the greedy strategy should need
+        # fewer candidate evaluations than the exhaustive baseline.
+        exhaustive = self._mood(None)
+        greedy = self._mood(GreedySuccessSearch())
+        for i in range(6):
+            exhaustive.protect(trace(f"u{i}"))
+            greedy.protect(trace(f"u{i}"))
+        assert greedy.evaluations < exhaustive.evaluations
+
+    def test_greedy_learns_winner_first(self):
+        strategy = GreedySuccessSearch()
+        mood = self._mood(strategy)
+        for i in range(4):
+            mood.protect(trace(f"u{i}"))
+        # 'strong' (and compositions containing it) protect; they must now
+        # rank above the pure weak mechanism.
+        assert strategy.success_rate("strong") > strategy.success_rate("weak")
+
+    def test_evaluation_counter_monotone(self):
+        mood = self._mood(None)
+        before = mood.evaluations
+        mood.protect(trace())
+        assert mood.evaluations > before
+
+
+class TestSplitPolicies:
+    def _mood(self, policy):
+        # An attack that always re-identifies forces full recursion.
+        class _Always:
+            name = "always"
+
+            def reidentify(self, t):
+                return t.user_id
+
+        return Mood(
+            [_Shift("noop", 0.0)], [_Always()],
+            delta_s=4 * 3600.0, split_policy=policy,
+        )
+
+    def _gappy_trace(self):
+        a = np.arange(40) * 600.0                     # ~6.7 h
+        b = 12 * 3600.0 + np.arange(40) * 600.0       # after a 5 h hole
+        ts = np.concatenate([a, b])
+        return Trace("u", ts, np.full(80, 45.0), np.full(80, 4.0))
+
+    def test_invalid_policy(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Mood([_Shift("s", 0.1)], [_ThresholdAttack(0.05)], split_policy="zigzag")
+
+    @pytest.mark.parametrize("policy", ["half", "gap", "inter-poi"])
+    def test_policies_are_lossless(self, policy):
+        mood = self._mood(policy)
+        t = self._gappy_trace()
+        result = mood.protect(t)
+        assert result.erased_records + result.published_records == len(t)
+
+    def test_gap_policy_cuts_at_hole(self):
+        from repro.core.mood import _split_at_largest_gap
+
+        left, right = _split_at_largest_gap(self._gappy_trace())
+        assert len(left) == 40
+        assert len(right) == 40
+
+    def test_inter_poi_fallback_to_half(self):
+        from repro.core.mood import _split_between_pois
+
+        # No POIs in a fast-moving trace: behaves like halving.
+        n = 60
+        t = Trace("u", np.arange(n) * 60.0, 45.0 + np.arange(n) * 0.003, np.full(n, 4.0))
+        left, right = _split_between_pois(t)
+        assert len(left) + len(right) == n
+        assert abs(len(left) - len(right)) <= n // 3

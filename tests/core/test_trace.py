@@ -1,0 +1,151 @@
+"""Tests for repro.core.trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Record
+from repro.core.trace import Trace, merge_traces
+from repro.errors import EmptyTraceError, UnsortedTraceError
+
+
+def simple_trace(user="u"):
+    return Trace(user, [0.0, 60.0, 120.0], [45.0, 45.1, 45.2], [4.0, 4.1, 4.2])
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = simple_trace()
+        assert len(t) == 3
+        assert t.user_id == "u"
+
+    def test_empty(self):
+        t = Trace.empty("u")
+        assert len(t) == 0
+        assert not t
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(UnsortedTraceError):
+            Trace("u", [10.0, 5.0], [45.0, 45.0], [4.0, 4.0])
+
+    def test_equal_timestamps_allowed(self):
+        Trace("u", [5.0, 5.0], [45.0, 45.1], [4.0, 4.1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("u", [0.0, 1.0], [45.0], [4.0, 4.1])
+
+    def test_from_records_sorts(self):
+        t = Trace.from_records(
+            "u", [Record(10.0, 45.1, 4.1), Record(0.0, 45.0, 4.0)]
+        )
+        assert t.timestamps[0] == 0.0
+        assert t.lats[0] == 45.0
+
+    def test_arrays_read_only(self):
+        t = simple_trace()
+        with pytest.raises(ValueError):
+            t.timestamps[0] = 99.0
+
+
+class TestContainerProtocol:
+    def test_iter_yields_records(self):
+        records = list(simple_trace())
+        assert all(isinstance(r, Record) for r in records)
+        assert records[1].t == 60.0
+
+    def test_getitem(self):
+        t = simple_trace()
+        assert t[2].lat == pytest.approx(45.2)
+
+    def test_bool(self):
+        assert simple_trace()
+        assert not Trace.empty("u")
+
+    def test_equality(self):
+        assert simple_trace() == simple_trace()
+        assert simple_trace("a") != simple_trace("b")
+
+    def test_repr(self):
+        assert "u" in repr(simple_trace())
+        assert "empty" in repr(Trace.empty("u"))
+
+
+class TestTemporalAccessors:
+    def test_times(self):
+        t = simple_trace()
+        assert t.start_time() == 0.0
+        assert t.end_time() == 120.0
+        assert t.duration_s() == 120.0
+
+    def test_duration_short_traces(self):
+        assert Trace("u", [5.0], [45.0], [4.0]).duration_s() == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyTraceError):
+            Trace.empty("u").start_time()
+        with pytest.raises(EmptyTraceError):
+            Trace.empty("u").bounding_box()
+
+
+class TestTransformations:
+    def test_with_user(self):
+        renamed = simple_trace().with_user("v")
+        assert renamed.user_id == "v"
+        assert np.array_equal(renamed.timestamps, simple_trace().timestamps)
+
+    def test_with_positions(self):
+        t = simple_trace()
+        moved = t.with_positions(t.lats + 0.1, t.lngs)
+        assert moved.lats[0] == pytest.approx(45.1)
+        assert np.array_equal(moved.timestamps, t.timestamps)
+
+    def test_slice_time_half_open(self):
+        t = simple_trace()
+        sub = t.slice_time(0.0, 120.0)
+        assert len(sub) == 2  # 120.0 excluded
+
+    def test_slice_time_empty_window(self):
+        assert len(simple_trace().slice_time(500.0, 600.0)) == 0
+
+    def test_head_tail(self):
+        t = simple_trace()
+        assert len(t.head(2)) == 2
+        assert t.tail(1)[0].t == 120.0
+        assert len(t.tail(0)) == 0
+
+    def test_concat_sorts(self):
+        a = Trace("u", [0.0, 100.0], [45.0, 45.1], [4.0, 4.1])
+        b = Trace("u", [50.0], [45.05], [4.05])
+        merged = a.concat(b)
+        assert list(merged.timestamps) == [0.0, 50.0, 100.0]
+
+    def test_concat_rejects_other_user(self):
+        with pytest.raises(ValueError):
+            simple_trace("a").concat(simple_trace("b"))
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        box = simple_trace().bounding_box()
+        assert box == (45.0, 4.0, pytest.approx(45.2), pytest.approx(4.2))
+
+    def test_centroid(self):
+        lat, lng = simple_trace().centroid()
+        assert lat == pytest.approx(45.1)
+        assert lng == pytest.approx(4.1)
+
+
+class TestMergeTraces:
+    def test_merge_empty_list(self):
+        assert len(merge_traces("u", [])) == 0
+
+    def test_merge_sorts_across_traces(self):
+        a = Trace("x", [100.0], [45.0], [4.0])
+        b = Trace("y", [50.0], [46.0], [5.0])
+        merged = merge_traces("z", [a, b])
+        assert merged.user_id == "z"
+        assert list(merged.timestamps) == [50.0, 100.0]
+
+    def test_merge_preserves_count(self):
+        parts = [simple_trace(), simple_trace()]
+        assert len(merge_traces("u", parts)) == 6

@@ -1,0 +1,55 @@
+"""Tests for repro.datasets.cities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cities import BEIJING, CITIES, GENEVA, LYON, SAN_FRANCISCO, City
+from repro.geo.geodesy import haversine_m
+
+
+class TestCityCatalogue:
+    def test_four_cities(self):
+        assert set(CITIES) == {"geneva", "lyon", "beijing", "san_francisco"}
+
+    def test_coordinates_plausible(self):
+        assert GENEVA.center_lat == pytest.approx(46.2, abs=0.1)
+        assert LYON.center_lng == pytest.approx(4.84, abs=0.1)
+        assert BEIJING.center_lat == pytest.approx(39.9, abs=0.1)
+        assert SAN_FRANCISCO.center_lng == pytest.approx(-122.4, abs=0.1)
+
+    def test_radii_positive(self):
+        for city in CITIES.values():
+            assert city.radius_m > 0
+
+
+class TestRandomPoints:
+    def test_points_within_city(self):
+        for city in CITIES.values():
+            rng = np.random.default_rng(0)
+            for _ in range(50):
+                lat, lng = city.random_point(rng)
+                d = haversine_m(city.center_lat, city.center_lng, lat, lng)
+                assert d <= city.radius_m * 1.5  # diagonal of the clamp box
+
+    def test_deterministic(self):
+        a = LYON.random_points(5, rng=np.random.default_rng(3))
+        b = LYON.random_points(5, rng=np.random.default_rng(3))
+        assert a == b
+
+    def test_spread_scales_dispersion(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        wide = LYON.random_points(200, rng1, spread=1.0)
+        tight = LYON.random_points(200, rng2, spread=0.2)
+        def mean_d(points):
+            return np.mean([
+                haversine_m(LYON.center_lat, LYON.center_lng, lat, lng)
+                for lat, lng in points
+            ])
+        assert mean_d(tight) < mean_d(wide)
+
+    def test_projector_roundtrip(self):
+        to_xy, to_latlng = GENEVA.projector()
+        lat, lng = to_latlng(*to_xy(46.21, 6.15))
+        assert lat == pytest.approx(46.21, abs=1e-9)
+        assert lng == pytest.approx(6.15, abs=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for repro.datasets.generators — the four synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    DATASET_NAMES,
+    SPECS,
+    generate_all,
+    generate_dataset,
+)
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import haversine_m
+
+
+class TestSpecs:
+    def test_four_corpora(self):
+        assert set(DATASET_NAMES) == {"mdc", "privamov", "geolife", "cabspotting"}
+
+    def test_paper_user_counts(self):
+        assert SPECS["mdc"].paper_users == 141
+        assert SPECS["privamov"].paper_users == 41
+        assert SPECS["geolife"].paper_users == 41
+        assert SPECS["cabspotting"].paper_users == 531
+
+    def test_cities_match_paper(self):
+        assert SPECS["mdc"].city.name == "geneva"
+        assert SPECS["privamov"].city.name == "lyon"
+        assert SPECS["geolife"].city.name == "beijing"
+        assert SPECS["cabspotting"].city.name == "san_francisco"
+
+
+class TestGenerateDataset:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset("nyc")
+
+    def test_invalid_users(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset("mdc", n_users=0)
+
+    def test_user_count_override(self):
+        ds = generate_dataset("privamov", seed=0, n_users=5, days=3)
+        assert len(ds) == 5
+
+    def test_user_ids_stable_prefix(self):
+        ds = generate_dataset("geolife", seed=0, n_users=3, days=3)
+        assert ds.user_ids() == ["geolife_000", "geolife_001", "geolife_002"]
+
+    def test_deterministic(self):
+        a = generate_dataset("privamov", seed=7, n_users=4, days=3)
+        b = generate_dataset("privamov", seed=7, n_users=4, days=3)
+        for user in a.user_ids():
+            assert np.array_equal(a[user].lats, b[user].lats)
+
+    def test_adding_users_preserves_existing(self):
+        # Per-user child streams: user 0 is identical at n=3 and n=6.
+        small = generate_dataset("privamov", seed=7, n_users=3, days=3)
+        large = generate_dataset("privamov", seed=7, n_users=6, days=3)
+        u = "privamov_000"
+        assert np.array_equal(small[u].lats, large[u].lats)
+
+    def test_traces_anchored_to_city(self):
+        for name in DATASET_NAMES:
+            ds = generate_dataset(name, seed=1, n_users=2, days=2)
+            city = SPECS[name].city
+            for trace in ds:
+                lat, lng = trace.centroid()
+                assert haversine_m(city.center_lat, city.center_lng, lat, lng) < 4 * city.radius_m
+
+    def test_days_scale_duration(self):
+        short = generate_dataset("privamov", seed=0, n_users=2, days=2)
+        long = generate_dataset("privamov", seed=0, n_users=2, days=6)
+        assert (
+            long["privamov_000"].duration_s() > short["privamov_000"].duration_s()
+        )
+
+    def test_cab_corpus_uses_cab_model(self):
+        ds = generate_dataset("cabspotting", seed=0, n_users=2, days=2)
+        for trace in ds:
+            hours = (trace.timestamps % 86_400.0) / 3600.0
+            assert np.all(hours > 4.0)  # no overnight records
+
+
+class TestGenerateAll:
+    def test_all_four(self):
+        out = generate_all(seed=0, n_users={n: 2 for n in DATASET_NAMES}, days=2)
+        assert set(out) == set(DATASET_NAMES)
+        for name, ds in out.items():
+            assert len(ds) == 2
+            assert ds.name == name

@@ -1,0 +1,84 @@
+"""Tests for repro.datasets.io — CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.datasets.generators import generate_dataset
+from repro.datasets.io import load_csv, save_csv, to_csv_string
+
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def dataset():
+    ds = MobilityDataset("rt")
+    ds.add(make_trace("a", [(45.123456, 4.654321), (45.2, 4.3)], t0=1e9, dt=617.3))
+    ds.add(make_trace("b", [(-33.9, 151.2)], t0=2e9))
+    return ds
+
+
+class TestRoundTrip:
+    def test_save_returns_row_count(self, dataset, tmp_path):
+        path = tmp_path / "d.csv"
+        assert save_csv(dataset, path) == 3
+
+    def test_roundtrip_exact(self, dataset, tmp_path):
+        path = tmp_path / "d.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path, name="rt")
+        assert loaded.user_ids() == dataset.user_ids()
+        for user in dataset.user_ids():
+            orig, back = dataset[user], loaded[user]
+            assert np.array_equal(orig.timestamps, back.timestamps)
+            assert np.array_equal(orig.lats, back.lats)
+            assert np.array_equal(orig.lngs, back.lngs)
+
+    def test_roundtrip_generated_corpus(self, tmp_path):
+        ds = generate_dataset("privamov", seed=0, n_users=2, days=2)
+        path = tmp_path / "p.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.record_count() == ds.record_count()
+
+    def test_default_name_is_stem(self, dataset, tmp_path):
+        path = tmp_path / "mystem.csv"
+        save_csv(dataset, path)
+        assert load_csv(path).name == "mystem"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("who,when,where,why\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("user_id,timestamp,lat,lng\nu,1.0,45.0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_unsorted_rows_are_sorted_on_load(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text(
+            "user_id,timestamp,lat,lng\n"
+            "u,100.0,45.1,4.1\n"
+            "u,50.0,45.0,4.0\n"
+        )
+        trace = load_csv(path)["u"]
+        assert list(trace.timestamps) == [50.0, 100.0]
+
+
+class TestCsvString:
+    def test_matches_file_output(self, dataset, tmp_path):
+        path = tmp_path / "d.csv"
+        save_csv(dataset, path)
+        assert to_csv_string(dataset) == path.read_text()

@@ -1,0 +1,165 @@
+"""Tests for repro.datasets.mobility — the agent simulators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cities import LYON, SAN_FRANCISCO
+from repro.datasets.mobility import (
+    CabConfig,
+    CabSimulator,
+    ResidentConfig,
+    ResidentSimulator,
+    Segment,
+    sample_segments,
+)
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import haversine_m
+from repro.poi.clustering import extract_pois
+
+
+class TestSegment:
+    def test_position_interpolates(self):
+        seg = Segment(0.0, 10.0, (45.0, 4.0), (45.1, 4.1))
+        assert seg.position_at(0.0) == (45.0, 4.0)
+        assert seg.position_at(10.0) == (45.1, 4.1)
+        lat, lng = seg.position_at(5.0)
+        assert lat == pytest.approx(45.05)
+
+    def test_clamps_outside(self):
+        seg = Segment(0.0, 10.0, (45.0, 4.0), (45.1, 4.1))
+        assert seg.position_at(-1.0) == (45.0, 4.0)
+        assert seg.position_at(99.0) == (45.1, 4.1)
+
+    def test_zero_duration(self):
+        seg = Segment(5.0, 5.0, (45.0, 4.0), (45.1, 4.1))
+        assert seg.position_at(5.0) == (45.0, 4.0)
+
+
+class TestSampleSegments:
+    def test_no_segments_empty(self):
+        rng = np.random.default_rng(0)
+        trace = sample_segments("u", [], 60.0, 10.0, 0.0, rng)
+        assert len(trace) == 0
+
+    def test_sampling_period(self):
+        segs = [Segment(0.0, 3600.0, (45.0, 4.0), (45.0, 4.0))]
+        rng = np.random.default_rng(0)
+        trace = sample_segments("u", segs, 600.0, 0.0, 0.0, rng)
+        assert len(trace) == 6
+        assert np.allclose(np.diff(trace.timestamps), 600.0)
+
+    def test_gps_noise_applied(self):
+        segs = [Segment(0.0, 3600.0, (45.0, 4.0), (45.0, 4.0))]
+        rng = np.random.default_rng(0)
+        trace = sample_segments("u", segs, 60.0, 15.0, 0.0, rng)
+        offsets = [
+            haversine_m(45.0, 4.0, float(trace.lats[i]), float(trace.lngs[i]))
+            for i in range(len(trace))
+        ]
+        assert 2.0 < np.mean(offsets) < 60.0
+
+    def test_gaps_drop_hours(self):
+        segs = [Segment(0.0, 10 * 3600.0, (45.0, 4.0), (45.0, 4.0))]
+        full = sample_segments("u", segs, 600.0, 0.0, 0.0, np.random.default_rng(1))
+        gappy = sample_segments("u", segs, 600.0, 0.0, 0.5, np.random.default_rng(1))
+        assert len(gappy) < len(full)
+
+    def test_chronological(self):
+        segs = [
+            Segment(0.0, 100.0, (45.0, 4.0), (45.01, 4.0)),
+            Segment(100.0, 300.0, (45.01, 4.0), (45.02, 4.0)),
+        ]
+        trace = sample_segments("u", segs, 30.0, 5.0, 0.0, np.random.default_rng(2))
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+
+class TestResidentSimulator:
+    def _trace(self, seed=0, days=7, **cfg_kw):
+        cfg = ResidentConfig(gap_probability_per_hour=0.0, **cfg_kw)
+        sim = ResidentSimulator(LYON, cfg)
+        return sim.simulate_user("u", 0.0, days, rng=seed)
+
+    def test_invalid_days(self):
+        sim = ResidentSimulator(LYON)
+        with pytest.raises(ConfigurationError):
+            sim.simulate_user("u", 0.0, 0)
+
+    def test_covers_campaign(self):
+        trace = self._trace(days=7)
+        assert trace.duration_s() >= 6 * 86_400.0
+
+    def test_stays_in_city(self):
+        trace = self._trace()
+        for i in range(0, len(trace), 25):
+            d = haversine_m(
+                LYON.center_lat, LYON.center_lng,
+                float(trace.lats[i]), float(trace.lngs[i]),
+            )
+            assert d < LYON.radius_m * 2.5
+
+    def test_has_home_poi(self):
+        trace = self._trace(days=5)
+        pois = extract_pois(trace, diameter_m=200.0, min_dwell_s=3600.0)
+        assert len(pois) >= 3  # home every night, plus day anchors
+
+    def test_deterministic(self):
+        a = self._trace(seed=9)
+        b = self._trace(seed=9)
+        assert np.array_equal(a.lats, b.lats)
+
+    def test_different_seeds_differ(self):
+        a = self._trace(seed=1)
+        b = self._trace(seed=2)
+        assert not np.array_equal(a.lats, b.lats)
+
+    def test_drift_changes_second_half(self):
+        cfg = ResidentConfig(drift_fraction=1.0, gap_probability_per_hour=0.0)
+        sim = ResidentSimulator(LYON, cfg)
+        trace = sim.simulate_user("u", 0.0, 10, rng=3)
+        half = trace.start_time() + trace.duration_s() / 2
+        first = trace.slice_time(trace.start_time(), half)
+        second = trace.slice_time(half, trace.end_time() + 1)
+        # Night-time records (3am) reveal 'home'; homes must differ.
+        def night_centroid(sub):
+            mask = ((sub.timestamps % 86_400.0) < 5 * 3600.0)
+            return float(sub.lats[mask].mean()), float(sub.lngs[mask].mean())
+        h1 = night_centroid(first)
+        h2 = night_centroid(second)
+        assert haversine_m(*h1, *h2) > 500.0
+
+
+class TestCabSimulator:
+    def _trace(self, seed=0, days=5, **cfg_kw):
+        cfg = CabConfig(gap_probability_per_hour=0.0, **cfg_kw)
+        sim = CabSimulator(SAN_FRANCISCO, cfg)
+        return sim.simulate_user("cab", 0.0, days, rng=seed)
+
+    def test_invalid_days(self):
+        with pytest.raises(ConfigurationError):
+            CabSimulator(SAN_FRANCISCO).simulate_user("cab", 0.0, -1)
+
+    def test_records_only_during_shifts(self):
+        trace = self._trace()
+        hours = (trace.timestamps % 86_400.0) / 3600.0
+        # Shift starts ~7:00 and lasts ~11 h: nothing before 5 or after 23.
+        assert np.all((hours > 5.0) & (hours < 23.0))
+
+    def test_moves_between_waypoints(self):
+        trace = self._trace()
+        box = trace.bounding_box()
+        assert haversine_m(box[0], box[1], box[2], box[3]) > 2_000.0
+
+    def test_taxi_stand_produces_pois(self):
+        trace = self._trace(days=8, stand_probability=0.3)
+        pois = extract_pois(trace, diameter_m=200.0, min_dwell_s=3600.0)
+        assert len(pois) >= 1
+
+    def test_no_stand_no_pois(self):
+        trace = self._trace(days=4, stand_probability=0.0)
+        pois = extract_pois(trace, diameter_m=200.0, min_dwell_s=3600.0)
+        assert len(pois) == 0
+
+    def test_deterministic(self):
+        a = self._trace(seed=4)
+        b = self._trace(seed=4)
+        assert np.array_equal(a.lngs, b.lngs)

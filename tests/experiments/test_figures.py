@@ -1,0 +1,142 @@
+"""Integration tests: every figure harness runs on a micro corpus.
+
+These do not assert the paper's absolute numbers (the corpora are
+synthetic and scaled); they assert the *shape* relations the paper
+establishes and that every harness produces a well-formed readout.
+"""
+
+import pytest
+
+from repro.experiments import fig2_3, fig6, fig7, fig8, fig9, fig10, table1
+from repro.experiments.runner import FigureBundle
+
+
+@pytest.fixture(scope="module")
+def bundle(micro_ctx):
+    return FigureBundle(micro_ctx)
+
+
+class TestTable1:
+    def test_rows_and_formatting(self):
+        rows = table1.run_table1(seed=0, sizes={n: 2 for n in
+                                                ["mdc", "privamov", "geolife", "cabspotting"]})
+        assert len(rows) == 4
+        for row in rows:
+            assert row.users == 2
+            assert row.records > 0
+        text = table1.format_table1(rows)
+        assert "Table 1" in text
+        assert "geneva" in text
+
+
+class TestFig23:
+    def test_rows_complete(self, bundle):
+        rows = fig2_3.run_fig2_3(bundle)
+        assert [r.mechanism for r in rows] == ["Geo-I", "TRL", "HMC", "HybridLPPM"]
+        for row in rows:
+            assert 0 <= row.non_protected <= row.users_total
+            assert 0.0 <= row.data_loss_pct <= 100.0
+
+    def test_hybrid_no_worse_than_singles(self, bundle):
+        rows = {r.mechanism: r for r in fig2_3.run_fig2_3(bundle)}
+        best_single = min(
+            rows[m].non_protected for m in ["Geo-I", "TRL", "HMC"]
+        )
+        assert rows["HybridLPPM"].non_protected <= best_single
+
+    def test_format(self, bundle):
+        text = fig2_3.format_fig2_3(fig2_3.run_fig2_3(bundle))
+        assert "Figures 2 & 3" in text
+
+
+class TestFig6Fig7:
+    def test_fig6_shape(self, bundle):
+        result = fig6.run_fig6(bundle)
+        counts = result.counts
+        # MooD never worse than Hybrid, Hybrid never worse than the
+        # single HMC, against a single attack.
+        assert counts["MooD"] <= counts["HybridLPPM"] <= counts["HMC"] + 1
+        assert counts["MooD"] <= counts["no-LPPM"]
+        assert "Figure 6" in fig6.format_fig6(result)
+
+    def test_fig7_shape(self, bundle):
+        result = fig7.run_fig7(bundle)
+        counts = result.counts
+        assert counts["MooD"] <= counts["HybridLPPM"]
+        assert counts["HybridLPPM"] <= counts["no-LPPM"]
+        assert "Figure 7" in fig7.format_fig7(result)
+
+    def test_fig7_at_least_fig6(self, bundle):
+        # The three-attack adversary re-identifies at least as many users
+        # as AP alone, for every mechanism evaluated the same way.
+        six = fig6.run_fig6(bundle).counts
+        seven = fig7.run_fig7(bundle).counts
+        for mech in ["no-LPPM", "Geo-I", "TRL", "HMC"]:
+            assert seven[mech] >= six[mech]
+
+
+class TestFig8:
+    def test_outcomes_well_formed(self, bundle):
+        result = fig8.run_fig8(bundle)
+        for user, stats in result.per_user.items():
+            assert 0 <= stats["protected"] <= stats["chunks"]
+        assert "Figure 8" in fig8.format_fig8(result)
+
+    def test_survivors_match_fig7(self, bundle):
+        result = fig8.run_fig8(bundle)
+        survivors = bundle.mood_eval("all").composition_survivors()
+        assert set(result.per_user) == survivors
+
+
+class TestFig9:
+    def test_buckets_well_formed(self, bundle):
+        result = fig9.run_fig9(bundle)
+        for mech, buckets in result.buckets.items():
+            for label, share in buckets.items():
+                assert 0.0 <= share <= 1.0
+            # Cumulative: low ≤ medium ≤ high.
+            assert buckets["low(<500m)"] <= buckets["medium(<1000m)"] <= buckets["high(<5000m)"]
+
+    def test_aggregate(self, bundle):
+        single = fig9.run_fig9(bundle)
+        agg = fig9.aggregate_fig9([single, single])
+        for mech in single.buckets:
+            assert agg.buckets[mech]["low(<500m)"] == pytest.approx(
+                single.buckets[mech]["low(<500m)"]
+            )
+        assert "Figure 9" in fig9.format_fig9(agg)
+
+    def test_geoi_utility_beats_trl(self, bundle):
+        # Geo-I (ε=0.01, ~200 m) must have more <500 m users than TRL
+        # (1 km dummies, ~667 m) — the paper's utility ordering.
+        result = fig9.run_fig9(bundle)
+        if result.protected_counts["Geo-I"] and result.protected_counts["TRL"]:
+            assert (
+                result.buckets["Geo-I"]["low(<500m)"]
+                >= result.buckets["TRL"]["low(<500m)"]
+            )
+
+
+class TestFig10:
+    def test_mood_loss_lowest(self, bundle):
+        result = fig10.run_fig10(bundle)
+        mood_loss = result.loss_pct["MooD"]
+        for mech in ["Geo-I", "TRL", "HMC", "HybridLPPM"]:
+            assert mood_loss <= result.loss_pct[mech] + 1e-9
+        assert "Figure 10" in fig10.format_fig10(result)
+
+    def test_loss_bounded(self, bundle):
+        result = fig10.run_fig10(bundle)
+        for pct in result.loss_pct.values():
+            assert 0.0 <= pct <= 100.0
+
+
+class TestBundleCaching:
+    def test_single_eval_cached(self, bundle):
+        assert bundle.single_eval("Geo-I") is bundle.single_eval("Geo-I")
+
+    def test_mood_eval_mode_distinct(self, bundle):
+        ap = bundle.mood_eval("ap")
+        all3 = bundle.mood_eval("all")
+        assert ap is not all3
+        assert bundle.mood_eval("ap") is ap

@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.reporting import ascii_table, fmt, paired_row, percentage
+
+
+class TestFmt:
+    def test_none_dash(self):
+        assert fmt(None) == "-"
+
+    def test_int_plain(self):
+        assert fmt(42) == "42"
+
+    def test_float_rounded(self):
+        assert fmt(3.14159, digits=2) == "3.14"
+
+    def test_nan_dash(self):
+        assert fmt(float("nan")) == "-"
+
+    def test_inf(self):
+        assert fmt(float("inf")) == "inf"
+
+    def test_string_passthrough(self):
+        assert fmt("hello") == "hello"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        out = ascii_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "| a" in out
+        assert "| 1" in out and "| 4" in out
+
+    def test_title_prepended(self):
+        out = ascii_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = ascii_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_empty_rows(self):
+        out = ascii_table(["a"], [])
+        assert "| a" in out
+
+
+class TestHelpers:
+    def test_paired_row(self):
+        assert paired_row("x", 1, 2.5) == ["x", "1", "2.5"]
+
+    def test_percentage(self):
+        assert percentage(1, 4) == pytest.approx(25.0)
+        assert percentage(0, 0) == 0.0
+        assert percentage(5, 0) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for repro.geo.geodesy — great-circle geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    destination_point,
+    equirectangular_distance_m,
+    haversine_m,
+    haversine_m_vec,
+    local_projector,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(45.0, 4.0, 45.0, 4.0) == 0.0
+
+    def test_known_distance_paris_london(self):
+        # Paris (48.8566, 2.3522) to London (51.5074, -0.1278) ≈ 343.5 km.
+        d = haversine_m(48.8566, 2.3522, 51.5074, -0.1278)
+        assert d == pytest.approx(343_500, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(EARTH_RADIUS_M * math.pi / 180.0, rel=1e-9)
+
+    def test_symmetry(self):
+        a = haversine_m(46.2, 6.1, 46.3, 6.2)
+        b = haversine_m(46.3, 6.2, 46.2, 6.1)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_m(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+    def test_vectorised_matches_scalar(self):
+        lat1 = np.array([45.0, 46.0, 47.0])
+        lng1 = np.array([4.0, 5.0, 6.0])
+        lat2 = np.array([45.1, 46.1, 47.1])
+        lng2 = np.array([4.1, 5.1, 6.1])
+        vec = haversine_m_vec(lat1, lng1, lat2, lng2)
+        for i in range(3):
+            scalar = haversine_m(lat1[i], lng1[i], lat2[i], lng2[i])
+            assert vec[i] == pytest.approx(scalar, rel=1e-12)
+
+
+class TestEquirectangular:
+    def test_close_to_haversine_at_city_scale(self):
+        # Points ~5 km apart in Lyon.
+        d_h = haversine_m(45.76, 4.83, 45.80, 4.87)
+        d_e = equirectangular_distance_m(45.76, 4.83, 45.80, 4.87)
+        assert d_e == pytest.approx(d_h, rel=1e-3)
+
+    def test_zero(self):
+        assert equirectangular_distance_m(10.0, 20.0, 10.0, 20.0) == 0.0
+
+
+class TestDestinationPoint:
+    def test_north_one_km(self):
+        lat, lng = destination_point(46.0, 6.0, 0.0, 1000.0)
+        assert haversine_m(46.0, 6.0, lat, lng) == pytest.approx(1000.0, rel=1e-6)
+        assert lat > 46.0
+        assert lng == pytest.approx(6.0, abs=1e-9)
+
+    def test_east_one_km(self):
+        lat, lng = destination_point(46.0, 6.0, math.pi / 2, 1000.0)
+        assert haversine_m(46.0, 6.0, lat, lng) == pytest.approx(1000.0, rel=1e-6)
+        assert lng > 6.0
+
+    @pytest.mark.parametrize("bearing_deg", [0, 45, 90, 135, 180, 225, 270, 315])
+    def test_distance_preserved_all_bearings(self, bearing_deg):
+        bearing = math.radians(bearing_deg)
+        lat, lng = destination_point(45.76, 4.83, bearing, 2_500.0)
+        assert haversine_m(45.76, 4.83, lat, lng) == pytest.approx(2500.0, rel=1e-6)
+
+    def test_longitude_wraps(self):
+        _, lng = destination_point(0.0, 179.999, math.pi / 2, 10_000.0)
+        assert -180.0 <= lng <= 180.0
+
+
+class TestLocalProjector:
+    def test_roundtrip(self):
+        to_xy, to_latlng = local_projector(45.76, 4.83)
+        x, y = to_xy(45.80, 4.90)
+        lat, lng = to_latlng(x, y)
+        assert lat == pytest.approx(45.80, abs=1e-9)
+        assert lng == pytest.approx(4.90, abs=1e-9)
+
+    def test_origin_maps_to_zero(self):
+        to_xy, _ = local_projector(46.0, 6.0)
+        assert to_xy(46.0, 6.0) == (0.0, 0.0)
+
+    def test_distances_match_haversine(self):
+        to_xy, _ = local_projector(46.2, 6.14)
+        x, y = to_xy(46.25, 6.20)
+        planar = math.hypot(x, y)
+        true = haversine_m(46.2, 6.14, 46.25, 6.20)
+        assert planar == pytest.approx(true, rel=2e-3)
+
+    def test_pole_rejected(self):
+        with pytest.raises(ValueError):
+            local_projector(90.0, 0.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.geo.interpolate — temporal projection."""
+
+import pytest
+
+from repro.errors import EmptyTraceError
+from repro.geo.interpolate import interpolate_position, temporal_projection_m
+
+
+class TestInterpolatePosition:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyTraceError):
+            interpolate_position([], [], [], 0.0)
+
+    def test_exact_timestamps(self):
+        ts, lats, lngs = [0.0, 10.0], [45.0, 46.0], [4.0, 5.0]
+        assert interpolate_position(ts, lats, lngs, 0.0) == (45.0, 4.0)
+        assert interpolate_position(ts, lats, lngs, 10.0) == (46.0, 5.0)
+
+    def test_midpoint(self):
+        ts, lats, lngs = [0.0, 10.0], [45.0, 46.0], [4.0, 5.0]
+        lat, lng = interpolate_position(ts, lats, lngs, 5.0)
+        assert lat == pytest.approx(45.5)
+        assert lng == pytest.approx(4.5)
+
+    def test_quarter(self):
+        ts, lats, lngs = [0.0, 100.0], [0.0, 4.0], [0.0, 8.0]
+        lat, lng = interpolate_position(ts, lats, lngs, 25.0)
+        assert lat == pytest.approx(1.0)
+        assert lng == pytest.approx(2.0)
+
+    def test_clamps_before_start(self):
+        ts, lats, lngs = [10.0, 20.0], [45.0, 46.0], [4.0, 5.0]
+        assert interpolate_position(ts, lats, lngs, -100.0) == (45.0, 4.0)
+
+    def test_clamps_after_end(self):
+        ts, lats, lngs = [10.0, 20.0], [45.0, 46.0], [4.0, 5.0]
+        assert interpolate_position(ts, lats, lngs, 999.0) == (46.0, 5.0)
+
+    def test_single_record(self):
+        assert interpolate_position([5.0], [45.0], [4.0], 7.0) == (45.0, 4.0)
+
+    def test_duplicate_timestamps(self):
+        # Zero-length bracket: returns the earlier record, no ZeroDivision.
+        ts, lats, lngs = [0.0, 5.0, 5.0, 10.0], [0.0, 1.0, 2.0, 3.0], [0.0] * 4
+        lat, _ = interpolate_position(ts, lats, lngs, 5.0)
+        assert lat in (1.0, 2.0)
+
+    def test_multi_segment(self):
+        ts = [0.0, 10.0, 20.0]
+        lats = [0.0, 1.0, 3.0]
+        lngs = [0.0, 0.0, 0.0]
+        lat, _ = interpolate_position(ts, lats, lngs, 15.0)
+        assert lat == pytest.approx(2.0)
+
+
+class TestTemporalProjection:
+    def test_on_trace_is_zero(self):
+        ts, lats, lngs = [0.0, 10.0], [45.0, 45.0], [4.0, 4.0]
+        d = temporal_projection_m(ts, lats, lngs, 45.0, 4.0, 5.0)
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_measured(self):
+        ts, lats, lngs = [0.0, 10.0], [45.0, 45.0], [4.0, 4.0]
+        # ~1.11 km north of the expected position.
+        d = temporal_projection_m(ts, lats, lngs, 45.01, 4.0, 5.0)
+        assert d == pytest.approx(1112.0, rel=0.01)

@@ -1,0 +1,59 @@
+"""Tests for repro.lppm.base and the Identity mechanism / default suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace
+from repro.lppm import default_lppm_suite
+from repro.lppm.base import LPPM, coerce_rng
+from repro.lppm.identity import Identity
+
+
+def trace():
+    return Trace("u", [0.0, 60.0], [45.0, 45.1], [4.0, 4.1])
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        t = trace()
+        assert Identity().apply(t) is t
+
+    def test_name(self):
+        assert Identity().name == "no-LPPM"
+
+    def test_callable(self):
+        t = trace()
+        assert Identity()(t) is t
+
+
+class TestBase:
+    def test_abstract(self):
+        with pytest.raises(TypeError):
+            LPPM()
+
+    def test_coerce_rng(self):
+        gen = np.random.default_rng(0)
+        assert coerce_rng(gen) is gen
+        assert isinstance(coerce_rng(5), np.random.Generator)
+        assert isinstance(coerce_rng(None), np.random.Generator)
+
+    def test_repr(self):
+        assert "no-LPPM" in repr(Identity())
+
+
+class TestDefaultSuite:
+    def test_unfitted_suite(self):
+        suite = default_lppm_suite()
+        names = {l.name for l in suite}
+        assert names == {"Geo-I", "TRL", "HMC"}
+
+    def test_paper_parameters(self):
+        suite = {l.name: l for l in default_lppm_suite()}
+        assert suite["Geo-I"].epsilon == 0.01
+        assert suite["TRL"].radius_m == 1000.0
+        assert suite["HMC"].grid.cell_size_m == 800.0
+
+    def test_fitted_suite(self, micro_ctx):
+        suite = default_lppm_suite(micro_ctx.train)
+        hmc = next(l for l in suite if l.name == "HMC")
+        assert hmc.is_fitted

@@ -1,0 +1,98 @@
+"""Tests for repro.lppm.geoi — planar Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import haversine_m_vec
+from repro.lppm.geoi import GeoInd
+
+
+def flat_trace(n=500, lat=45.0, lng=4.0):
+    return Trace("u", np.arange(n) * 60.0, np.full(n, lat), np.full(n, lng))
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("eps", [0.0, -0.01])
+    def test_invalid_epsilon(self, eps):
+        with pytest.raises(ConfigurationError):
+            GeoInd(epsilon=eps)
+
+    def test_expected_displacement(self):
+        assert GeoInd(epsilon=0.01).expected_displacement_m() == pytest.approx(200.0)
+        assert GeoInd(epsilon=0.001).expected_displacement_m() == pytest.approx(2000.0)
+
+
+class TestMechanism:
+    def test_preserves_structure(self):
+        t = flat_trace(50)
+        out = GeoInd(0.01).apply(t, rng=0)
+        assert len(out) == len(t)
+        assert out.user_id == t.user_id
+        assert np.array_equal(out.timestamps, t.timestamps)
+
+    def test_empty_passthrough(self):
+        t = Trace.empty("u")
+        assert GeoInd(0.01).apply(t, rng=0) is t
+
+    def test_moves_every_record(self):
+        t = flat_trace(100)
+        out = GeoInd(0.01).apply(t, rng=0)
+        d = haversine_m_vec(t.lats, t.lngs, out.lats, out.lngs)
+        assert np.all(d > 0)
+
+    def test_mean_displacement_matches_theory(self):
+        # Radial law Gamma(2, 1/ε): mean 2/ε.
+        t = flat_trace(4000)
+        out = GeoInd(0.01).apply(t, rng=1)
+        d = haversine_m_vec(t.lats, t.lngs, out.lats, out.lngs)
+        assert float(d.mean()) == pytest.approx(200.0, rel=0.08)
+
+    def test_epsilon_scales_noise(self):
+        t = flat_trace(2000)
+        d_weak = haversine_m_vec(
+            t.lats, t.lngs, *_pos(GeoInd(0.1).apply(t, rng=2))
+        ).mean()
+        d_strong = haversine_m_vec(
+            t.lats, t.lngs, *_pos(GeoInd(0.001).apply(t, rng=2))
+        ).mean()
+        assert d_strong > 10 * d_weak
+
+    def test_isotropy(self):
+        # Displacement directions should cover all quadrants evenly-ish.
+        t = flat_trace(2000)
+        out = GeoInd(0.01).apply(t, rng=3)
+        dlat = out.lats - t.lats
+        dlng = out.lngs - t.lngs
+        quadrants = [
+            np.sum((dlat > 0) & (dlng > 0)),
+            np.sum((dlat > 0) & (dlng < 0)),
+            np.sum((dlat < 0) & (dlng > 0)),
+            np.sum((dlat < 0) & (dlng < 0)),
+        ]
+        assert min(quadrants) > 0.18 * len(t)
+
+    def test_deterministic_with_seed(self):
+        t = flat_trace(20)
+        a = GeoInd(0.01).apply(t, rng=42)
+        b = GeoInd(0.01).apply(t, rng=42)
+        assert np.array_equal(a.lats, b.lats)
+        assert np.array_equal(a.lngs, b.lngs)
+
+    def test_different_seeds_differ(self):
+        t = flat_trace(20)
+        a = GeoInd(0.01).apply(t, rng=1)
+        b = GeoInd(0.01).apply(t, rng=2)
+        assert not np.array_equal(a.lats, b.lats)
+
+    def test_coordinates_stay_valid(self):
+        # Near the antimeridian and high latitude.
+        t = Trace("u", [0.0, 1.0], [80.0, -80.0], [179.99, -179.99])
+        out = GeoInd(0.0001).apply(t, rng=0)
+        assert np.all(out.lats <= 90.0) and np.all(out.lats >= -90.0)
+        assert np.all(out.lngs <= 180.0) and np.all(out.lngs >= -180.0)
+
+
+def _pos(trace):
+    return trace.lats, trace.lngs

@@ -1,0 +1,84 @@
+"""Tests for repro.lppm.trl — trilateration dummy generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import haversine_m
+from repro.lppm.trl import Trilateration
+
+
+def base_trace(n=10):
+    return Trace("u", np.arange(n) * 600.0, np.full(n, 45.0), np.full(n, 4.0))
+
+
+class TestConfiguration:
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            Trilateration(radius_m=0.0)
+
+    def test_invalid_dummies(self):
+        with pytest.raises(ConfigurationError):
+            Trilateration(dummies=0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ConfigurationError):
+            Trilateration(jitter_s=-1.0)
+
+    def test_trilaterated_answer_is_exact(self):
+        # Documented contract: the client-side answer loses nothing.
+        assert Trilateration().trilaterate_error_m() == 0.0
+
+
+class TestMechanism:
+    def test_record_count_multiplied(self):
+        out = Trilateration(dummies=3).apply(base_trace(10), rng=0)
+        assert len(out) == 30
+
+    def test_one_dummy_keeps_count(self):
+        out = Trilateration(dummies=1).apply(base_trace(10), rng=0)
+        assert len(out) == 10
+
+    def test_empty_passthrough(self):
+        t = Trace.empty("u")
+        assert Trilateration().apply(t, rng=0) is t
+
+    def test_assisted_locations_within_radius(self):
+        t = base_trace(50)
+        out = Trilateration(radius_m=1000.0).apply(t, rng=1)
+        for i in range(len(out)):
+            d = haversine_m(45.0, 4.0, float(out.lats[i]), float(out.lngs[i]))
+            assert d <= 1000.0 * 1.02  # small slack for the flat-earth step
+
+    def test_mean_offset_about_two_thirds_radius(self):
+        # Uniform in a disc: E[r] = 2R/3.
+        t = base_trace(1500)
+        out = Trilateration(radius_m=900.0, dummies=1).apply(t, rng=2)
+        dists = [
+            haversine_m(45.0, 4.0, float(out.lats[i]), float(out.lngs[i]))
+            for i in range(len(out))
+        ]
+        assert np.mean(dists) == pytest.approx(600.0, rel=0.08)
+
+    def test_output_sorted_by_time(self):
+        out = Trilateration().apply(base_trace(20), rng=3)
+        assert np.all(np.diff(out.timestamps) >= 0)
+
+    def test_timestamps_jittered_per_dummy(self):
+        out = Trilateration(dummies=3, jitter_s=1.0).apply(base_trace(2), rng=0)
+        # Each original timestamp appears with offsets 0, 1, 2 seconds.
+        assert sorted(out.timestamps[:3]) == [0.0, 1.0, 2.0]
+
+    def test_deterministic_with_seed(self):
+        a = Trilateration().apply(base_trace(), rng=9)
+        b = Trilateration().apply(base_trace(), rng=9)
+        assert np.array_equal(a.lats, b.lats)
+
+    def test_dummies_are_distinct(self):
+        out = Trilateration(dummies=3).apply(base_trace(1), rng=0)
+        positions = {(float(out.lats[i]), float(out.lngs[i])) for i in range(3)}
+        assert len(positions) == 3
+
+    def test_user_preserved(self):
+        assert Trilateration().apply(base_trace(), rng=0).user_id == "u"

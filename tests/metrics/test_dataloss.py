@@ -1,0 +1,60 @@
+"""Tests for repro.metrics.dataloss — Eq. 7."""
+
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.metrics.dataloss import data_loss, record_loss, records_of
+
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def dataset():
+    ds = MobilityDataset("d")
+    ds.add(make_trace("a", [(45.0, 4.0)] * 10))
+    ds.add(make_trace("b", [(45.0, 4.0)] * 30))
+    ds.add(make_trace("c", [(45.0, 4.0)] * 60))
+    return ds
+
+
+class TestDataLoss:
+    def test_no_loss(self, dataset):
+        assert data_loss(dataset, set()) == 0.0
+
+    def test_total_loss(self, dataset):
+        assert data_loss(dataset, {"a", "b", "c"}) == 1.0
+
+    def test_record_weighted(self, dataset):
+        # Losing 'c' costs 60 % of records even though it is 1/3 of users.
+        assert data_loss(dataset, {"c"}) == pytest.approx(0.6)
+        assert data_loss(dataset, {"a"}) == pytest.approx(0.1)
+
+    def test_unknown_users_ignored(self, dataset):
+        assert data_loss(dataset, {"zzz"}) == 0.0
+
+    def test_empty_dataset(self):
+        assert data_loss(MobilityDataset("e"), {"a"}) == 0.0
+
+
+class TestRecordLoss:
+    def test_basic(self):
+        assert record_loss(100, 25) == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert record_loss(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            record_loss(-1, 0)
+        with pytest.raises(ValueError):
+            record_loss(10, -1)
+
+    def test_lost_exceeds_total_rejected(self):
+        with pytest.raises(ValueError):
+            record_loss(10, 11)
+
+
+class TestRecordsOf:
+    def test_counts(self, dataset):
+        assert records_of(dataset.traces()) == 100
+        assert records_of([]) == 0

@@ -1,0 +1,113 @@
+"""Tests for repro.metrics.distortion — STD (Eq. 8) and Figure 9 buckets."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace
+from repro.errors import EmptyTraceError
+from repro.metrics.distortion import (
+    DISTORTION_BUCKETS,
+    bucket_of,
+    distortion_buckets,
+    per_user_distortions,
+    spatial_temporal_distortion,
+)
+
+
+def line_trace(user="u", n=10, dt=60.0, lat0=45.0, dlat=0.001):
+    ts = np.arange(n) * dt
+    lats = lat0 + np.arange(n) * dlat
+    return Trace(user, ts, lats, np.full(n, 4.0))
+
+
+class TestStd:
+    def test_identical_traces_zero(self):
+        t = line_trace()
+        assert spatial_temporal_distortion(t, t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_offset(self):
+        t = line_trace()
+        shifted = t.with_positions(t.lats + 0.001, t.lngs)  # ~111 m north
+        std = spatial_temporal_distortion(t, shifted)
+        assert std == pytest.approx(111.3, rel=0.01)
+
+    def test_interpolates_between_records(self):
+        # Obfuscated record halfway in time between two originals, placed
+        # exactly at the spatial midpoint → zero distortion.
+        orig = Trace("u", [0.0, 100.0], [45.0, 45.01], [4.0, 4.0])
+        obf = Trace("u", [50.0], [45.005], [4.0])
+        assert spatial_temporal_distortion(orig, obf) == pytest.approx(0.0, abs=1e-6)
+
+    def test_handles_different_record_counts(self):
+        # TRL-style: 3 dummies per original record.
+        orig = line_trace(n=5)
+        ts = np.repeat(orig.timestamps, 3) + np.tile([0.0, 0.1, 0.2], 5)
+        lats = np.repeat(orig.lats, 3)
+        obf = Trace("u", ts, lats, np.full(15, 4.0))
+        assert spatial_temporal_distortion(orig, obf) == pytest.approx(0.0, abs=1.0)
+
+    def test_clamps_outside_span(self):
+        orig = Trace("u", [0.0, 10.0], [45.0, 45.0], [4.0, 4.0])
+        obf = Trace("u", [-50.0, 100.0], [45.0, 45.0], [4.0, 4.0])
+        assert spatial_temporal_distortion(orig, obf) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_raises(self):
+        t = line_trace()
+        with pytest.raises(EmptyTraceError):
+            spatial_temporal_distortion(Trace.empty("u"), t)
+        with pytest.raises(EmptyTraceError):
+            spatial_temporal_distortion(t, Trace.empty("u"))
+
+    def test_single_record_reference(self):
+        orig = Trace("u", [0.0], [45.0], [4.0])
+        obf = Trace("u", [5.0], [45.001, ], [4.0])
+        assert spatial_temporal_distortion(orig, obf) == pytest.approx(111.3, rel=0.01)
+
+    def test_asymmetric_by_design(self):
+        # STD averages over the *obfuscated* records (Eq. 8).
+        orig = Trace("u", [0.0, 100.0], [45.0, 45.01], [4.0, 4.0])
+        obf = Trace("u", [0.0], [45.0], [4.0])
+        assert spatial_temporal_distortion(orig, obf) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBuckets:
+    def test_bucket_of_bounds(self):
+        assert bucket_of(0.0) == "low(<500m)"
+        assert bucket_of(499.9) == "low(<500m)"
+        assert bucket_of(500.0) == "medium(<1000m)"
+        assert bucket_of(999.9) == "medium(<1000m)"
+        assert bucket_of(4999.0) == "high(<5000m)"
+        assert bucket_of(5000.0) == "extreme(>=5000m)"
+        assert bucket_of(1e9) == "extreme(>=5000m)"
+
+    def test_bucket_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_of(-1.0)
+
+    def test_distortion_buckets_cumulative(self):
+        values = [100.0, 600.0, 2000.0, 10_000.0]
+        buckets = distortion_buckets(values)
+        assert buckets["low(<500m)"] == pytest.approx(0.25)
+        assert buckets["medium(<1000m)"] == pytest.approx(0.5)
+        assert buckets["high(<5000m)"] == pytest.approx(0.75)
+        assert buckets["extreme(>=5000m)"] == pytest.approx(0.25)
+
+    def test_empty_buckets(self):
+        buckets = distortion_buckets([])
+        assert all(v == 0.0 for v in buckets.values())
+
+    def test_bucket_labels_match_constant(self):
+        assert [label for label, _ in DISTORTION_BUCKETS] == list(distortion_buckets([1.0]))
+
+
+class TestPerUser:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            per_user_distortions([line_trace()], [])
+
+    def test_values(self):
+        t = line_trace()
+        shifted = t.with_positions(t.lats + 0.001, t.lngs)
+        out = per_user_distortions([t, t], [t, shifted])
+        assert out[0] == pytest.approx(0.0, abs=1e-9)
+        assert out[1] == pytest.approx(111.3, rel=0.01)

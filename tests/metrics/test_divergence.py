@@ -1,0 +1,82 @@
+"""Tests for repro.metrics.divergence."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.divergence import jensen_shannon, kl_divergence, topsoe
+
+
+def norm(v):
+    v = np.asarray(v, dtype=float)
+    return v / v.sum()
+
+
+class TestKl:
+    def test_self_divergence_zero(self):
+        p = norm([1, 2, 3])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.9, 0.1])
+        expected = 0.5 * np.log(0.5 / 0.9) + 0.5 * np.log(0.5 / 0.1)
+        assert kl_divergence(p, q) == pytest.approx(expected, rel=1e-12)
+
+    def test_asymmetry(self):
+        p = norm([1, 3])
+        q = norm([3, 1])
+        assert kl_divergence(p, q) == pytest.approx(kl_divergence(q, p))  # symmetric pair
+        p2 = norm([1, 9])
+        assert kl_divergence(p2, q) != pytest.approx(kl_divergence(q, p2))
+
+    def test_zero_p_terms_ignored(self):
+        p = np.array([0.0, 1.0])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) == pytest.approx(np.log(2.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones(2) / 2, np.ones(3) / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+
+class TestJensenShannon:
+    def test_symmetry(self):
+        p, q = norm([1, 2, 7]), norm([5, 4, 1])
+        assert jensen_shannon(p, q) == pytest.approx(jensen_shannon(q, p), rel=1e-12)
+
+    def test_bounded_by_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon(p, q) == pytest.approx(np.log(2.0), rel=1e-12)
+
+    def test_zero_for_identical(self):
+        p = norm([2, 5, 3])
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = norm(rng.uniform(0, 1, 5))
+            q = norm(rng.uniform(0, 1, 5))
+            assert jensen_shannon(p, q) >= 0.0
+
+
+class TestTopsoe:
+    def test_twice_js(self):
+        p, q = norm([1, 2, 3]), norm([3, 2, 1])
+        assert topsoe(p, q) == pytest.approx(2 * jensen_shannon(p, q), rel=1e-12)
+
+    def test_bound(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert topsoe(p, q) == pytest.approx(2 * np.log(2.0), rel=1e-12)
+
+    def test_monotone_in_overlap(self):
+        base = norm([1, 1, 0, 0])
+        close = norm([1, 1, 0.2, 0])
+        far = norm([0, 0, 1, 1])
+        assert topsoe(base, close) < topsoe(base, far)

@@ -1,0 +1,78 @@
+"""Tests for repro.metrics.privacy — re-identification bookkeeping."""
+
+import pytest
+
+from repro.metrics.privacy import (
+    ReidentificationReport,
+    non_protected_users,
+    protection_ratio,
+    reidentification_rate,
+)
+
+
+class TestReidentificationReport:
+    def _report(self):
+        r = ReidentificationReport("ds", "lppm")
+        r.record("alice", "AP", "alice")   # caught by AP
+        r.record("alice", "POI", "bob")
+        r.record("bob", "AP", "carol")     # both miss
+        r.record("bob", "POI", "alice")
+        r.record("carol", "AP", "carol")   # caught by both
+        r.record("carol", "POI", "carol")
+        return r
+
+    def test_reidentified_users_any_attack(self):
+        assert self._report().reidentified_users() == {"alice", "carol"}
+
+    def test_protected_users(self):
+        assert self._report().protected_users() == {"bob"}
+
+    def test_rates_by_attack(self):
+        rates = self._report().reidentification_rate_by_attack()
+        assert rates["AP"] == pytest.approx(2 / 3)
+        assert rates["POI"] == pytest.approx(1 / 3)
+
+    def test_empty_report(self):
+        r = ReidentificationReport("ds", "lppm")
+        assert r.reidentified_users() == set()
+        assert r.protected_users() == set()
+        assert r.reidentification_rate_by_attack() == {}
+
+
+class TestNonProtectedUsers:
+    def test_eq4_definition(self):
+        mapping = {
+            "a": ["a", "x"],   # one hit → non-protected
+            "b": ["x", "y"],   # all miss → protected
+            "c": [],           # no guesses → protected
+        }
+        assert non_protected_users(mapping) == {"a"}
+
+
+class TestProtectionRatio:
+    def test_values(self):
+        assert protection_ratio(10, 0) == 1.0
+        assert protection_ratio(10, 10) == 0.0
+        assert protection_ratio(10, 4) == pytest.approx(0.6)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            protection_ratio(0, 0)
+
+    def test_out_of_range_count(self):
+        with pytest.raises(ValueError):
+            protection_ratio(5, 6)
+        with pytest.raises(ValueError):
+            protection_ratio(5, -1)
+
+
+class TestReidentificationRate:
+    def test_basic(self):
+        assert reidentification_rate(["a", "b"], ["a", "x"]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert reidentification_rate([], []) == 0.0
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            reidentification_rate(["a"], [])

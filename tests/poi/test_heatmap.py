@@ -1,0 +1,129 @@
+"""Tests for repro.poi.heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace
+from repro.errors import EmptyTraceError
+from repro.geo.grid import Cell, MetricGrid
+from repro.poi.heatmap import Heatmap, aggregate_heatmaps, build_heatmap
+
+from tests.conftest import make_trace
+
+
+GRID = MetricGrid(800.0, ref_lat=45.0)
+
+
+def spot_trace(user="u", spots=None):
+    """A trace hitting each (lat, lng, count) spot the given number of times."""
+    spots = spots or [(45.0, 4.0, 5)]
+    ts, lats, lngs = [], [], []
+    t = 0.0
+    for lat, lng, count in spots:
+        for _ in range(count):
+            ts.append(t)
+            lats.append(lat)
+            lngs.append(lng)
+            t += 60.0
+    return Trace(user, ts, lats, lngs)
+
+
+class TestBuildHeatmap:
+    def test_single_spot(self):
+        hm = build_heatmap(spot_trace(), GRID)
+        assert len(hm) == 1
+        assert hm.mass(GRID.cell_of(45.0, 4.0)) == pytest.approx(1.0)
+
+    def test_masses_sum_to_one(self):
+        hm = build_heatmap(
+            spot_trace(spots=[(45.0, 4.0, 3), (45.1, 4.1, 7), (45.2, 4.2, 10)]), GRID
+        )
+        assert sum(m for _, m in hm.items()) == pytest.approx(1.0)
+
+    def test_mass_proportional_to_visits(self):
+        hm = build_heatmap(spot_trace(spots=[(45.0, 4.0, 3), (45.1, 4.1, 9)]), GRID)
+        c1 = GRID.cell_of(45.0, 4.0)
+        c2 = GRID.cell_of(45.1, 4.1)
+        assert hm.mass(c2) == pytest.approx(3 * hm.mass(c1))
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(EmptyTraceError):
+            build_heatmap(Trace.empty("u"), GRID)
+
+    def test_unvisited_cell_zero(self):
+        hm = build_heatmap(spot_trace(), GRID)
+        assert hm.mass(Cell(99999, 99999)) == 0.0
+
+    def test_matches_scalar_cell_of(self):
+        # The vectorised accumulation must agree with MetricGrid.cell_of.
+        rng = np.random.default_rng(0)
+        lats = 45.0 + rng.uniform(-0.05, 0.05, 50)
+        lngs = 4.0 + rng.uniform(-0.05, 0.05, 50)
+        trace = Trace("u", np.arange(50.0), lats, lngs)
+        hm = build_heatmap(trace, GRID)
+        expected = {}
+        for lat, lng in zip(lats, lngs):
+            c = GRID.cell_of(float(lat), float(lng))
+            expected[c] = expected.get(c, 0) + 1
+        for cell, count in expected.items():
+            assert hm.mass(cell) == pytest.approx(count / 50.0)
+
+    def test_negative_coordinates(self):
+        # San-Francisco-style negative longitudes must hash correctly.
+        trace = spot_trace(spots=[(37.77, -122.42, 5), (37.80, -122.40, 5)])
+        hm = build_heatmap(trace, MetricGrid(800.0, ref_lat=37.7))
+        assert len(hm) == 2
+        assert sum(m for _, m in hm.items()) == pytest.approx(1.0)
+
+
+class TestHeatmapApi:
+    def test_top_cells(self):
+        hm = build_heatmap(
+            spot_trace(spots=[(45.0, 4.0, 1), (45.1, 4.1, 5), (45.2, 4.2, 3)]), GRID
+        )
+        top = hm.top_cells(2)
+        assert top[0] == GRID.cell_of(45.1, 4.1)
+        assert top[1] == GRID.cell_of(45.2, 4.2)
+
+    def test_support(self):
+        hm = build_heatmap(spot_trace(spots=[(45.0, 4.0, 2), (45.1, 4.1, 2)]), GRID)
+        assert hm.support() == {GRID.cell_of(45.0, 4.0), GRID.cell_of(45.1, 4.1)}
+
+    def test_entropy_uniform_vs_peaked(self):
+        flat = Heatmap(GRID, {Cell(0, 0): 1.0, Cell(1, 0): 1.0})
+        peaked = Heatmap(GRID, {Cell(0, 0): 99.0, Cell(1, 0): 1.0})
+        assert flat.entropy() == pytest.approx(1.0)
+        assert peaked.entropy() < flat.entropy()
+
+    def test_contains(self):
+        hm = Heatmap(GRID, {Cell(0, 0): 1.0})
+        assert Cell(0, 0) in hm
+        assert Cell(1, 1) not in hm
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(EmptyTraceError):
+            Heatmap(GRID, {})
+
+    def test_zero_count_cells_dropped(self):
+        hm = Heatmap(GRID, {Cell(0, 0): 5.0, Cell(1, 1): 0.0})
+        assert len(hm) == 1
+
+
+class TestAggregateHeatmaps:
+    def test_average_of_two(self):
+        a = Heatmap(GRID, {Cell(0, 0): 1.0})
+        b = Heatmap(GRID, {Cell(1, 0): 1.0})
+        agg = aggregate_heatmaps(GRID, [a, b])
+        assert agg.mass(Cell(0, 0)) == pytest.approx(0.5)
+        assert agg.mass(Cell(1, 0)) == pytest.approx(0.5)
+
+    def test_grid_mismatch_rejected(self):
+        a = Heatmap(GRID, {Cell(0, 0): 1.0})
+        other = MetricGrid(500.0, ref_lat=45.0)
+        b = Heatmap(other, {Cell(0, 0): 1.0})
+        with pytest.raises(ValueError):
+            aggregate_heatmaps(GRID, [a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_heatmaps(GRID, [])

@@ -1,0 +1,116 @@
+"""Tests for repro.poi.mmc — Mobility Markov Chains."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import Trace, merge_traces
+from repro.poi.mmc import MarkovChain, build_mmc, stationary_of
+
+from tests.conftest import dwell_trace
+
+
+def commuter_trace(days=3):
+    """Alternating home/work dwells over several days."""
+    pieces = []
+    for day in range(days):
+        t0 = day * 86_400.0
+        pieces.append(dwell_trace("u", 45.00, 4.00, t0=t0, hours=3.0, seed=day))
+        pieces.append(dwell_trace("u", 45.05, 4.05, t0=t0 + 5 * 3600, hours=3.0, seed=day + 100))
+    return merge_traces("u", pieces)
+
+
+class TestBuildMmc:
+    def test_commuter_two_states(self):
+        mmc = build_mmc(commuter_trace())
+        assert len(mmc) == 2
+
+    def test_states_ordered_by_weight(self):
+        mmc = build_mmc(commuter_trace())
+        weights = [s.weight for s in mmc.states]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_transitions_row_stochastic(self):
+        mmc = build_mmc(commuter_trace())
+        sums = mmc.transitions.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_stationary_normalised(self):
+        mmc = build_mmc(commuter_trace())
+        assert mmc.stationary.sum() == pytest.approx(1.0)
+
+    def test_alternation_dominates_transitions(self):
+        mmc = build_mmc(commuter_trace(days=5))
+        # Home↔work alternation: off-diagonal entries dominate.
+        assert mmc.transitions[0, 1] > mmc.transitions[0, 0]
+        assert mmc.transitions[1, 0] > mmc.transitions[1, 1]
+
+    def test_empty_trace_gives_empty_chain(self):
+        mmc = build_mmc(Trace.empty("u"))
+        assert len(mmc) == 0
+
+    def test_trace_without_dwells_gives_empty_chain(self):
+        # Constant movement, never 1 h in one place.
+        n = 100
+        ts = np.arange(n) * 60.0
+        lats = 45.0 + np.arange(n) * 0.005
+        trace = Trace("u", ts, lats, np.full(n, 4.0))
+        assert len(build_mmc(trace)) == 0
+
+    def test_max_states_cap(self):
+        pieces = []
+        for i in range(8):
+            pieces.append(
+                dwell_trace("u", 45.0 + i * 0.02, 4.0, t0=i * 4 * 3600.0, hours=2.0, seed=i)
+            )
+        trace = merge_traces("u", pieces)
+        mmc = build_mmc(trace, max_states=3)
+        assert len(mmc) <= 3
+
+    def test_deterministic(self):
+        a = build_mmc(commuter_trace())
+        b = build_mmc(commuter_trace())
+        assert np.allclose(a.transitions, b.transitions)
+        assert np.allclose(a.stationary, b.stationary)
+
+
+class TestStationaryOf:
+    def test_uniform_chain(self):
+        p = np.array([[0.5, 0.5], [0.5, 0.5]])
+        pi = stationary_of(p)
+        assert np.allclose(pi, [0.5, 0.5])
+
+    def test_biased_chain(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        pi = stationary_of(p)
+        # Solve πP = π analytically: π0 = 5/6.
+        assert pi[0] == pytest.approx(5 / 6, rel=1e-4)
+
+    def test_fixed_point(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0.1, 1.0, size=(4, 4))
+        p = p / p.sum(axis=1, keepdims=True)
+        pi = stationary_of(p)
+        assert np.allclose(pi @ p, pi, atol=1e-9)
+
+    def test_empty(self):
+        assert stationary_of(np.zeros((0, 0))).size == 0
+
+
+class TestMarkovChainValidation:
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.poi.clustering import POI
+
+        state = POI(45.0, 4.0, 10, 3600.0, 0.0, 3600.0)
+        with pytest.raises(ConfigurationError):
+            MarkovChain(
+                states=(state,),
+                transitions=np.zeros((2, 2)),
+                stationary=np.ones(1),
+            )
+        with pytest.raises(ConfigurationError):
+            MarkovChain(
+                states=(state,),
+                transitions=np.ones((1, 1)),
+                stationary=np.ones(2),
+            )

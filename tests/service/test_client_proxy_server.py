@@ -1,0 +1,142 @@
+"""Tests for the crowdsensing client, proxy, and server components."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.core.mood import Mood
+from repro.core.trace import Trace
+from repro.geo.grid import MetricGrid
+from repro.lppm.base import LPPM
+from repro.service.client import MobileClient, UploadChunk
+from repro.service.proxy import MoodProxy
+from repro.service.server import CollectionServer
+
+DAY = 86_400.0
+
+
+class _Noop(LPPM):
+    name = "noop"
+
+    def apply(self, trace, rng=None):
+        return trace
+
+
+class _NeverAttack:
+    name = "never"
+
+    def reidentify(self, trace):
+        return "<nobody>"
+
+
+class _AlwaysAttack:
+    name = "always"
+
+    def reidentify(self, trace):
+        return trace.user_id
+
+
+def multi_day_trace(user="u", days=3, period=600.0):
+    n = int(days * DAY / period)
+    ts = np.arange(n) * period
+    return Trace(user, ts, np.full(n, 45.0), np.full(n, 4.0))
+
+
+class TestMobileClient:
+    def test_chunking(self):
+        client = MobileClient(multi_day_trace(days=3), chunk_s=DAY)
+        assert client.days_total == 3
+        assert client.days_remaining == 3
+
+    def test_next_upload_sequence(self):
+        client = MobileClient(multi_day_trace(days=2), chunk_s=DAY)
+        first = client.next_upload()
+        second = client.next_upload()
+        assert first.day_index == 0
+        assert second.day_index == 1
+        assert client.next_upload() is None
+
+    def test_upload_times(self):
+        client = MobileClient(multi_day_trace(days=2), chunk_s=DAY)
+        times = client.upload_times(campaign_start=0.0)
+        assert times == [DAY, 2 * DAY]
+
+    def test_empty_trace(self):
+        client = MobileClient(Trace.empty("u"))
+        assert client.days_total == 0
+        assert client.next_upload() is None
+
+
+class TestMoodProxy:
+    def _proxy(self, attack):
+        mood = Mood([_Noop()], [attack], delta_s=4 * 3600.0)
+        return MoodProxy(mood)
+
+    def test_protecting_proxy_publishes(self):
+        proxy = self._proxy(_NeverAttack())
+        chunk = UploadChunk("u", 0, multi_day_trace(days=1))
+        published = proxy.process(chunk)
+        assert len(published) == 1
+        assert proxy.stats.records_published == chunk.records
+        assert proxy.stats.records_erased == 0
+
+    def test_hopeless_chunk_erased(self):
+        proxy = self._proxy(_AlwaysAttack())
+        chunk = UploadChunk("u", 0, multi_day_trace(days=1))
+        published = proxy.process(chunk)
+        assert published == []
+        assert proxy.stats.records_erased == chunk.records
+        assert proxy.stats.erasure_ratio == 1.0
+
+    def test_pseudonyms_unique_across_days(self):
+        proxy = self._proxy(_NeverAttack())
+        ids = []
+        for day in range(3):
+            chunk = UploadChunk("u", day, multi_day_trace(days=1))
+            ids.extend(t.user_id for t in proxy.process(chunk))
+        assert len(ids) == len(set(ids)) == 3
+        assert all(i.startswith("u#") for i in ids)
+
+    def test_mechanism_usage_tracked(self):
+        proxy = self._proxy(_NeverAttack())
+        proxy.process(UploadChunk("u", 0, multi_day_trace(days=1)))
+        assert proxy.stats.mechanism_usage == {"noop": 1}
+
+
+class TestCollectionServer:
+    def test_receive_and_stats(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        server.receive(multi_day_trace("u#0", days=1))
+        server.receive(multi_day_trace("u#1", days=1))
+        stats = server.stats
+        assert stats.uploads == 2
+        assert stats.distinct_pseudonyms == 2
+        assert stats.records > 0
+
+    def test_count_query(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        trace = multi_day_trace("u#0", days=1)
+        server.receive(trace)
+        assert server.count_in_cell(45.0, 4.0) == len(trace)
+        assert server.count_in_cell(50.0, 10.0) == 0
+
+    def test_top_cells(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        server.receive(multi_day_trace("u#0", days=1))
+        top = server.top_cells(3)
+        assert len(top) >= 1
+        assert top[0][1] >= top[-1][1]
+
+    def test_density_correlation_perfect_for_raw(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        ds = MobilityDataset("ref")
+        trace = multi_day_trace("u", days=1)
+        ds.add(trace)
+        server.receive(trace)
+        assert server.density_correlation(ds) == pytest.approx(1.0)
+
+    def test_as_dataset(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        server.receive(multi_day_trace("u#0", days=1))
+        out = server.as_dataset()
+        assert out.user_ids() == ["u#0"]

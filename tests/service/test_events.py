@@ -1,0 +1,99 @@
+"""Tests for repro.service.events — the discrete-event kernel."""
+
+import pytest
+
+from repro.service.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(9.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        loop = EventLoop()
+        order = []
+        for tag in "xyz":
+            loop.schedule(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        loop = EventLoop(start_time=10.0)
+        seen = []
+        loop.schedule(15.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [15.0]
+        assert loop.now == 15.0
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start_time=100.0)
+        with pytest.raises(ValueError):
+            loop.schedule(99.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(start_time=50.0)
+        seen = []
+        loop.schedule_in(10.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [60.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_until_leaves_future_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(10))
+        processed = loop.run(until=5.0)
+        assert processed == 1
+        assert seen == [1]
+        assert loop.pending() == 1
+        assert loop.now == 5.0
+
+    def test_resume_after_until(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(10.0, lambda: seen.append(10))
+        loop.run(until=5.0)
+        loop.run()
+        assert seen == [10]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                loop.schedule_in(1.0, lambda: chain(n + 1))
+
+        loop.schedule(0.0, lambda: chain(0))
+        loop.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(1.0, forever)
+
+        loop.schedule(0.0, forever)
+        processed = loop.run(max_events=100)
+        assert processed == 100
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.processed_events == 5

@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.uniqueness."""
+
+import pytest
+
+from repro.analysis import (
+    UniquenessReport,
+    anonymity_rank,
+    top_k_reidentification_rate,
+    uniqueness_report,
+)
+from repro.attacks.base import Attack
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+
+from tests.conftest import make_trace
+
+
+class _LatRankAttack(Attack):
+    """Toy attack ranking users by centroid-latitude distance."""
+
+    name = "lat-rank"
+
+    def _build_profiles(self, background):
+        self._profiles = {
+            t.user_id: float(t.lats.mean()) for t in background.traces() if len(t)
+        }
+
+    def rank(self, trace):
+        self._require_fitted()
+        if len(trace) == 0:
+            return []
+        lat = float(trace.lats.mean())
+        scored = [(u, abs(lat - p)) for u, p in self._profiles.items()]
+        scored.sort(key=lambda ud: (ud[1], ud[0]))
+        return scored
+
+
+@pytest.fixture
+def world():
+    ds = MobilityDataset("w")
+    for i, lat in enumerate([44.0, 45.0, 46.0, 47.0]):
+        ds.add(make_trace(f"u{i}", [(lat, 4.0)] * 3))
+    attack = _LatRankAttack().fit(ds)
+    return ds, attack
+
+
+class TestAnonymityRank:
+    def test_exact_match_rank_one(self, world):
+        ds, attack = world
+        assert anonymity_rank(attack, ds["u1"], "u1") == 1
+
+    def test_confused_user_has_higher_rank(self, world):
+        ds, attack = world
+        # A trace between u1 (45.0) and u2 (46.0), slightly closer to u2.
+        probe = make_trace("u1", [(45.6, 4.0)] * 3)
+        assert anonymity_rank(attack, probe, "u1") == 2
+
+    def test_unplaceable_is_none(self, world):
+        _, attack = world
+        assert anonymity_rank(attack, Trace.empty("u1"), "u1") is None
+
+    def test_unknown_user_is_none(self, world):
+        ds, attack = world
+        assert anonymity_rank(attack, ds["u1"], "stranger") is None
+
+
+class TestTopK:
+    def test_k1_equals_reidentification(self, world):
+        ds, attack = world
+        assert top_k_reidentification_rate(attack, ds, k=1) == 1.0
+
+    def test_k_monotone(self, world):
+        ds, attack = world
+        r1 = top_k_reidentification_rate(attack, ds, k=1)
+        r3 = top_k_reidentification_rate(attack, ds, k=3)
+        assert r3 >= r1
+
+    def test_invalid_k(self, world):
+        ds, attack = world
+        with pytest.raises(ValueError):
+            top_k_reidentification_rate(attack, ds, k=0)
+
+    def test_empty_dataset(self, world):
+        _, attack = world
+        assert top_k_reidentification_rate(attack, MobilityDataset("e")) == 0.0
+
+
+class TestUniquenessReport:
+    def test_full_report(self, world):
+        ds, attack = world
+        report = uniqueness_report(attack, ds)
+        assert report.users == 4
+        assert report.unique_users() == 4
+        assert report.unplaceable_users() == 0
+        assert report.median_rank() == 1.0
+        assert report.top_k_rate(1) == 1.0
+        assert report.crowd_size_for(1.0) == 1
+
+    def test_mixed_report(self):
+        report = UniquenessReport("d", "a", ranks={"a": 1, "b": 3, "c": None, "d": 2})
+        assert report.unique_users() == 1
+        assert report.unplaceable_users() == 1
+        assert report.top_k_rate(2) == pytest.approx(0.5)
+        assert report.median_rank() == 2.0
+
+    def test_crowd_size_unreachable(self):
+        report = UniquenessReport("d", "a", ranks={"a": None, "b": None})
+        assert report.crowd_size_for(0.5) is None
+        assert report.median_rank() is None
+
+    def test_invalid_coverage(self):
+        report = UniquenessReport("d", "a", ranks={"a": 1})
+        with pytest.raises(ValueError):
+            report.crowd_size_for(0.0)
+
+    def test_real_attack_integration(self, micro_ctx):
+        ap = micro_ctx.attack_by_name["AP-attack"]
+        report = uniqueness_report(ap, micro_ctx.test)
+        assert report.users == len(micro_ctx.test)
+        # Synthetic residents are largely unique under the heatmap attack.
+        assert report.unique_users() >= report.users // 2
+        assert report.top_k_rate(len(micro_ctx.test)) + (
+            report.unplaceable_users() / report.users
+        ) == pytest.approx(1.0)

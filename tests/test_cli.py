@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "privamov", "--out", "x.csv", "--users", "3"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "privamov"
+        assert args.users == 3
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig7", "--dataset", "mdc"])
+        assert args.which == "fig7"
+
+    def test_unknown_dataset_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nyc", "--out", "x.csv"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "d.csv"
+        code = main(
+            ["generate", "privamov", "--out", str(out), "--users", "2", "--days", "2"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+        header = out.read_text().splitlines()[0]
+        assert header == "user_id,timestamp,lat,lng"
+
+    def test_protect_summary(self, capsys):
+        code = main(
+            ["protect", "--dataset", "privamov", "--users", "6", "--days", "6", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fully protected" in out
+        assert "data loss" in out
+
+    def test_experiment_table1(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_campaign(self, capsys):
+        code = main(
+            ["campaign", "--dataset", "privamov", "--users", "5", "--days", "4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count-query fidelity" in out
+        assert "mechanism usage" in out

@@ -1,0 +1,24 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_dual_inheritance_for_std_idioms(self):
+        # Callers can catch standard exception types too.
+        assert issubclass(errors.InvalidRecordError, ValueError)
+        assert issubclass(errors.UnknownUserError, KeyError)
+        assert issubclass(errors.NotFittedError, RuntimeError)
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_catchable_at_api_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.EmptyTraceError("boom")

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composition import composition_count, enumerate_compositions
+from repro.core.split import split_fixed_time, split_in_half, split_on_gaps
+from repro.core.trace import Trace
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.geo.grid import MetricGrid
+from repro.lppm.geoi import GeoInd
+from repro.lppm.identity import Identity
+from repro.metrics.distortion import bucket_of, spatial_temporal_distortion
+from repro.metrics.divergence import jensen_shannon, topsoe
+
+# -- strategies -------------------------------------------------------------
+
+lat_st = st.floats(min_value=-84.0, max_value=84.0, allow_nan=False)
+lng_st = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+city_lat = st.floats(min_value=44.9, max_value=45.1)
+city_lng = st.floats(min_value=3.9, max_value=4.1)
+
+
+@st.composite
+def traces(draw, min_size=1, max_size=40):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    dts = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=3600.0),
+            min_size=n, max_size=n,
+        )
+    )
+    ts = np.cumsum(dts)
+    lats = [draw(city_lat) for _ in range(n)]
+    lngs = [draw(city_lng) for _ in range(n)]
+    return Trace("u", ts, lats, lngs)
+
+
+@st.composite
+def distributions(draw, size=6):
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=size, max_size=size,
+        ).filter(lambda v: sum(v) > 1e-6)
+    )
+    arr = np.asarray(raw)
+    return arr / arr.sum()
+
+
+# -- geodesy -----------------------------------------------------------------
+
+
+class TestGeodesyProperties:
+    @given(lat_st, lng_st, lat_st, lng_st)
+    @settings(max_examples=60, deadline=None)
+    def test_haversine_symmetric_nonnegative(self, lat1, lng1, lat2, lng2):
+        d1 = haversine_m(lat1, lng1, lat2, lng2)
+        d2 = haversine_m(lat2, lng2, lat1, lng1)
+        assert d1 >= 0.0
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-6)
+
+    @given(lat_st, lng_st,
+           st.floats(min_value=0.0, max_value=2 * math.pi),
+           st.floats(min_value=0.0, max_value=50_000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_destination_distance_roundtrip(self, lat, lng, bearing, dist):
+        nlat, nlng = destination_point(lat, lng, bearing, dist)
+        assert haversine_m(lat, lng, nlat, nlng) == pytest.approx(dist, rel=1e-4, abs=0.5)
+
+    @given(city_lat, city_lng)
+    @settings(max_examples=40, deadline=None)
+    def test_grid_center_roundtrip(self, lat, lng):
+        grid = MetricGrid(800.0, ref_lat=45.0)
+        cell = grid.cell_of(lat, lng)
+        clat, clng = grid.center_of(cell)
+        assert grid.cell_of(clat, clng) == cell
+        # Centre within half a cell diagonal of the point.
+        assert haversine_m(lat, lng, clat, clng) <= 800.0 * 0.75
+
+
+# -- splits -------------------------------------------------------------------
+
+
+class TestSplitProperties:
+    @given(traces(min_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_half_split_is_partition(self, trace):
+        left, right = split_in_half(trace)
+        assert len(left) + len(right) == len(trace)
+        merged = sorted(
+            list(left.timestamps) + list(right.timestamps)
+        )
+        assert merged == pytest.approx(sorted(trace.timestamps))
+
+    @given(traces(), st.floats(min_value=60.0, max_value=7200.0))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_time_split_lossless(self, trace, window):
+        chunks = split_fixed_time(trace, window)
+        assert sum(len(c) for c in chunks) == len(trace)
+        for chunk in chunks:
+            assert chunk.duration_s() <= window
+
+    @given(traces(), st.floats(min_value=10.0, max_value=2000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_gap_split_lossless_and_gapless(self, trace, max_gap):
+        pieces = split_on_gaps(trace, max_gap)
+        assert sum(len(p) for p in pieces) == len(trace)
+        for piece in pieces:
+            gaps = np.diff(piece.timestamps)
+            assert np.all(gaps <= max_gap + 1e-9)
+
+
+# -- compositions ---------------------------------------------------------------
+
+
+class TestCompositionProperties:
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_count_matches_enumeration(self, n):
+        class _L(Identity):
+            def __init__(self, i):
+                self.name = f"l{i}"
+
+        lppms = [_L(i) for i in range(n)]
+        assert len(enumerate_compositions(lppms)) == composition_count(n)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_count_recurrence(self, n):
+        # |C(n)| = n · (|C(n−1)| + 1) — adding one LPPM multiplies choices.
+        assert composition_count(n) == n * (composition_count(n - 1) + 1)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(distributions(), distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_topsoe_bounds_and_symmetry(self, p, q):
+        t = topsoe(p, q)
+        assert -1e-12 <= t <= 2 * math.log(2) + 1e-9
+        assert t == pytest.approx(topsoe(q, p), rel=1e-9, abs=1e-12)
+
+    @given(distributions())
+    @settings(max_examples=30, deadline=None)
+    def test_divergence_identity_of_indiscernibles(self, p):
+        assert topsoe(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_std_zero_for_identity(self, trace):
+        assert spatial_temporal_distortion(trace, trace) == pytest.approx(0.0, abs=1e-6)
+
+    @given(traces(), st.floats(min_value=0.0001, max_value=0.01))
+    @settings(max_examples=30, deadline=None)
+    def test_std_constant_shift(self, trace, dlat):
+        shifted = trace.with_positions(trace.lats + dlat, trace.lngs)
+        expected = dlat * 111_195.0  # metres per degree of latitude
+        std = spatial_temporal_distortion(trace, shifted)
+        assert std == pytest.approx(expected, rel=0.01)
+
+    @given(st.floats(min_value=0.0, max_value=1e7))
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_total_order(self, d):
+        label = bucket_of(d)
+        bounds = {"low(<500m)": 500.0, "medium(<1000m)": 1000.0, "high(<5000m)": 5000.0}
+        if label in bounds:
+            assert d < bounds[label]
+        else:
+            assert d >= 5000.0
+
+
+# -- LPPM invariants --------------------------------------------------------------
+
+
+class TestLppmProperties:
+    @given(traces(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_geoi_preserves_timestamps_and_count(self, trace, seed):
+        out = GeoInd(0.01).apply(trace, rng=seed)
+        assert len(out) == len(trace)
+        assert np.array_equal(out.timestamps, trace.timestamps)
+        assert np.all(np.abs(out.lats) <= 90.0)
+
+    @given(traces(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_geoi_deterministic_in_seed(self, trace, seed):
+        a = GeoInd(0.01).apply(trace, rng=seed)
+        b = GeoInd(0.01).apply(trace, rng=seed)
+        assert np.array_equal(a.lats, b.lats)
+        assert np.array_equal(a.lngs, b.lngs)

@@ -1,0 +1,71 @@
+"""Tests for repro.rng — deterministic random-number helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng, spawn, stable_user_seed
+
+
+class TestMakeRng:
+    def test_none_returns_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**31, size=8)
+        b = make_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(make_rng(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn(make_rng(0), 3)
+        draws = [c.integers(0, 2**31, size=4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [c.integers(0, 100, 3).tolist() for c in spawn(make_rng(9), 3)]
+        b = [c.integers(0, 100, 3).tolist() for c in spawn(make_rng(9), 3)]
+        assert a == b
+
+
+class TestStableUserSeed:
+    def test_deterministic(self):
+        assert stable_user_seed(5, "alice") == stable_user_seed(5, "alice")
+
+    def test_user_sensitivity(self):
+        assert stable_user_seed(5, "alice") != stable_user_seed(5, "bob")
+
+    def test_base_seed_sensitivity(self):
+        assert stable_user_seed(1, "alice") != stable_user_seed(2, "alice")
+
+    def test_in_valid_range(self):
+        for user in ["a", "b", "x" * 100, "unicode_é"]:
+            seed = stable_user_seed(123456789, user)
+            assert 0 <= seed < 2**63 - 1
+
+    def test_order_independence_of_usage(self):
+        # The same (base, user) pair gives the same stream regardless of
+        # how many other users were processed before.
+        s1 = stable_user_seed(0, "u7")
+        _ = [stable_user_seed(0, f"u{i}") for i in range(20)]
+        assert stable_user_seed(0, "u7") == s1

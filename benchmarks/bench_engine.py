@@ -1,0 +1,74 @@
+"""Batch-engine throughput: serial vs. process executor.
+
+Measures ``ProtectionEngine.protect_dataset`` in users/sec so the
+BENCH_*.json history tracks the parallel speedup of the process
+executor over the serial baseline.  Per-user protection is
+embarrassingly parallel and seeded order-independently, so the two
+backends publish byte-identical datasets — asserted here on every run,
+keeping the speedup honest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import get_context, run_once
+from repro.datasets.io import save_csv
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context("privamov")
+
+
+def _report_throughput(label: str, report) -> None:
+    print(
+        f"\n{label}: {len(report.results)} users in {report.wall_time_s:.2f}s "
+        f"→ {report.users_per_second:.2f} users/sec "
+        f"({report.evaluations} candidate evaluations)"
+    )
+
+
+class TestProtectDatasetThroughput:
+    def test_serial_executor(self, benchmark, ctx):
+        engine = ctx.engine(executor="serial")
+        report = run_once(benchmark, lambda: engine.protect_dataset(ctx.test))
+        _report_throughput("serial", report)
+        assert set(report.results) == set(ctx.test.user_ids())
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_process_executor(self, benchmark, ctx, jobs):
+        engine = ctx.engine(executor="process", jobs=jobs)
+        report = run_once(benchmark, lambda: engine.protect_dataset(ctx.test))
+        _report_throughput(f"process×{jobs}", report)
+        assert set(report.results) == set(ctx.test.user_ids())
+
+    def test_parallel_output_is_byte_identical(self, benchmark, ctx, tmp_path):
+        serial = ctx.engine(executor="serial")
+        parallel = ctx.engine(executor="process", jobs=4)
+        a = serial.protect_dataset(ctx.test)
+        b = run_once(benchmark, lambda: parallel.protect_dataset(ctx.test))
+        pa, pb = tmp_path / "serial.csv", tmp_path / "process.csv"
+        save_csv(a.published_dataset(), pa)
+        save_csv(b.published_dataset(), pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+class TestEvaluateThroughput:
+    """The unified evaluate() path the figure harnesses sit on."""
+
+    def test_mood_composition_only_serial(self, benchmark, ctx):
+        engine = ctx.engine(executor="serial")
+        report = run_once(
+            benchmark,
+            lambda: engine.evaluate("mood", ctx.test, composition_only=True),
+        )
+        assert report.users() == set(ctx.test.user_ids())
+
+    def test_mood_composition_only_process(self, benchmark, ctx):
+        engine = ctx.engine(executor="process", jobs=4)
+        report = run_once(
+            benchmark,
+            lambda: engine.evaluate("mood", ctx.test, composition_only=True),
+        )
+        assert report.users() == set(ctx.test.user_ids())

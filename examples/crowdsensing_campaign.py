@@ -22,7 +22,7 @@ def main(dataset: str = "privamov", n_users: int = 16) -> None:
     ctx = prepare_context(dataset, seed=3, n_users=n_users, days=12)
     print(f"campaign corpus: {ctx.test} (attacker trained on the prior week)")
 
-    campaign = CrowdsensingCampaign(ctx.test, ctx.mood(), chunk_s=86_400.0)
+    campaign = CrowdsensingCampaign(ctx.test, ctx.engine(), chunk_s=86_400.0)
     report = campaign.run()
 
     print()

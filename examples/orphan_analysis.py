@@ -13,7 +13,6 @@ Run:  python examples/orphan_analysis.py [dataset] [n_users]
 import sys
 from collections import Counter
 
-from repro import evaluate_lppm, evaluate_mood
 from repro.experiments.harness import prepare_context
 from repro.experiments.reporting import ascii_table
 from repro.lppm import Identity
@@ -24,12 +23,13 @@ def main(dataset: str = "mdc", n_users: int = 18) -> None:
     attack_names = [a.name for a in ctx.attacks]
 
     # Which attacks catch each unprotected user?
-    raw_ev = evaluate_lppm(Identity(), ctx.test, ctx.attacks, seed=ctx.seed)
+    engine = ctx.engine()
+    raw_ev = engine.evaluate("lppm", ctx.test, lppm=Identity()).result
     single_evs = {
-        lppm.name: evaluate_lppm(lppm, ctx.test, ctx.attacks, seed=ctx.seed)
+        lppm.name: engine.evaluate("lppm", ctx.test, lppm=lppm).result
         for lppm in ctx.lppms
     }
-    mood_ev = evaluate_mood(ctx.mood(), ctx.test, composition_only=True)
+    mood_ev = engine.evaluate("mood", ctx.test, composition_only=True).result
 
     rows = []
     orphans = []

@@ -11,7 +11,7 @@ Run:  python examples/publish_dataset.py [dataset] [n_users]
 
 import sys
 
-from repro import evaluate_lppm, evaluate_mood, data_loss
+from repro import data_loss
 from repro.experiments.harness import prepare_context
 from repro.experiments.reporting import ascii_table
 
@@ -24,10 +24,11 @@ def main(dataset: str = "geolife", n_users: int = 20) -> None:
     print()
 
     rows = []
+    engine = ctx.engine()
 
     # Strategy 1 — pick one LPPM, delete whatever stays re-identifiable.
     for lppm in ctx.lppms:
-        ev = evaluate_lppm(lppm, ctx.test, ctx.attacks, seed=ctx.seed)
+        ev = engine.evaluate("lppm", ctx.test, lppm=lppm)
         vulnerable = ev.non_protected()
         loss = data_loss(ctx.test, vulnerable)
         rows.append(
@@ -35,7 +36,7 @@ def main(dataset: str = "geolife", n_users: int = 20) -> None:
         )
 
     # Strategy 2 — MooD: compositions + fine-grained splitting.
-    mood_ev = evaluate_mood(ctx.mood(), ctx.test)
+    mood_ev = engine.evaluate("mood", ctx.test).result
     rows.append(
         [
             "MooD",

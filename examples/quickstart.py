@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    Mood,
+    ProtectionEngine,
     default_attack_suite,
     default_lppm_suite,
     generate_dataset,
@@ -46,11 +46,11 @@ def main() -> None:
     # 5. MooD: Geo-I, TRL and HMC plus all their ordered compositions,
     #    with fine-grained splitting as the last resort.
     lppms = default_lppm_suite(background)
-    mood = Mood(lppms, attacks, seed=7)
+    engine = ProtectionEngine(lppms, attacks, seed=7)
 
     # 6. Protect one user end to end.
     victim = to_share.traces()[0]
-    result = mood.protect(victim)
+    result = engine.protect(victim)
     print(f"\nprotecting {victim.user_id}:")
     print(f"  fully protected : {result.fully_protected}")
     print(f"  published pieces: {len(result.pieces)}")

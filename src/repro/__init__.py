@@ -12,25 +12,42 @@ figure of the paper.
 Quickstart::
 
     from repro import (
-        Mood, default_attack_suite, default_lppm_suite,
+        ProtectionConfig, ProtectionEngine,
         generate_dataset, train_test_split,
     )
 
     raw = generate_dataset("privamov", seed=42)
     background, to_share = train_test_split(raw)
-    attacks = [a.fit(background) for a in default_attack_suite()]
-    mood = Mood(default_lppm_suite(background), attacks)
-    result = mood.protect(to_share.traces()[0])
+    engine = ProtectionEngine.from_config(ProtectionConfig()).fit(background)
+    result = engine.protect(to_share.traces()[0])
     print(result.fully_protected, result.mean_distortion_m())
+
+    # or over the whole dataset, in parallel:
+    report = engine.protect_dataset(to_share)
+
+Every component (LPPM, attack, split policy, search strategy, executor)
+is registry-backed — see :mod:`repro.registry` — so the engine can also
+be rebuilt from a JSON config file alone (``docs/API.md``).
 """
 
-from repro.attacks import ApAttack, Attack, PitAttack, PoiAttack, default_attack_suite
+from repro.attacks import (
+    NO_GUESS,
+    ApAttack,
+    Attack,
+    PitAttack,
+    PoiAttack,
+    default_attack_suite,
+)
+from repro.config import ProtectionConfig
 from repro.core import (
     ComposedLPPM,
+    EvaluationReport,
     MobilityDataset,
     Mood,
     MoodResult,
     ProtectedPiece,
+    ProtectionEngine,
+    ProtectionReport,
     Record,
     Trace,
     composition_count,
@@ -62,6 +79,7 @@ from repro.metrics import (
     spatial_temporal_distortion,
     topsoe,
 )
+from repro.registry import available, build, register, spec_of
 
 __version__ = "1.0.0"
 
@@ -92,7 +110,12 @@ __all__ = [
     "PitAttack",
     "ApAttack",
     "default_attack_suite",
-    # MooD
+    "NO_GUESS",
+    # protection engine
+    "ProtectionConfig",
+    "ProtectionEngine",
+    "ProtectionReport",
+    "EvaluationReport",
     "Mood",
     "MoodResult",
     "ProtectedPiece",
@@ -102,6 +125,11 @@ __all__ = [
     "evaluate_lppm",
     "evaluate_hybrid",
     "evaluate_mood",
+    # registries
+    "register",
+    "build",
+    "available",
+    "spec_of",
     # metrics
     "spatial_temporal_distortion",
     "distortion_buckets",

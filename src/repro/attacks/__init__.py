@@ -1,12 +1,13 @@
 """User re-identification attacks (paper §2.2 and §4.1.1)."""
 
 from repro.attacks.ap_attack import ApAttack
-from repro.attacks.base import UNKNOWN_USER, Attack
+from repro.attacks.base import NO_GUESS, UNKNOWN_USER, Attack
 from repro.attacks.pit_attack import PitAttack, stats_prox_distance
 from repro.attacks.poi_attack import PoiAttack, poi_set_distance
 
 __all__ = [
     "Attack",
+    "NO_GUESS",
     "UNKNOWN_USER",
     "ApAttack",
     "PitAttack",

@@ -19,6 +19,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.registry import register_attack
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.geo.grid import Cell, MetricGrid
@@ -27,6 +28,7 @@ from repro.poi.heatmap import build_heatmap
 _EPS = 1e-12
 
 
+@register_attack("ap")
 class ApAttack(Attack):
     """Re-identification by heatmap similarity."""
 

@@ -20,9 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.errors import NotFittedError
-
-#: Sentinel guess returned when an attack cannot form any hypothesis.
-UNKNOWN_USER = "<unknown>"
+from repro.types import NO_GUESS, UNKNOWN_USER  # noqa: F401  (public home)
 
 
 class Attack(abc.ABC):

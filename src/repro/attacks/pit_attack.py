@@ -28,6 +28,7 @@ import math
 from typing import Dict, List, Tuple
 
 from repro.attacks.base import Attack
+from repro.registry import register_attack
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.poi.mmc import MarkovChain, build_mmc
@@ -87,6 +88,7 @@ PIT_DISTANCES = {
 }
 
 
+@register_attack("pit")
 class PitAttack(Attack):
     """Re-identification by MMC matching with the stats-prox distance."""
 

@@ -18,6 +18,7 @@ import math
 from typing import Dict, List, Sequence, Tuple
 
 from repro.attacks.base import Attack
+from repro.registry import register_attack
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.poi.clustering import POI, extract_pois, merge_nearby_pois
@@ -41,6 +42,7 @@ def poi_set_distance(a: Sequence[POI], b: Sequence[POI]) -> float:
     return 0.5 * (_directed_distance(a, b) + _directed_distance(b, a))
 
 
+@register_attack("poi")
 class PoiAttack(Attack):
     """Re-identification by POI-set matching."""
 

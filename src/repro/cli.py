@@ -4,12 +4,17 @@ Commands
 --------
 ``mood generate <dataset> --out file.csv``
     Generate a synthetic corpus and save it as CSV.
-``mood protect --dataset privamov``
+``mood protect --dataset privamov [--config run.json] [--jobs N]``
     Run the full MooD pipeline on one corpus and print the summary.
+    With ``--config`` the engine (LPPMs, attacks, δ, split policy,
+    search strategy, executor) is rebuilt declaratively from a JSON
+    file; ``--jobs N`` fans the per-user work out over N processes.
 ``mood experiment <table1|fig2_3|fig6|fig7|fig8|fig9|fig10|all> [--dataset D]``
     Regenerate a paper table/figure as an ASCII table.
 ``mood campaign --dataset privamov``
     Run the crowdsensing deployment simulation.
+``mood config validate <file>`` / ``mood config example``
+    Lint a protection config file / print a template to adapt.
 """
 
 from __future__ import annotations
@@ -45,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     prot = sub.add_parser("protect", help="run the full MooD pipeline on a corpus")
     prot.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
+    prot.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON ProtectionConfig file; overrides the built-in engine set-up",
+    )
+    prot.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: config value or 1)",
+    )
     _add_common(prot)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -59,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
     _add_common(camp)
 
+    conf = sub.add_parser("config", help="work with declarative protection configs")
+    conf_sub = conf.add_subparsers(dest="config_command", required=True)
+    validate = conf_sub.add_parser("validate", help="lint a protection config file")
+    validate.add_argument("file", help="path to a JSON ProtectionConfig")
+    conf_sub.add_parser("example", help="print a template config to adapt")
+
     return parser
 
 
@@ -70,12 +93,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_protect(args: argparse.Namespace) -> int:
-    from repro.core.pipeline import evaluate_mood
+    from repro.config import ProtectionConfig
+    from repro.core.engine import ProtectionEngine
     from repro.experiments.harness import prepare_context
 
     t0 = time.time()
     ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
-    ev = evaluate_mood(ctx.mood(), ctx.test)
+    if args.config:
+        cfg = ProtectionConfig.from_file(args.config)
+        if args.jobs is not None:
+            cfg.jobs = args.jobs
+            if cfg.executor == "serial" and args.jobs > 1:
+                cfg.executor = "process"
+        engine = ProtectionEngine.from_config(cfg).fit(ctx.train)
+    else:
+        jobs = args.jobs if args.jobs is not None else 1
+        engine = ctx.engine(executor="process" if jobs > 1 else "serial", jobs=jobs)
+    report = engine.evaluate("mood", ctx.test)
+    ev = report.result
     protected = len(ctx.test) - len(ev.non_protected())
     print(f"dataset            : {ctx.name}")
     print(f"users              : {len(ctx.test)}")
@@ -128,7 +163,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.service import CrowdsensingCampaign
 
     ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
-    campaign = CrowdsensingCampaign(ctx.test, ctx.mood())
+    campaign = CrowdsensingCampaign(ctx.test, ctx.engine())
     report = campaign.run()
     print(f"dataset              : {ctx.name}")
     print(f"clients              : {report.clients}")
@@ -145,15 +180,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    from repro.config import ProtectionConfig
+    from repro.core.engine import ProtectionEngine
+    from repro.errors import ReproError
+
+    if args.config_command == "example":
+        print(ProtectionConfig().to_json())
+        return 0
+    try:
+        cfg = ProtectionConfig.from_file(args.file)
+        # Building the components catches bad constructor kwargs, not
+        # just bad names — full lint without running anything.
+        ProtectionEngine.from_config(cfg)
+    except (ReproError, ValueError) as exc:
+        print(f"invalid config {args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK")
+    print(cfg.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
         "protect": _cmd_protect,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
+        "config": _cmd_config,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -6,13 +6,16 @@ from repro.core.composition import (
     enumerate_compositions,
 )
 from repro.core.dataset import MobilityDataset
-from repro.core.mood import (
+from repro.core.engine import (
     DEFAULT_CHUNK_S,
     DEFAULT_DELTA_S,
-    Mood,
+    EvaluationReport,
     MoodResult,
     ProtectedPiece,
+    ProtectionEngine,
+    ProtectionReport,
 )
+from repro.core.mood import Mood
 from repro.core.pipeline import (
     HybridEvaluation,
     LppmEvaluation,
@@ -52,6 +55,9 @@ __all__ = [
     "Mood",
     "MoodResult",
     "ProtectedPiece",
+    "ProtectionEngine",
+    "ProtectionReport",
+    "EvaluationReport",
     "DEFAULT_DELTA_S",
     "DEFAULT_CHUNK_S",
     "CompositionSearchStrategy",

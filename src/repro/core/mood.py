@@ -1,135 +1,67 @@
-"""The MooD engine (paper §3, Algorithm 1).
+"""Legacy MooD entry point (deprecated).
 
-MooD protects one user's mobility trace through three cascading stages:
+The MooD cascade now lives in :mod:`repro.core.engine`; this module
+keeps the original ``Mood`` class importable as a thin, deprecated
+subclass of :class:`~repro.core.engine.ProtectionEngine`, together with
+the result types and split helpers that historically lived here.
 
-1. **Single-LPPM search** — apply every base mechanism; if at least one
-   defeats all attacks, publish the lowest-distortion winner.
-2. **Multi-LPPM composition search** — apply every ordered composition
-   ``C − L`` (12 chains for n = 3); again keep the lowest-distortion
-   protecting output.
-3. **Fine-grained protection** — split the trace in half by time and
-   recurse on each half under fresh pseudonyms, until the sub-trace
-   duration falls below the floor ``δ`` (4 h in the paper), at which
-   point the still-vulnerable records are erased.
+Migration::
 
-The result is a set of protected *pieces* (published sub-traces that
-appear to come from unrelated users) plus the records that had to be
-erased — from which data loss (Eq. 7) is computed.
+    # old
+    mood = Mood(lppms, attacks, delta_s=4 * 3600.0)
+    result = mood.protect(trace)
+
+    # new
+    from repro.core.engine import ProtectionEngine
+    engine = ProtectionEngine(lppms, attacks, delta_s=4 * 3600.0)
+    result = engine.protect(trace)
+
+or, fully declaratively::
+
+    from repro.config import ProtectionConfig
+    engine = ProtectionEngine.from_config(ProtectionConfig.from_file(path))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import warnings
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
-from repro.core.composition import ComposedLPPM, enumerate_compositions
+# Re-exported for backwards compatibility: these names were born here.
+from repro.core.engine import (  # noqa: F401
+    DEFAULT_CHUNK_S,
+    DEFAULT_DELTA_S,
+    MoodResult,
+    ProtectedPiece,
+    ProtectionEngine,
+    _renew_ids,
+    _split_at_largest_gap,
+    _split_between_pois,
+)
 from repro.core.search import CompositionSearchStrategy
-from repro.core.split import split_fixed_time, split_in_half
 from repro.core.trace import Trace
-from repro.errors import ConfigurationError
 from repro.lppm.base import LPPM
-from repro.lppm.hybrid import is_protected
-from repro.metrics.distortion import spatial_temporal_distortion
-from repro.rng import make_rng, stable_user_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.attacks.base import Attack
 
-#: Paper defaults (§4.2): recursion floor and crowdsensing chunk length.
-DEFAULT_DELTA_S = 4 * 3600.0
-DEFAULT_CHUNK_S = 24 * 3600.0
+__all__ = [
+    "DEFAULT_CHUNK_S",
+    "DEFAULT_DELTA_S",
+    "Mood",
+    "MoodResult",
+    "ProtectedPiece",
+]
 
 
-@dataclass(frozen=True)
-class ProtectedPiece:
-    """One published sub-trace: obfuscated data under a fresh pseudonym."""
+class Mood(ProtectionEngine):
+    """Deprecated alias of :class:`~repro.core.engine.ProtectionEngine`.
 
-    pseudonym: str
-    original_user: str
-    #: The raw sub-trace this piece protects.
-    original: Trace
-    #: The published, obfuscated sub-trace (``user_id == pseudonym``).
-    published: Trace
-    #: Name of the protecting mechanism or composition chain.
-    mechanism: str
-    #: STD of the published piece against its raw sub-trace, metres.
-    distortion_m: float
-
-
-@dataclass
-class MoodResult:
-    """Outcome of protecting one user's trace."""
-
-    user_id: str
-    pieces: List[ProtectedPiece] = field(default_factory=list)
-    #: Raw sub-traces that could not be protected and were erased.
-    erased: List[Trace] = field(default_factory=list)
-    #: Record count of the input trace.
-    original_records: int = 0
-
-    @property
-    def erased_records(self) -> int:
-        return sum(len(t) for t in self.erased)
-
-    @property
-    def published_records(self) -> int:
-        """Records of the *raw* sub-traces that got published protected."""
-        return sum(len(p.original) for p in self.pieces)
-
-    @property
-    def fully_protected(self) -> bool:
-        """True iff nothing was erased (the user's "disease" was cured)."""
-        return self.original_records > 0 and self.erased_records == 0
-
-    @property
-    def whole_trace_protected(self) -> bool:
-        """True iff the trace was protected without fine-grained splitting."""
-        return self.fully_protected and len(self.pieces) == 1
-
-    @property
-    def data_loss(self) -> float:
-        """Per-user share of erased records (Eq. 7 restricted to this user)."""
-        if self.original_records == 0:
-            return 0.0
-        return self.erased_records / self.original_records
-
-    def mean_distortion_m(self) -> float:
-        """Record-weighted mean STD over published pieces (``inf`` if none)."""
-        total = self.published_records
-        if total == 0:
-            return float("inf")
-        return sum(p.distortion_m * len(p.original) for p in self.pieces) / total
-
-
-class Mood:
-    """User-centric fine-grained multi-LPPM protection (Algorithm 1).
-
-    Parameters
-    ----------
-    lppms:
-        The base mechanism set ``L`` (already fitted where applicable).
-    attacks:
-        The fitted re-identification attack suite ``A``.  MooD owns the
-        ground truth, so it can evaluate Eq. 5/6 directly.
-    delta_s:
-        Recursion floor ``δ``: sub-traces shorter than this are erased
-        rather than split further.
-    max_composition_length:
-        Cap on composition chain length (``None`` = all ``n`` stages).
-    seed:
-        Base seed; every (user, mechanism, sub-trace) application derives
-        a stable child seed, so results are order-independent.
-    split_policy:
-        Fine-grained splitting rule: ``"half"`` (temporal midpoint, the
-        paper's choice), ``"gap"`` (largest sensing gap — paper §6
-        future work), or ``"inter-poi"`` (between consecutive POI
-        visits — paper §6 future work; falls back to ``"half"`` when a
-        sub-trace has fewer than two POIs).
-    search_strategy:
-        Optional :class:`~repro.core.search.CompositionSearchStrategy`
-        controlling candidate order and early stopping (§6's "new
-        heuristics"); ``None`` reproduces the paper's exhaustive
-        lowest-distortion search.
+    Kept so existing code and notebooks keep running; construction emits
+    a :class:`DeprecationWarning`.  The historical private hooks
+    ``_search_protecting_lppm`` remain available (the public spellings
+    are :meth:`~repro.core.engine.ProtectionEngine.search_whole_trace`
+    and :meth:`~repro.core.engine.ProtectionEngine.finalize`).
     """
 
     SPLIT_POLICIES = ("half", "gap", "inter-poi")
@@ -144,203 +76,24 @@ class Mood:
         split_policy: str = "half",
         search_strategy: Optional[CompositionSearchStrategy] = None,
     ) -> None:
-        if not lppms:
-            raise ConfigurationError("MooD needs at least one LPPM")
-        if not attacks:
-            raise ConfigurationError("MooD needs at least one attack")
-        if delta_s <= 0:
-            raise ConfigurationError(f"delta_s must be positive, got {delta_s}")
-        if split_policy not in self.SPLIT_POLICIES:
-            raise ConfigurationError(
-                f"unknown split_policy {split_policy!r}; choose from {self.SPLIT_POLICIES}"
-            )
-        self.lppms = list(lppms)
-        self.attacks = list(attacks)
-        self.delta_s = float(delta_s)
-        self.seed = int(seed)
-        self.split_policy = split_policy
-        self.search_strategy = search_strategy
-        #: Number of (mechanism, trace) evaluations performed — the §6
-        #: brute-force cost counter the search strategies aim to reduce.
-        self.evaluations = 0
-        self.singles: List[ComposedLPPM] = enumerate_compositions(
-            self.lppms, min_length=1, max_length=1
+        warnings.warn(
+            "Mood is deprecated; use repro.core.engine.ProtectionEngine "
+            "(or ProtectionEngine.from_config for declarative set-up)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.chains: List[ComposedLPPM] = enumerate_compositions(
-            self.lppms, min_length=2, max_length=max_composition_length
+        super().__init__(
+            lppms,
+            attacks,
+            delta_s=delta_s,
+            max_composition_length=max_composition_length,
+            seed=seed,
+            split_policy=split_policy,
+            search_strategy=search_strategy,
+            executor="serial",
+            jobs=1,
         )
 
-    # -- Algorithm 1 -----------------------------------------------------
-
-    def protect(self, trace: Trace) -> MoodResult:
-        """Protect *trace*; returns published pieces and erased leftovers."""
-        result = MoodResult(user_id=trace.user_id, original_records=len(trace))
-        self._protect_rec(trace, result)
-        _renew_ids(result)
-        return result
-
-    def protect_daily(self, trace: Trace, chunk_s: float = DEFAULT_CHUNK_S) -> MoodResult:
-        """Crowdsensing variant (§4.5): chunk into *chunk_s* windows first.
-
-        Each chunk is protected independently (composition search, then
-        recursive fine-grained splitting), modelling users who upload
-        their data daily.
-        """
-        result = MoodResult(user_id=trace.user_id, original_records=len(trace))
-        for chunk in split_fixed_time(trace, chunk_s):
-            self._protect_rec(chunk, result)
-        _renew_ids(result)
-        return result
-
-    # -- internals ------------------------------------------------------------
-
-    def _protect_rec(self, trace: Trace, result: MoodResult) -> None:
-        """Recursive body of Algorithm 1 (lines 4-37)."""
-        if len(trace) == 0:
-            return
-        piece = self._search_protecting_lppm(trace)
-        if piece is not None:
-            result.pieces.append(piece)
-            return
-        if trace.duration_s() >= self.delta_s and len(trace) >= 2:
-            left, right = self._split(trace)
-            if len(left) == 0 or len(right) == 0:
-                result.erased.append(trace)
-                return
-            self._protect_rec(left, result)
-            self._protect_rec(right, result)
-        else:
-            result.erased.append(trace)
-
-    def _split(self, trace: Trace) -> Tuple[Trace, Trace]:
-        """Cut *trace* in two according to the configured split policy."""
-        if self.split_policy == "gap":
-            return _split_at_largest_gap(trace)
-        if self.split_policy == "inter-poi":
-            return _split_between_pois(trace)
-        return split_in_half(trace)
-
-    def _search_protecting_lppm(self, trace: Trace) -> Optional[ProtectedPiece]:
-        """Lines 4-26: single-LPPM search, then multi-LPPM compositions."""
-        winner = self._best_protecting(trace, self.singles)
-        if winner is None:
-            winner = self._best_protecting(trace, self.chains)
-        if winner is None:
-            return None
-        published, mechanism, distortion = winner
-        return ProtectedPiece(
-            pseudonym=trace.user_id,  # renewed after the full recursion
-            original_user=trace.user_id,
-            original=trace,
-            published=published,
-            mechanism=mechanism,
-            distortion_m=distortion,
-        )
-
-    def _best_protecting(
-        self, trace: Trace, mechanisms: Sequence[ComposedLPPM]
-    ) -> Optional[Tuple[Trace, str, float]]:
-        """Lowest-STD output among the mechanisms that defeat all attacks.
-
-        With a :attr:`search_strategy`, candidates are tried in the
-        strategy's order; a strategy with ``stop_at_first_success``
-        returns the first protecting output (trading utility for fewer
-        attack evaluations, §6).
-        """
-        ordered = list(mechanisms)
-        strategy = self.search_strategy
-        if strategy is not None:
-            by_name = {m.name: m for m in mechanisms}
-            ordered = [by_name[n] for n in strategy.order(list(by_name))]
-        best: Optional[Tuple[Trace, str, float]] = None
-        for mech in ordered:
-            rng = make_rng(
-                stable_user_seed(
-                    self.seed,
-                    f"{trace.user_id}|{mech.name}|{trace.start_time():.0f}|{len(trace)}",
-                )
-            )
-            candidate = mech.apply(trace, rng)
-            if len(candidate) == 0:
-                continue
-            self.evaluations += 1
-            protected = is_protected(candidate, trace.user_id, self.attacks)
-            if strategy is not None:
-                strategy.record_outcome(mech.name, protected)
-            if not protected:
-                continue
-            distortion = spatial_temporal_distortion(trace, candidate)
-            if best is None or distortion < best[2]:
-                best = (candidate, mech.name, distortion)
-            if strategy is not None and strategy.stop_at_first_success:
-                break
-        return best
-
-
-def _split_at_largest_gap(trace: Trace) -> Tuple[Trace, Trace]:
-    """Split at the largest inter-record time gap (paper §6 alternative).
-
-    Falls back to the temporal midpoint when the trace has no interior
-    gap (fewer than 3 records).
-    """
-    import numpy as np
-
-    if len(trace) < 3:
-        return split_in_half(trace)
-    gaps = np.diff(trace.timestamps)
-    cut_index = int(np.argmax(gaps)) + 1
-    if cut_index <= 0 or cut_index >= len(trace):
-        return split_in_half(trace)
-    cut_time = float(trace.timestamps[cut_index])
-    left = trace.slice_time(trace.start_time(), cut_time)
-    right = trace.slice_time(cut_time, np.nextafter(trace.end_time(), np.inf))
-    return (left, right)
-
-
-def _split_between_pois(trace: Trace) -> Tuple[Trace, Trace]:
-    """Split between the two consecutive POI visits nearest the midpoint.
-
-    Separating discriminative stays (§3.1: "splitting traces …
-    inter-POIs") isolates mobility patterns better than a blind halving;
-    traces with fewer than two POI visits fall back to halving.
-    """
-    import numpy as np
-
-    from repro.poi.clustering import extract_pois
-
-    visits = extract_pois(trace, diameter_m=200.0, min_dwell_s=3600.0)
-    if len(visits) < 2:
-        return split_in_half(trace)
-    middle = trace.start_time() + trace.duration_s() / 2.0
-    boundaries = [
-        0.5 * (a.t_exit + b.t_enter) for a, b in zip(visits, visits[1:])
-    ]
-    cut_time = min(boundaries, key=lambda b: abs(b - middle))
-    if cut_time <= trace.start_time() or cut_time >= trace.end_time():
-        return split_in_half(trace)
-    left = trace.slice_time(trace.start_time(), cut_time)
-    right = trace.slice_time(cut_time, np.nextafter(trace.end_time(), np.inf))
-    return (left, right)
-
-
-def _renew_ids(result: MoodResult) -> None:
-    """Line 34: publish each piece under a fresh pseudonym ``user#k``.
-
-    Pseudonyms are deterministic (piece order) so repeated runs publish
-    identical datasets.  A single whole-trace piece keeps suffix 0 as
-    well — the published id never reveals whether splitting happened.
-    """
-    renewed: List[ProtectedPiece] = []
-    for k, piece in enumerate(result.pieces):
-        pseudonym = f"{piece.original_user}#{k}"
-        renewed.append(
-            ProtectedPiece(
-                pseudonym=pseudonym,
-                original_user=piece.original_user,
-                original=piece.original,
-                published=piece.published.with_user(pseudonym),
-                mechanism=piece.mechanism,
-                distortion_m=piece.distortion_m,
-            )
-        )
-    result.pieces = renewed
+    def _search_protecting_lppm(self, trace: Trace) -> Any:
+        """Deprecated private spelling of :meth:`search_whole_trace`."""
+        return self.search_whole_trace(trace)

@@ -1,61 +1,55 @@
-"""Dataset-level protection pipelines.
+"""Legacy dataset-level pipelines (deprecated).
 
-The experiment harness needs three evaluation modes, all defined here:
+The three historical entry points — :func:`evaluate_lppm`,
+:func:`evaluate_hybrid`, :func:`evaluate_mood` — are now thin shims over
+the unified :meth:`repro.core.engine.ProtectionEngine.evaluate`, which
+additionally supports parallel executors.  The evaluation dataclasses
+(:class:`LppmEvaluation`, :class:`HybridEvaluation`,
+:class:`MoodEvaluation`) moved to :mod:`repro.core.engine` and are
+re-exported here unchanged.
 
-* :func:`evaluate_lppm` — apply one mechanism to every user of a test
-  dataset and run every attack on the result (Figures 2, 3, 6, 7, 9);
-* :func:`evaluate_hybrid` — the user-centric single-LPPM baseline [22];
-* :func:`evaluate_mood` — the full MooD engine, optionally with the
-  daily-chunk crowdsensing mode for surviving users (Figures 6-10).
+Migration::
 
-All functions take *fitted* attacks; fitting (on the training half of
-the dataset) is the caller's responsibility so that one fit is shared
-across the many evaluations of a figure.
+    # old                                        # new
+    evaluate_lppm(lppm, test, attacks, seed)     engine.evaluate("lppm", test, lppm=lppm).result
+    evaluate_hybrid(hybrid, test)                engine.evaluate("hybrid", test, hybrid=hybrid).result
+    evaluate_mood(mood, test, composition_only)  engine.evaluate("mood", test, composition_only=...).result
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+import warnings
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.dataset import MobilityDataset
-from repro.core.mood import Mood, MoodResult
-from repro.core.trace import Trace
+from repro.core.engine import (  # noqa: F401  (re-exports)
+    EvaluationReport,
+    HybridEvaluation,
+    LppmEvaluation,
+    MoodEvaluation,
+    ProtectionEngine,
+    ProtectionReport,
+)
 from repro.lppm.base import LPPM
-from repro.lppm.hybrid import HybridLPPM, HybridResult
-from repro.metrics.dataloss import data_loss
-from repro.metrics.distortion import spatial_temporal_distortion
-from repro.rng import make_rng, stable_user_seed
+from repro.lppm.hybrid import HybridLPPM
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.attacks.base import Attack
 
+__all__ = [
+    "LppmEvaluation",
+    "HybridEvaluation",
+    "MoodEvaluation",
+    "evaluate_lppm",
+    "evaluate_hybrid",
+    "evaluate_mood",
+]
 
-@dataclass
-class LppmEvaluation:
-    """Everything the figures need about one (dataset, LPPM) pair."""
 
-    dataset_name: str
-    lppm_name: str
-    #: ``guesses[user][attack_name]`` — who each attack thinks the user is.
-    guesses: Dict[str, Dict[str, str]] = field(default_factory=dict)
-    #: Obfuscated trace per user.
-    obfuscated: Dict[str, Trace] = field(default_factory=dict)
-    #: STD per user, metres.
-    distortions: Dict[str, float] = field(default_factory=dict)
-
-    def non_protected(self, attack_names: Optional[Sequence[str]] = None) -> Set[str]:
-        """Users re-identified by ≥1 of the given attacks (default: all)."""
-        out: Set[str] = set()
-        for user, per_attack in self.guesses.items():
-            names = attack_names if attack_names is not None else list(per_attack)
-            if any(per_attack.get(a) == user for a in names):
-                out.add(user)
-        return out
-
-    def protected(self, attack_names: Optional[Sequence[str]] = None) -> Set[str]:
-        """Complement of :meth:`non_protected` over evaluated users."""
-        return set(self.guesses) - self.non_protected(attack_names)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}", DeprecationWarning, stacklevel=3
+    )
 
 
 def evaluate_lppm(
@@ -64,129 +58,36 @@ def evaluate_lppm(
     attacks: "Sequence[Attack]",
     seed: int = 0,
 ) -> LppmEvaluation:
-    """Obfuscate every test trace with *lppm* and attack the result.
+    """Deprecated shim: obfuscate every test trace and attack the result.
 
-    Unlike the protection-side checks (which short-circuit), evaluation
-    records the verdict of **every** attack so a single pass serves both
-    the single-attack (Figure 6) and multi-attack (Figure 7) readouts.
+    Use ``ProtectionEngine(...).evaluate("lppm", test, lppm=...)``.
     """
-    ev = LppmEvaluation(dataset_name=test.name, lppm_name=lppm.name)
-    for trace in test.traces():
-        rng = make_rng(stable_user_seed(seed, f"{trace.user_id}|{lppm.name}"))
-        obfuscated = lppm.apply(trace, rng)
-        ev.obfuscated[trace.user_id] = obfuscated
-        if len(obfuscated) > 0:
-            ev.distortions[trace.user_id] = spatial_temporal_distortion(trace, obfuscated)
-        else:
-            ev.distortions[trace.user_id] = float("inf")
-        per_attack: Dict[str, str] = {}
-        for attack in attacks:
-            per_attack[attack.name] = (
-                attack.reidentify(obfuscated) if len(obfuscated) > 0 else ""
-            )
-        ev.guesses[trace.user_id] = per_attack
-    return ev
-
-
-@dataclass
-class HybridEvaluation:
-    """Per-user hybrid outcomes plus dataset-level aggregates."""
-
-    dataset_name: str
-    results: Dict[str, HybridResult] = field(default_factory=dict)
-
-    def non_protected(self) -> Set[str]:
-        return {u for u, r in self.results.items() if not r.protected}
-
-    def data_loss(self, dataset: MobilityDataset) -> float:
-        return data_loss(dataset, self.non_protected())
-
-    def distortions(self) -> Dict[str, float]:
-        """STD of the protected users only."""
-        return {u: r.distortion_m for u, r in self.results.items() if r.protected}
+    _deprecated("evaluate_lppm", 'ProtectionEngine.evaluate("lppm", ...)')
+    engine = ProtectionEngine([lppm], attacks, seed=seed)
+    return engine.evaluate("lppm", test, lppm=lppm).result
 
 
 def evaluate_hybrid(
     hybrid: HybridLPPM,
     test: MobilityDataset,
 ) -> HybridEvaluation:
-    """Run the hybrid baseline over every user of *test*."""
-    ev = HybridEvaluation(dataset_name=test.name)
-    for trace in test.traces():
-        ev.results[trace.user_id] = hybrid.protect(trace)
-    return ev
+    """Deprecated shim: run the hybrid baseline over every user of *test*.
 
-
-@dataclass
-class MoodEvaluation:
-    """Per-user MooD outcomes plus dataset-level aggregates."""
-
-    dataset_name: str
-    results: Dict[str, MoodResult] = field(default_factory=dict)
-
-    def non_protected(self) -> Set[str]:
-        """Users with at least one erased record (not fully curable)."""
-        return {u for u, r in self.results.items() if not r.fully_protected}
-
-    def composition_survivors(self) -> Set[str]:
-        """Users whose *whole* trace resisted single and multi-LPPM search.
-
-        These are the users handed to the fine-grained stage — the bars
-        of Figures 6/7 count them.
-        """
-        return {u for u, r in self.results.items() if not r.whole_trace_protected}
-
-    def data_loss(self) -> float:
-        """Record-level loss over the dataset (Eq. 7, sub-trace aware)."""
-        total = sum(r.original_records for r in self.results.values())
-        if total == 0:
-            return 0.0
-        lost = sum(r.erased_records for r in self.results.values())
-        return lost / total
-
-    def distortions(self) -> Dict[str, float]:
-        """Record-weighted mean STD per user with published data."""
-        return {
-            u: r.mean_distortion_m()
-            for u, r in self.results.items()
-            if r.published_records > 0
-        }
-
-    def published_dataset(self, name: Optional[str] = None) -> MobilityDataset:
-        """Assemble the published (pseudonymised, protected) dataset."""
-        out = MobilityDataset(name or f"{self.dataset_name}-published")
-        for result in self.results.values():
-            for piece in result.pieces:
-                out.add(piece.published)
-        return out
+    Use ``ProtectionEngine(...).evaluate("hybrid", test, hybrid=...)``.
+    """
+    _deprecated("evaluate_hybrid", 'ProtectionEngine.evaluate("hybrid", ...)')
+    engine = ProtectionEngine(hybrid.lppms, hybrid.attacks, seed=hybrid.seed)
+    return engine.evaluate("hybrid", test, hybrid=hybrid).result
 
 
 def evaluate_mood(
-    mood: Mood,
+    mood: ProtectionEngine,
     test: MobilityDataset,
     composition_only: bool = False,
 ) -> MoodEvaluation:
-    """Run MooD over every user of *test*.
+    """Deprecated shim: run the full MooD cascade over every user of *test*.
 
-    With ``composition_only=True`` the engine's fine-grained recursion is
-    disabled (δ = ∞): users not protectable by any composition stay
-    non-protected, which is the readout of Figures 6 and 7.  Otherwise
-    the full Algorithm 1 runs with daily chunking for users whose whole
-    trace resisted the composition search (§4.5).
+    Use ``engine.evaluate("mood", test, composition_only=...)``.
     """
-    ev = MoodEvaluation(dataset_name=test.name)
-    for trace in test.traces():
-        whole = mood._search_protecting_lppm(trace)
-        if whole is not None:
-            result = MoodResult(user_id=trace.user_id, original_records=len(trace))
-            result.pieces.append(whole)
-            from repro.core.mood import _renew_ids
-
-            _renew_ids(result)
-        elif composition_only:
-            result = MoodResult(user_id=trace.user_id, original_records=len(trace))
-            result.erased.append(trace)
-        else:
-            result = mood.protect_daily(trace)
-        ev.results[trace.user_id] = result
-    return ev
+    _deprecated("evaluate_mood", 'ProtectionEngine.evaluate("mood", ...)')
+    return mood.evaluate("mood", test, composition_only=composition_only).result

@@ -25,6 +25,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Sequence
 
+from repro.registry import register_search_strategy
+
 
 class CompositionSearchStrategy(abc.ABC):
     """Decides candidate order and whether to stop at the first success."""
@@ -32,6 +34,11 @@ class CompositionSearchStrategy(abc.ABC):
     #: When True, MooD returns the first protecting candidate instead of
     #: evaluating every candidate and keeping the least distorting one.
     stop_at_first_success: bool = False
+
+    #: When True, the strategy learns across users (its ordering depends
+    #: on previous outcomes), so parallel executors fall back to serial
+    #: execution to keep the statistics coherent.
+    stateful: bool = False
 
     @abc.abstractmethod
     def order(self, candidate_names: Sequence[str]) -> List[str]:
@@ -41,6 +48,7 @@ class CompositionSearchStrategy(abc.ABC):
         """Feed back whether *candidate_name* protected the trace."""
 
 
+@register_search_strategy("exhaustive")
 class ExhaustiveSearch(CompositionSearchStrategy):
     """The paper's strategy: fixed order, evaluate everything."""
 
@@ -50,6 +58,7 @@ class ExhaustiveSearch(CompositionSearchStrategy):
         return list(candidate_names)
 
 
+@register_search_strategy("greedy")
 class GreedySuccessSearch(CompositionSearchStrategy):
     """Try historically successful mechanisms first, stop when one works.
 
@@ -60,6 +69,7 @@ class GreedySuccessSearch(CompositionSearchStrategy):
     """
 
     stop_at_first_success = True
+    stateful = True
 
     def __init__(self, alpha: float = 1.0) -> None:
         if alpha <= 0:

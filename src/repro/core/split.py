@@ -23,11 +23,13 @@ import numpy as np
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
+from repro.registry import register_split_policy
 
 SECONDS_PER_DAY = 86_400.0
 SECONDS_PER_HOUR = 3_600.0
 
 
+@register_split_policy("half")
 def split_in_half(trace: Trace) -> Tuple[Trace, Trace]:
     """Split *trace* at the midpoint of its covered time span.
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.attacks import ApAttack, Attack, PitAttack, PoiAttack
 from repro.core.dataset import MobilityDataset
+from repro.core.engine import DEFAULT_DELTA_S, ProtectionEngine
 from repro.core.mood import Mood
 from repro.core.split import train_test_split
 from repro.datasets.generators import SPECS, generate_dataset
@@ -53,12 +54,37 @@ class ExperimentContext:
         order = [by_name["HMC"], by_name["Geo-I"], by_name["TRL"]]
         return HybridLPPM(order, list(attacks or self.attacks), seed=self.seed)
 
+    def engine(
+        self,
+        attacks: Optional[Sequence[Attack]] = None,
+        delta_s: float = DEFAULT_DELTA_S,
+        executor: str = "serial",
+        jobs: Optional[int] = 1,
+        **kwargs,
+    ) -> ProtectionEngine:
+        """A protection engine over this context's LPPMs and (subset of) attacks.
+
+        The context's components are already fitted, so the engine is
+        ready to protect; extra keyword arguments (``search_strategy``,
+        ``max_composition_length``, …) pass through to
+        :class:`~repro.core.engine.ProtectionEngine`.
+        """
+        return ProtectionEngine(
+            self.lppms,
+            list(attacks or self.attacks),
+            delta_s=delta_s,
+            seed=self.seed,
+            executor=executor,
+            jobs=jobs,
+            **kwargs,
+        )
+
     def mood(
         self,
         attacks: Optional[Sequence[Attack]] = None,
-        delta_s: float = 4 * 3600.0,
+        delta_s: float = DEFAULT_DELTA_S,
     ) -> Mood:
-        """A MooD engine over this context's LPPMs and (subset of) attacks."""
+        """Deprecated: the legacy MooD engine (use :meth:`engine`)."""
         return Mood(
             self.lppms, list(attacks or self.attacks), delta_s=delta_s, seed=self.seed
         )

@@ -4,20 +4,22 @@ Most figures read different projections of the same underlying runs
 (single-LPPM evaluations, the hybrid baseline, MooD with one or three
 attacks).  :class:`FigureBundle` computes each run lazily and caches it,
 so regenerating several figures for one dataset costs one evaluation.
+
+All runs go through the unified
+:meth:`repro.core.engine.ProtectionEngine.evaluate` API; one engine per
+attack subset is cached so the composition enumeration is shared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.core.pipeline import (
+from repro.core.engine import (
     HybridEvaluation,
     LppmEvaluation,
     MoodEvaluation,
-    evaluate_hybrid,
-    evaluate_lppm,
-    evaluate_mood,
+    ProtectionEngine,
 )
 from repro.core.split import split_fixed_time
 from repro.experiments.harness import ExperimentContext
@@ -32,6 +34,7 @@ class FigureBundle:
     """Lazily computed evaluations for one dataset context."""
 
     context: ExperimentContext
+    _engines: Dict[str, ProtectionEngine] = field(default_factory=dict)
     _single: Dict[str, LppmEvaluation] = field(default_factory=dict)
     _identity: Optional[LppmEvaluation] = None
     _hybrid: Dict[str, HybridEvaluation] = field(default_factory=dict)
@@ -44,30 +47,37 @@ class FigureBundle:
             return [self.context.attack_by_name[AP]]
         return self.context.attacks
 
+    def _engine(self, mode: str = "all") -> ProtectionEngine:
+        """One cached engine per attack subset."""
+        if mode not in self._engines:
+            self._engines[mode] = self.context.engine(self._attack_subset(mode))
+        return self._engines[mode]
+
     # -- evaluations ----------------------------------------------------------
 
     def identity_eval(self) -> LppmEvaluation:
         """The no-LPPM baseline, attacked by all three attacks."""
         if self._identity is None:
-            self._identity = evaluate_lppm(
-                Identity(), self.context.test, self.context.attacks, seed=self.context.seed
-            )
+            self._identity = self._engine().evaluate(
+                "lppm", self.context.test, lppm=Identity()
+            ).result
         return self._identity
 
     def single_eval(self, lppm_name: str) -> LppmEvaluation:
         """One base LPPM applied to every user, attacked by all attacks."""
         if lppm_name not in self._single:
-            lppm = self.context.lppm_by_name[lppm_name]
-            self._single[lppm_name] = evaluate_lppm(
-                lppm, self.context.test, self.context.attacks, seed=self.context.seed
-            )
+            self._single[lppm_name] = self._engine().evaluate(
+                "lppm", self.context.test, lppm=self.context.lppm_by_name[lppm_name]
+            ).result
         return self._single[lppm_name]
 
     def hybrid_eval(self, mode: str = "all") -> HybridEvaluation:
         """Hybrid baseline protecting against the chosen attack subset."""
         if mode not in self._hybrid:
             hybrid = self.context.hybrid(self._attack_subset(mode))
-            self._hybrid[mode] = evaluate_hybrid(hybrid, self.context.test)
+            self._hybrid[mode] = self._engine(mode).evaluate(
+                "hybrid", self.context.test, hybrid=hybrid
+            ).result
         return self._hybrid[mode]
 
     def mood_eval(self, mode: str = "all", fine_grained: bool = False) -> MoodEvaluation:
@@ -79,10 +89,9 @@ class FigureBundle:
         """
         key = f"{mode}:{'fg' if fine_grained else 'comp'}"
         if key not in self._mood:
-            mood = self.context.mood(self._attack_subset(mode))
-            self._mood[key] = evaluate_mood(
-                mood, self.context.test, composition_only=not fine_grained
-            )
+            self._mood[key] = self._engine(mode).evaluate(
+                "mood", self.context.test, composition_only=not fine_grained
+            ).result
         return self._mood[key]
 
     # -- figure projections -----------------------------------------------------
@@ -107,13 +116,13 @@ class FigureBundle:
         on each chunk independently.
         """
         survivors = sorted(self.mood_eval(mode).composition_survivors())
-        mood = self.context.mood(self._attack_subset(mode))
+        engine = self._engine(mode)
         out: Dict[str, Dict[str, int]] = {}
         for user in survivors:
             trace = self.context.test[user]
             chunks = split_fixed_time(trace, 86_400.0)
             protected = sum(
-                1 for c in chunks if mood._search_protecting_lppm(c) is not None
+                1 for c in chunks if engine.search_whole_trace(c) is not None
             )
             out[user] = {"chunks": len(chunks), "protected": protected}
         return out

@@ -20,9 +20,11 @@ from repro.core.trace import Trace
 from repro.errors import ConfigurationError
 from repro.geo.grid import MetricGrid
 from repro.lppm.base import LPPM, coerce_rng
+from repro.registry import register_lppm
 from repro.rng import SeedLike
 
 
+@register_lppm("cloaking")
 class SpatialCloaking(LPPM):
     """Snap every record to its grid cell centre (optionally jittered)."""
 

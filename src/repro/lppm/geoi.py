@@ -24,11 +24,13 @@ from repro.core.trace import Trace
 from repro.errors import ConfigurationError
 from repro.geo.geodesy import EARTH_RADIUS_M
 from repro.lppm.base import LPPM, coerce_rng
+from repro.registry import register_lppm
 from repro.rng import SeedLike
 
 _DEG = math.pi / 180.0
 
 
+@register_lppm("geoi")
 class GeoInd(LPPM):
     """Planar-Laplace perturbation with privacy parameter ``epsilon`` (1/m)."""
 

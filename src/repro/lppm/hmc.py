@@ -38,6 +38,7 @@ from repro.core.trace import Trace
 from repro.errors import ConfigurationError, NotFittedError
 from repro.geo.grid import Cell, MetricGrid
 from repro.lppm.base import LPPM, coerce_rng
+from repro.registry import register_lppm
 from repro.metrics.divergence import topsoe
 from repro.poi.heatmap import Heatmap, build_heatmap
 from repro.rng import SeedLike
@@ -51,6 +52,7 @@ def heatmap_divergence(a: Heatmap, b: Heatmap) -> float:
     return topsoe(p, q)
 
 
+@register_lppm("hmc")
 class HeatmapConfusion(LPPM):
     """Alter a trace's heatmap to impersonate the closest other user."""
 

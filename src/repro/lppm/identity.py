@@ -6,9 +6,11 @@ from typing import Optional
 
 from repro.core.trace import Trace
 from repro.lppm.base import LPPM
+from repro.registry import register_lppm
 from repro.rng import SeedLike
 
 
+@register_lppm("identity")
 class Identity(LPPM):
     """Publishes the trace unmodified.
 

@@ -22,9 +22,11 @@ from repro.core.trace import Trace
 from repro.errors import ConfigurationError
 from repro.geo.geodesy import haversine_m
 from repro.lppm.base import LPPM
+from repro.registry import register_lppm
 from repro.rng import SeedLike
 
 
+@register_lppm("promesse")
 class Promesse(LPPM):
     """Spatial resampling at a fixed ε with uniform timestamp smoothing."""
 

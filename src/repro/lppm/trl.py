@@ -24,11 +24,13 @@ from repro.core.trace import Trace
 from repro.errors import ConfigurationError
 from repro.geo.geodesy import EARTH_RADIUS_M
 from repro.lppm.base import LPPM, coerce_rng
+from repro.registry import register_lppm
 from repro.rng import SeedLike
 
 _DEG = math.pi / 180.0
 
 
+@register_lppm("trl")
 class Trilateration(LPPM):
     """Replace every record by ``dummies`` uniform points in the r-disc."""
 

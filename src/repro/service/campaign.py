@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.dataset import MobilityDataset
-from repro.core.mood import Mood
+from repro.core.engine import ProtectionEngine
 from repro.service.client import MobileClient
 from repro.service.events import EventLoop
-from repro.service.proxy import MoodProxy, ProxyStats
+from repro.service.proxy import MoodProxy, ProxyStats, _coerce_engine
 from repro.service.server import CollectionServer, ServerStats
 
 
@@ -45,11 +45,13 @@ class CrowdsensingCampaign:
     def __init__(
         self,
         raw: MobilityDataset,
-        mood: Mood,
+        engine: Optional[ProtectionEngine] = None,
         chunk_s: float = 86_400.0,
+        *,
+        mood: Optional[ProtectionEngine] = None,
     ) -> None:
         self.raw = raw
-        self.proxy = MoodProxy(mood)
+        self.proxy = MoodProxy(_coerce_engine(engine, mood, "CrowdsensingCampaign"))
         self.server = CollectionServer()
         self.chunk_s = float(chunk_s)
         self.clients: List[MobileClient] = [

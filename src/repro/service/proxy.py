@@ -16,9 +16,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.mood import Mood, MoodResult
+from repro.core.engine import ProtectionEngine
 from repro.core.trace import Trace
+from repro.errors import ConfigurationError
 from repro.service.client import UploadChunk
+
+
+def _coerce_engine(
+    engine: Optional[ProtectionEngine],
+    mood: Optional[ProtectionEngine],
+    who: str,
+) -> ProtectionEngine:
+    """Accept the legacy ``mood=`` keyword (with a deprecation warning)."""
+    if mood is not None:
+        if engine is not None:
+            raise ConfigurationError(f"{who} got both 'engine' and legacy 'mood'")
+        import warnings
+
+        warnings.warn(
+            f"the {who} 'mood' keyword is deprecated; pass 'engine' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return mood
+    if engine is None:
+        raise ConfigurationError(f"{who} needs a ProtectionEngine")
+    return engine
 
 
 @dataclass
@@ -44,10 +67,20 @@ class ProxyStats:
 class MoodProxy:
     """Applies MooD to each uploaded chunk and pseudonymises the output."""
 
-    def __init__(self, mood: Mood) -> None:
-        self.mood = mood
+    def __init__(
+        self,
+        engine: Optional[ProtectionEngine] = None,
+        *,
+        mood: Optional[ProtectionEngine] = None,
+    ) -> None:
+        self.engine = _coerce_engine(engine, mood, "MoodProxy")
         self.stats = ProxyStats()
         self._piece_counter: Dict[str, int] = {}
+
+    @property
+    def mood(self) -> ProtectionEngine:
+        """Backwards-compatible alias for :attr:`engine`."""
+        return self.engine
 
     def process(self, chunk: UploadChunk) -> List[Trace]:
         """Protect one daily chunk; returns the publishable sub-traces.
@@ -56,7 +89,7 @@ class MoodProxy:
         a per-user running counter), so two days of the same user never
         share a published id.
         """
-        result = self.mood.protect(chunk.trace)
+        result = self.engine.protect(chunk.trace)
         self.stats.chunks_processed += 1
         self.stats.records_in += chunk.records
         self.stats.records_erased += result.erased_records

@@ -28,3 +28,17 @@ LatLng = Tuple[Latitude, Longitude]
 
 #: Anything acceptable as a random seed by :func:`repro.rng.make_rng`.
 SeedLike = Union[int, None, "numpy.random.Generator"]  # noqa: F821
+
+# -- re-identification sentinels ---------------------------------------------
+# Defined here (a dependency-free leaf module) so both repro.attacks and
+# repro.core.engine can import them without ordering constraints; the
+# canonical public spelling is ``repro.attacks.UNKNOWN_USER`` / ``NO_GUESS``.
+
+#: Sentinel guess returned when an attack cannot form any hypothesis.
+UNKNOWN_USER = "<unknown>"
+
+#: Sentinel recorded by evaluation pipelines when an attack was never run
+#: (e.g. the obfuscated trace came out empty).  Distinct from
+#: :data:`UNKNOWN_USER` — the attack did not *fail*, it was not consulted.
+#: Never equals a real user id.
+NO_GUESS = "<no-guess>"

@@ -1,0 +1,279 @@
+"""Tests for repro.core.engine — the unified protection engine.
+
+Covers the declarative path (config JSON → engine → cascade), the
+executor backends (serial vs. process determinism), the unified
+``evaluate`` API and its parity with the deprecated shims, and the
+public ``search_whole_trace``/``finalize`` hooks.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import NO_GUESS
+from repro.config import ProtectionConfig
+from repro.core.dataset import MobilityDataset
+from repro.core.engine import (
+    EvaluationReport,
+    ProtectionEngine,
+    ProtectionReport,
+)
+from repro.core.mood import Mood
+from repro.core.pipeline import evaluate_hybrid, evaluate_lppm, evaluate_mood
+from repro.core.search import GreedySuccessSearch
+from repro.core.split import train_test_split
+from repro.core.trace import Trace
+from repro.datasets.generators import generate_dataset
+from repro.datasets.io import save_csv
+from repro.errors import ConfigurationError
+from repro.lppm.base import LPPM
+from repro.lppm.identity import Identity
+
+
+class _Shift(LPPM):
+    """Deterministic test LPPM: shift latitude by a constant."""
+
+    def __init__(self, name="shift", dlat=0.2):
+        self.name = name
+        self.dlat = dlat
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + self.dlat, trace.lngs)
+
+
+class _Erase(LPPM):
+    """Test LPPM whose output is always empty."""
+
+    name = "erase"
+
+    def apply(self, trace, rng=None):
+        return Trace.empty(trace.user_id)
+
+
+class _ThresholdAttack:
+    """Re-identifies unless the latitude moved by at least *threshold*."""
+
+    name = "atk"
+
+    def __init__(self, threshold=0.1):
+        self.threshold = threshold
+
+    def reidentify(self, trace):
+        if len(trace) and float(np.mean(trace.lats)) - 45.0 >= self.threshold:
+            return "<confused>"
+        return trace.user_id
+
+
+def _trace(user="u", n=30):
+    return Trace(user, np.arange(n) * 600.0, np.full(n, 45.0), np.full(n, 4.0))
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    """A small generated corpus split into background/test."""
+    raw = generate_dataset("privamov", seed=11, n_users=6, days=6)
+    return train_test_split(raw, train_days=3, test_days=3)
+
+
+class TestFromConfig:
+    def test_engine_from_json_alone_runs_end_to_end(self, tiny_split, tmp_path):
+        """Acceptance: the full cascade from a JSON file, no hand-built objects."""
+        train, test = tiny_split
+        path = tmp_path / "run.json"
+        ProtectionConfig(seed=3).to_file(path)
+        with open(path) as f:
+            cfg = ProtectionConfig.from_dict(json.load(f))
+        engine = ProtectionEngine.from_config(cfg).fit(train)
+        report = engine.evaluate("mood", test)
+        assert isinstance(report, EvaluationReport)
+        assert set(report.users()) == set(test.user_ids())
+        assert 0.0 <= report.data_loss() <= 1.0
+        published = report.published_dataset()
+        # Published ids are pseudonyms, never raw user ids.
+        assert all("#" in u for u in published.user_ids())
+
+    def test_from_config_builds_strategy_and_policy(self):
+        cfg = ProtectionConfig(
+            search_strategy={"name": "greedy", "alpha": 2.0}, split_policy="gap"
+        )
+        engine = ProtectionEngine.from_config(cfg)
+        assert isinstance(engine.search_strategy, GreedySuccessSearch)
+        assert engine.search_strategy.alpha == 2.0
+
+    def test_fit_is_idempotent_on_fitted_components(self, micro_ctx):
+        engine = micro_ctx.engine()
+        assert engine.fit(micro_ctx.train) is engine
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionEngine([], [_ThresholdAttack()])
+        with pytest.raises(ConfigurationError):
+            ProtectionEngine([_Shift()], [])
+        with pytest.raises(ConfigurationError):
+            ProtectionEngine([_Shift()], [_ThresholdAttack()], split_policy="zigzag")
+        with pytest.raises(ConfigurationError):
+            ProtectionEngine([_Shift()], [_ThresholdAttack()], jobs=0)
+
+
+class TestExecutorDeterminism:
+    def test_process_executor_matches_serial_byte_for_byte(
+        self, tiny_split, tmp_path
+    ):
+        """Acceptance: --jobs 4 publishes the identical dataset to serial."""
+        train, test = tiny_split
+        base = ProtectionConfig(seed=5).to_dict()
+        serial = ProtectionEngine.from_config(
+            ProtectionConfig.from_dict(base)
+        ).fit(train)
+        parallel = ProtectionEngine.from_config(
+            ProtectionConfig.from_dict({**base, "executor": "process", "jobs": 4})
+        ).fit(train)
+
+        a = serial.evaluate("mood", test)
+        b = parallel.evaluate("mood", test)
+        pa, pb = tmp_path / "serial.csv", tmp_path / "process.csv"
+        save_csv(a.published_dataset(), pa)
+        save_csv(b.published_dataset(), pb)
+        assert pa.read_bytes() == pb.read_bytes()
+        assert a.non_protected() == b.non_protected()
+        # The evaluation counter is reconciled from the worker deltas.
+        assert serial.evaluations == parallel.evaluations
+
+    def test_protect_dataset_reports(self):
+        lppms = [_Shift("strong", 0.3)]
+        engine = ProtectionEngine(lppms, [_ThresholdAttack(0.2)])
+        ds = MobilityDataset("toy")
+        for i in range(4):
+            ds.add(_trace(f"u{i}"))
+        report = engine.protect_dataset(ds)
+        assert isinstance(report, ProtectionReport)
+        assert set(report.results) == set(ds.user_ids())
+        assert report.evaluations > 0
+        assert report.wall_time_s >= 0.0
+        assert report.users_per_second > 0.0
+        assert report.non_protected() == set()
+
+    def test_stateful_strategy_falls_back_to_serial(self):
+        engine = ProtectionEngine(
+            [_Shift("strong", 0.3)],
+            [_ThresholdAttack(0.2)],
+            search_strategy="greedy",
+            executor="process",
+            jobs=2,
+        )
+        ds = MobilityDataset("toy")
+        ds.add(_trace("u0"))
+        ds.add(_trace("u1"))
+        with pytest.warns(RuntimeWarning, match="serial"):
+            report = engine.protect_dataset(ds)
+        assert report.non_protected() == set()
+
+
+class TestUnifiedEvaluate:
+    def test_unknown_strategy_rejected(self, micro_ctx):
+        with pytest.raises(ConfigurationError):
+            micro_ctx.engine().evaluate("quantum", micro_ctx.test)
+
+    def test_lppm_strategy_matches_legacy_shim(self, micro_ctx):
+        engine = micro_ctx.engine()
+        lppm = micro_ctx.lppms[0]
+        new = engine.evaluate("lppm", micro_ctx.test, lppm=lppm).result
+        with pytest.warns(DeprecationWarning):
+            old = evaluate_lppm(lppm, micro_ctx.test, micro_ctx.attacks, seed=micro_ctx.seed)
+        assert new.guesses == old.guesses
+        assert new.distortions == old.distortions
+
+    def test_lppm_strategy_resolves_by_name_and_spec(self, micro_ctx):
+        engine = micro_ctx.engine()
+        by_name = engine.evaluate("lppm", micro_ctx.test, lppm="Geo-I").result
+        assert by_name.lppm_name == "Geo-I"
+        by_spec = engine.evaluate(
+            "lppm", micro_ctx.test, lppm={"name": "identity"}
+        ).result
+        assert by_spec.lppm_name == "no-LPPM"
+
+    def test_lppm_strategy_resolves_registry_slug_to_engine_instance(self, micro_ctx):
+        # 'geoi' (slug) must pick the engine's own fitted/configured
+        # mechanism, never silently build a fresh default one.
+        engine = micro_ctx.engine()
+        assert engine._resolve_lppm("geoi") is engine._resolve_lppm("Geo-I")
+        with pytest.raises(ConfigurationError, match="engine's LPPMs"):
+            engine.evaluate("lppm", micro_ctx.test, lppm="promesse")
+
+    def test_hybrid_strategy_matches_legacy_shim(self, micro_ctx):
+        engine = micro_ctx.engine()
+        hybrid = micro_ctx.hybrid()
+        new = engine.evaluate("hybrid", micro_ctx.test, hybrid=hybrid).result
+        with pytest.warns(DeprecationWarning):
+            old = evaluate_hybrid(hybrid, micro_ctx.test)
+        assert new.non_protected() == old.non_protected()
+        assert new.distortions() == old.distortions()
+
+    def test_mood_strategy_matches_legacy_shim(self, micro_ctx):
+        engine = micro_ctx.engine()
+        new = engine.evaluate("mood", micro_ctx.test, composition_only=True).result
+        with pytest.warns(DeprecationWarning):
+            mood = micro_ctx.mood()
+        with pytest.warns(DeprecationWarning):
+            old = evaluate_mood(mood, micro_ctx.test, composition_only=True)
+        assert new.non_protected() == old.non_protected()
+        assert {u: r.data_loss for u, r in new.results.items()} == {
+            u: r.data_loss for u, r in old.results.items()
+        }
+
+    def test_report_unified_accessors(self, micro_ctx):
+        engine = micro_ctx.engine()
+        report = engine.evaluate("lppm", micro_ctx.test, lppm=Identity())
+        assert report.protected() | report.non_protected() == report.users()
+        # Record-level loss for all-or-nothing strategies needs the corpus.
+        with pytest.raises(ConfigurationError):
+            report.data_loss()
+        assert 0.0 <= report.data_loss(micro_ctx.test) <= 1.0
+        with pytest.raises(ConfigurationError):
+            report.published_dataset()
+
+    def test_per_attack_readout_rejected_outside_lppm(self, micro_ctx):
+        report = micro_ctx.engine().evaluate("mood", micro_ctx.test, composition_only=True)
+        with pytest.raises(ConfigurationError, match="lppm"):
+            report.non_protected(["POI-attack"])
+
+    def test_lppm_evaluation_does_not_inflate_candidate_counter(self):
+        engine = ProtectionEngine([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        ds = MobilityDataset("toy")
+        ds.add(_trace("u0"))
+        engine.evaluate("lppm", ds)
+        assert engine.evaluations == 0
+
+    def test_no_guess_sentinel_for_empty_obfuscation(self):
+        engine = ProtectionEngine([_Erase()], [_ThresholdAttack()])
+        ds = MobilityDataset("toy")
+        ds.add(_trace("u0"))
+        ev = engine.evaluate("lppm", ds, lppm=_Erase()).result
+        assert ev.guesses["u0"]["atk"] == NO_GUESS
+        assert ev.non_protected() == set()
+        assert ev.distortions["u0"] == float("inf")
+
+
+class TestPublicHooks:
+    """Satellite: the private-API leak is sealed by public methods."""
+
+    def test_search_whole_trace_and_finalize(self):
+        engine = ProtectionEngine([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        piece = engine.search_whole_trace(_trace())
+        assert piece is not None
+        assert piece.mechanism == "strong"
+        result = engine.protect(_trace())
+        assert result.pieces[0].pseudonym == "u#0"
+
+    def test_legacy_private_alias_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            mood = Mood([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        piece = mood._search_protecting_lppm(_trace())
+        assert piece is not None
+
+    def test_mood_is_an_engine(self):
+        with pytest.warns(DeprecationWarning):
+            mood = Mood([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        assert isinstance(mood, ProtectionEngine)
+        assert mood.SPLIT_POLICIES == ("half", "gap", "inter-poi")

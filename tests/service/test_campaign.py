@@ -90,3 +90,28 @@ class TestCampaignRealMood:
             original_user = trace.user_id.split("#")[0]
             for attack in micro_ctx.attacks:
                 assert attack.reidentify(trace) != original_user
+
+
+class TestLegacyMoodKeyword:
+    def test_mood_keyword_still_accepted_with_warning(self, micro_ctx):
+        import pytest as _pytest
+
+        from repro.service.proxy import MoodProxy
+
+        engine = micro_ctx.engine()
+        with _pytest.warns(DeprecationWarning, match="mood"):
+            proxy = MoodProxy(mood=engine)
+        assert proxy.engine is engine
+        with _pytest.warns(DeprecationWarning, match="mood"):
+            campaign = CrowdsensingCampaign(micro_ctx.test, mood=engine)
+        assert campaign.proxy.engine is engine
+
+    def test_engine_and_mood_together_rejected(self, micro_ctx):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+        from repro.service.proxy import MoodProxy
+
+        engine = micro_ctx.engine()
+        with _pytest.raises(ConfigurationError):
+            MoodProxy(engine, mood=engine)

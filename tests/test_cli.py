@@ -61,3 +61,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "count-query fidelity" in out
         assert "mechanism usage" in out
+
+
+class TestConfigCommands:
+    def test_config_example_is_valid_json(self, capsys):
+        import json
+
+        code = main(["config", "example"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in data["lppms"]] == ["geoi", "trl", "hmc"]
+
+    def test_config_validate_ok(self, tmp_path, capsys):
+        from repro.config import ProtectionConfig
+
+        path = tmp_path / "run.json"
+        ProtectionConfig(seed=4).to_file(path)
+        code = main(["config", "validate", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "geoi" in out
+
+    def test_config_validate_rejects_bad_name(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"lppms": ["laplace"]}')
+        code = main(["config", "validate", str(path)])
+        assert code == 1
+        assert "laplace" in capsys.readouterr().err
+
+    def test_config_validate_rejects_bad_kwargs(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"lppms": [{"name": "geoi", "sigma": 2}]}')
+        code = main(["config", "validate", str(path)])
+        assert code == 1
+        assert "geoi" in capsys.readouterr().err
+
+    def test_config_validate_missing_file(self, capsys):
+        code = main(["config", "validate", "/no/such/file.json"])
+        assert code == 1
+
+    def test_protect_with_config_and_jobs(self, tmp_path, capsys):
+        from repro.config import ProtectionConfig
+
+        path = tmp_path / "run.json"
+        ProtectionConfig(seed=2).to_file(path)
+        code = main(
+            [
+                "protect", "--dataset", "privamov", "--users", "5", "--days", "5",
+                "--seed", "2", "--config", str(path), "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fully protected" in out

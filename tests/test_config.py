@@ -1,0 +1,99 @@
+"""Tests for repro.config — the declarative ProtectionConfig."""
+
+import json
+
+import pytest
+
+from repro.config import ProtectionConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults_validate(self):
+        cfg = ProtectionConfig.paper_defaults()
+        assert [s["name"] for s in cfg.lppms] == ["geoi", "trl", "hmc"]
+        assert [s["name"] for s in cfg.attacks] == ["poi", "pit", "ap"]
+        assert cfg.delta_s == 4 * 3600.0
+        assert cfg.executor == "serial"
+
+    def test_specs_normalised_to_dicts(self):
+        cfg = ProtectionConfig(lppms=["geoi"], attacks=[{"name": "poi"}])
+        assert cfg.lppms == [{"name": "geoi"}]
+        assert cfg.attacks == [{"name": "poi"}]
+
+    def test_search_strategy_normalised(self):
+        cfg = ProtectionConfig(search_strategy="greedy")
+        assert cfg.search_strategy == {"name": "greedy"}
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        cfg = ProtectionConfig(
+            lppms=[{"name": "geoi", "epsilon": 0.02}, "trl"],
+            attacks=["poi", "ap"],
+            delta_s=7200.0,
+            split_policy="gap",
+            search_strategy={"name": "greedy", "alpha": 2.0},
+            executor="process",
+            jobs=4,
+            seed=99,
+        ).validate()
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+
+    def test_to_dict_is_plain_json(self):
+        data = ProtectionConfig().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "run.json"
+        cfg = ProtectionConfig(seed=7)
+        cfg.to_file(path)
+        assert ProtectionConfig.from_file(path) == cfg
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="deltas"):
+            ProtectionConfig.from_dict({"deltas": 3600.0})
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError, match="laplace"):
+            ProtectionConfig(lppms=["laplace"]).validate()
+        with pytest.raises(ConfigurationError, match="mmc"):
+            ProtectionConfig(attacks=["mmc"]).validate()
+
+    def test_empty_suites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(lppms=[])
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(attacks=[])
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(delta_s=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(jobs=0).validate()
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(max_composition_length=0).validate()
+
+    def test_bad_split_policy_and_executor(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(split_policy="zigzag").validate()
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(executor="gpu").validate()
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig.from_json("{not json")
+
+    def test_seed_null_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            ProtectionConfig.from_dict({"seed": None})
+
+    def test_jobs_null_means_all_cores(self):
+        cfg = ProtectionConfig.from_dict({"jobs": None, "executor": "process"})
+        assert cfg.jobs is None
+
+    def test_describe_mentions_components(self):
+        text = ProtectionConfig.paper_defaults().describe()
+        assert "geoi" in text and "poi" in text and "serial" in text

@@ -1,0 +1,105 @@
+"""Tests for repro.registry — the component catalogs behind the API."""
+
+import pytest
+
+from repro.attacks.base import Attack
+from repro.core.search import CompositionSearchStrategy
+from repro.errors import ConfigurationError
+from repro.lppm.base import LPPM
+from repro.registry import (
+    KINDS,
+    available,
+    build,
+    get,
+    normalize_spec,
+    register,
+    spec_of,
+)
+
+#: The built-in catalog this library ships; the round-trip test below
+#: guards that every entry stays registered and rebuildable.
+BUILTINS = {
+    "lppm": {"cloaking", "geoi", "hmc", "identity", "promesse", "trl"},
+    "attack": {"ap", "pit", "poi"},
+    "split_policy": {"gap", "half", "inter-poi"},
+    "search_strategy": {"exhaustive", "greedy"},
+    "executor": {"process", "serial"},
+}
+
+
+class TestCatalog:
+    def test_all_kinds_known(self):
+        assert set(BUILTINS) == set(KINDS)
+
+    @pytest.mark.parametrize("kind", sorted(BUILTINS))
+    def test_builtins_registered(self, kind):
+        assert BUILTINS[kind] <= set(available(kind))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            available("middleware")
+        with pytest.raises(ConfigurationError):
+            register("middleware", "x")
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="geoi"):
+            get("lppm", "laplace")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register("lppm", "geoi")(object)
+
+    def test_reregistering_same_object_is_idempotent(self):
+        cls = get("lppm", "geoi")
+        assert register("lppm", "geoi")(cls) is cls
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(BUILTINS["lppm"]))
+    def test_every_lppm_rebuildable_from_spec(self, name):
+        obj = build("lppm", name)
+        assert isinstance(obj, LPPM)
+        spec = spec_of(obj)
+        again = build("lppm", spec)
+        assert type(again) is type(obj)
+        assert spec_of(again) == spec
+
+    @pytest.mark.parametrize("name", sorted(BUILTINS["attack"]))
+    def test_every_attack_rebuildable_from_spec(self, name):
+        obj = build("attack", name)
+        assert isinstance(obj, Attack)
+        assert type(build("attack", spec_of(obj))) is type(obj)
+
+    @pytest.mark.parametrize("name", sorted(BUILTINS["search_strategy"]))
+    def test_every_search_strategy_rebuildable_from_spec(self, name):
+        obj = build("search_strategy", name)
+        assert isinstance(obj, CompositionSearchStrategy)
+        assert type(build("search_strategy", spec_of(obj))) is type(obj)
+
+    @pytest.mark.parametrize("name", sorted(BUILTINS["split_policy"]))
+    def test_every_split_policy_is_callable(self, name, trace_factory):
+        policy = build("split_policy", name)
+        trace = trace_factory("u", [(45.0, 4.0), (45.001, 4.001), (45.002, 4.002)])
+        left, right = policy(trace)
+        assert len(left) + len(right) == len(trace)
+
+    def test_build_with_params(self):
+        geoi = build("lppm", {"name": "geoi", "epsilon": 0.5})
+        assert geoi.epsilon == 0.5
+        assert spec_of(geoi) == {"name": "geoi", "epsilon": 0.5}
+
+    def test_build_rejects_unknown_kwargs(self):
+        with pytest.raises(ConfigurationError, match="geoi"):
+            build("lppm", {"name": "geoi", "sigma": 1.0})
+
+    def test_bad_specs(self):
+        with pytest.raises(ConfigurationError):
+            normalize_spec({})
+        with pytest.raises(ConfigurationError):
+            normalize_spec(42)
+        with pytest.raises(ConfigurationError):
+            spec_of(object())
+
+    def test_builtin_classes_expose_registry_name(self):
+        assert get("lppm", "geoi").registry_name == "geoi"
+        assert spec_of(get("attack", "poi")()) == {"name": "poi"}

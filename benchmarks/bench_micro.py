@@ -10,16 +10,40 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import get_context
+from repro.attacks.ap_attack import ApAttack
+from repro.attacks.poi_attack import PoiAttack, poi_set_distance
+from repro.attacks.reference import (
+    ap_rank_reference,
+    poi_rank_reference,
+    poi_set_distance_reference,
+)
+from repro.bench import CITY_LAT, synthetic_background, synthetic_trace, time_fn
 from repro.core.composition import composition_count, enumerate_compositions
 from repro.core.mood import Mood
 from repro.core.pipeline import evaluate_mood
 from repro.core.split import split_fixed_time, split_on_gaps
 from repro.lppm import GeoInd, Trilateration
+from repro.poi.clustering import extract_pois
 
 
 @pytest.fixture(scope="module")
 def ctx():
     return get_context("privamov")
+
+
+# -- fitted attacks at N profiled users (shared across the scaling benches)
+
+_scaled_attacks = {}
+
+
+def get_scaled_attacks(n_users):
+    if n_users not in _scaled_attacks:
+        background = synthetic_background(n_users, seed=7)
+        probe = synthetic_trace("probe", seed=6)
+        ap = ApAttack(cell_size_m=800.0, ref_lat=CITY_LAT).fit(background)
+        poi = PoiAttack().fit(background)
+        _scaled_attacks[n_users] = (ap, poi, probe)
+    return _scaled_attacks[n_users]
 
 
 class TestAttackCosts:
@@ -45,6 +69,73 @@ class TestAttackCosts:
         attack = ctx.attack_by_name["PIT-attack"]
         trace = ctx.test.traces()[0]
         benchmark(lambda: attack.rank(trace))
+
+
+class TestKernelScaling:
+    """ISSUE 2 acceptance: rank() at N profiled users, fast vs reference.
+
+    The references are the retained scalar implementations
+    (:mod:`repro.attacks.reference`), fitted on the *same* background —
+    the speedup is measured, not remembered.
+    """
+
+    @pytest.mark.parametrize("n_users", [100, 1000])
+    def test_ap_rank_at_n_users(self, benchmark, n_users):
+        ap, _, probe = get_scaled_attacks(n_users)
+        ranked = benchmark(lambda: ap.rank(probe))
+        assert len(ranked) == n_users
+
+    @pytest.mark.parametrize("n_users", [100, 1000])
+    def test_poi_rank_at_n_users(self, benchmark, n_users):
+        _, poi, probe = get_scaled_attacks(n_users)
+        ranked = benchmark(lambda: poi.rank(probe))
+        assert len(ranked) == n_users
+
+    @pytest.mark.parametrize("n_users", [100, 1000])
+    def test_ap_top1_at_n_users(self, benchmark, n_users):
+        ap, _, probe = get_scaled_attacks(n_users)
+        top = benchmark(lambda: ap.top1(probe))
+        assert top == ap.rank(probe)[0]
+
+    @pytest.mark.parametrize("n_users", [100, 1000])
+    def test_poi_top1_at_n_users(self, benchmark, n_users):
+        _, poi, probe = get_scaled_attacks(n_users)
+        top = benchmark(lambda: poi.top1(probe))
+        assert top == poi.rank(probe)[0]
+
+    def test_rank_speedup_vs_reference_at_1000_users(self):
+        """The ≥5× acceptance bar, asserted against live measurements."""
+        ap, poi, probe = get_scaled_attacks(1000)
+        ap_fast = time_fn(lambda: ap.rank(probe), repeat=3)
+        ap_ref = time_fn(lambda: ap_rank_reference(ap, probe), repeat=3)
+        poi_fast = time_fn(lambda: poi.rank(probe), repeat=3)
+        poi_ref = time_fn(lambda: poi_rank_reference(poi, probe), repeat=3)
+        print(
+            f"\nAP-attack.rank  @1000: {ap_fast * 1e3:.2f} ms vs "
+            f"{ap_ref * 1e3:.2f} ms reference ({ap_ref / ap_fast:.1f}x)"
+        )
+        print(
+            f"POI-attack.rank @1000: {poi_fast * 1e3:.2f} ms vs "
+            f"{poi_ref * 1e3:.2f} ms reference ({poi_ref / poi_fast:.1f}x)"
+        )
+        assert ap_ref / ap_fast >= 5.0
+        assert poi_ref / poi_fast >= 5.0
+
+
+class TestFeatureKernels:
+    """POI extraction and set-distance micro-kernels."""
+
+    def test_extract_pois(self, benchmark, ctx):
+        trace = ctx.test.traces()[0]
+        pois = benchmark(lambda: extract_pois(trace))
+        assert isinstance(pois, list)
+
+    def test_poi_set_distance(self, benchmark):
+        a = PoiAttack()._extract(synthetic_trace("a", seed=1, n_places=6))
+        b = PoiAttack()._extract(synthetic_trace("b", seed=2, n_places=6))
+        assert a and b
+        fast = benchmark(lambda: poi_set_distance(a, b))
+        assert fast == pytest.approx(poi_set_distance_reference(a, b), rel=1e-9)
 
 
 class TestLppmCosts:

@@ -5,16 +5,34 @@ Each user's past mobility is aggregated into an 800 m-cell heatmap; an
 anonymous trace is attributed to the known user whose heatmap minimises
 the Topsoe divergence.
 
-The comparison loop is fully vectorised: profiles are stored as rows of
-a dense matrix over the global cell vocabulary, and the divergence of
-the anonymous distribution against *all* profiles is computed in one
-numpy pass — this is the hot path of MooD's composition search (every
-candidate composition is attacked).
+This is the hot path of MooD's composition search (every candidate
+composition is attacked), so the comparison is a *zero-copy* kernel: the
+divergence of the anonymous distribution against all stored profiles is
+computed directly on the columns of the profile matrix that the
+anonymous trace actually visits, plus a closed-form correction for the
+rest.  Writing the Topsoe sum per profile row ``p`` against the query
+``q`` as
+
+    T(p, q) = Σ_j [ p_j ln p_j + q_j ln(2 q_j) − (p_j+q_j) ln(p_j+q_j) ]
+              + ln 2 · (1 + q_out)                          (j ∈ supp(q)∩V)
+
+— where ``V`` is the profile cell vocabulary and ``q_out`` the anonymous
+mass outside it — every term outside the (small) support of ``q``
+collapses into the closed-form ``ln 2`` correction, because both
+distributions sum to one (the profile mass missing from ``supp(q)``
+contributes ``p_j ln 2`` each, which cancels exactly against the
+expansion of the overlap terms).  The ``p ln p`` entropy terms are
+precomputed at fit time, so a query touches only a ``(users × |supp(q)|)``
+slice instead of materialising the full padded ``(users × cells)``
+matrix that the previous implementation copied on every call.
+
+:meth:`ApAttack.top1` skips even the final sort: the ``is_protected``
+inner loop needs one argmin, not a ranking.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,9 +41,10 @@ from repro.registry import register_attack
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.geo.grid import Cell, MetricGrid
-from repro.poi.heatmap import build_heatmap
+from repro.poi.heatmap import Heatmap, build_heatmap
 
 _EPS = 1e-12
+_LN2 = float(np.log(2.0))
 
 
 @register_attack("ap")
@@ -40,6 +59,7 @@ class ApAttack(Attack):
         self._users: List[str] = []
         self._cell_index: Dict[Cell, int] = {}
         self._matrix = np.zeros((0, 0))
+        self._plogp = np.zeros((0, 0))
 
     def _build_profiles(self, background: MobilityDataset) -> None:
         heatmaps = {}
@@ -47,7 +67,7 @@ class ApAttack(Attack):
         for trace in background.traces():
             if len(trace) == 0:
                 continue
-            hm = build_heatmap(trace, self.grid)
+            hm = self._heatmap(trace)
             heatmaps[trace.user_id] = hm
             for cell in hm.cells():
                 vocabulary.setdefault(cell, len(vocabulary))
@@ -58,37 +78,86 @@ class ApAttack(Attack):
             for cell, mass in heatmaps[user].items():
                 matrix[row, vocabulary[cell]] = mass
         self._matrix = matrix
+        # Per-row entropy terms p·ln p, fixed for the attack's lifetime:
+        # the query-time kernel only gathers the columns it needs.
+        self._plogp = np.where(
+            matrix > 0.0, matrix * np.log(np.maximum(matrix, _EPS)), 0.0
+        )
+
+    def _heatmap(self, trace: Trace) -> Heatmap:
+        return self._cached(
+            "heatmap",
+            trace,
+            (self.grid.cell_size_m, self.grid.ref_lat),
+            lambda: build_heatmap(trace, self.grid),
+        )
 
     def profile_matrix(self) -> np.ndarray:
         """Copy of the (users × cells) profile matrix, for analysis."""
         self._require_fitted()
         return self._matrix.copy()
 
-    def rank(self, trace: Trace) -> List[Tuple[str, float]]:
+    def _divergences(self, trace: Trace) -> Optional[np.ndarray]:
+        """Topsoe divergence of *trace* against every profile row.
+
+        ``None`` when no hypothesis can be formed (empty trace or no
+        profiles); otherwise one value per user of :attr:`_users`.
+        """
         self._require_fitted()
         if len(trace) == 0 or not self._users:
-            return []
-        anon = build_heatmap(trace, self.grid)
-        n_known = len(self._cell_index)
-        extra: Dict[Cell, int] = {}
-        for cell in anon.cells():
-            if cell not in self._cell_index:
-                extra.setdefault(cell, n_known + len(extra))
-        width = n_known + len(extra)
-        q = np.zeros(width, dtype=np.float64)
+            return None
+        anon = self._heatmap(trace)
+        cols: List[int] = []
+        qvals: List[float] = []
+        q_out = 0.0
+        cell_index = self._cell_index
         for cell, mass in anon.items():
-            q[self._cell_index.get(cell, extra.get(cell))] = mass
-        p = np.zeros((len(self._users), width), dtype=np.float64)
-        p[:, :n_known] = self._matrix
-        divergences = _topsoe_rows(p, q)
+            j = cell_index.get(cell)
+            if j is None:
+                q_out += mass
+            else:
+                cols.append(j)
+                qvals.append(mass)
+        div = np.full(len(self._users), _LN2 * (1.0 + q_out), dtype=np.float64)
+        if cols:
+            col_idx = np.asarray(cols, dtype=np.intp)
+            q = np.asarray(qvals, dtype=np.float64)
+            sub = self._matrix[:, col_idx]
+            m = sub + q[None, :]
+            # q > 0 on every selected column, so m > 0: no masking needed.
+            div += (self._plogp[:, col_idx] - m * np.log(m)).sum(axis=1)
+            div += float((q * np.log(2.0 * q)).sum())
+        return div
+
+    def rank(self, trace: Trace) -> List[Tuple[str, float]]:
+        divergences = self._divergences(trace)
+        if divergences is None:
+            return []
         order = np.argsort(divergences, kind="stable")
         return [(self._users[i], float(divergences[i])) for i in order]
+
+    def top1(self, trace: Trace) -> Optional[Tuple[str, float]]:
+        """Argmin fast path: no full sort, no ranking list.
+
+        ``argmin`` returns the first minimum and :attr:`_users` is
+        sorted, so ties break on the smallest user id — exactly like the
+        stable sort in :meth:`rank`.
+        """
+        divergences = self._divergences(trace)
+        if divergences is None:
+            return None
+        i = int(np.argmin(divergences))
+        return (self._users[i], float(divergences[i]))
 
 
 def _topsoe_rows(p: np.ndarray, q: np.ndarray) -> np.ndarray:
     """Topsoe divergence of each row of *p* against the vector *q*.
 
     ``T(p, q) = Σ p ln(2p/(p+q)) + q ln(2q/(p+q))`` with 0·ln(0/x) = 0.
+
+    Retained as the scalar-reference kernel for the equivalence tests
+    and benchmarks (see :mod:`repro.attacks.reference`); the query path
+    uses the zero-copy decomposition in :meth:`ApAttack._divergences`.
     """
     m = p + q[None, :]
     with np.errstate(divide="ignore", invalid="ignore"):

@@ -10,17 +10,34 @@ When an attack cannot profile a trace at all (e.g. a short sub-trace
 with no POI), it returns :data:`UNKNOWN_USER`, a sentinel that never
 equals a real user id — i.e. the attack *fails*, which is how such cases
 are scored in the paper's protocol.
+
+Two query surfaces
+------------------
+
+* :meth:`Attack.rank` — the full candidate list, ascending by distance.
+  This is the analysis surface (top-k curves, distance histograms).
+* :meth:`Attack.top1` — only the best candidate.  This is the hot-path
+  surface: MooD's ``is_protected`` inner loop needs nothing but the
+  single best guess, so subclasses override :meth:`top1` with an argmin
+  that skips building and sorting the full ranking.  The contract is
+  strict: ``top1(trace)`` must equal ``rank(trace)[0]`` (including the
+  deterministic tie-break by user id), or ``None`` exactly when
+  ``rank`` returns ``[]``.  :meth:`reidentify` routes through
+  :meth:`top1`, so every caller gets the fast path for free.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
 from repro.errors import NotFittedError
 from repro.types import NO_GUESS, UNKNOWN_USER  # noqa: F401  (public home)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.featurecache import FeatureCache
 
 
 class Attack(abc.ABC):
@@ -31,6 +48,7 @@ class Attack(abc.ABC):
 
     def __init__(self) -> None:
         self._fitted = False
+        self._feature_cache: "Optional[FeatureCache]" = None
 
     # -- training ----------------------------------------------------------
 
@@ -52,12 +70,74 @@ class Attack(abc.ABC):
         if not self._fitted:
             raise NotFittedError(f"{self.name} must be fitted before attacking")
 
+    # -- feature cache -----------------------------------------------------
+
+    def use_feature_cache(self, cache: "Optional[FeatureCache]") -> "Attack":
+        """Attach (or detach, with ``None``) a shared per-trace feature cache.
+
+        The cache is consulted by :meth:`_cached`; attacks sharing one
+        cache also share features whose kind and parameters agree (e.g.
+        the POI- and PIT-attacks both reuse one POI extraction per
+        trace).  Attaching a cache never changes any result.
+        """
+        self._feature_cache = cache
+        return self
+
+    @property
+    def feature_cache(self) -> "Optional[FeatureCache]":
+        return self._feature_cache
+
+    def _cached(
+        self,
+        kind: str,
+        trace: Trace,
+        params: Hashable,
+        builder: Callable[[], Any],
+    ) -> Any:
+        """``builder()``, memoised on ``(kind, trace.fingerprint, params)``.
+
+        Cached values are shared objects — treat them as immutable.
+        Without an attached cache this is a plain call to *builder*.
+        """
+        cache = self._feature_cache
+        if cache is None:
+            return builder()
+        return cache.get_or_build((kind, trace.fingerprint, params), builder)
+
+    def _cached_poi_visits(
+        self, trace: Trace, diameter_m: float, min_dwell_s: float
+    ) -> Any:
+        """Chronological POI visits of *trace*, cached under the one key
+        every attack uses — this single helper is what lets the POI- and
+        PIT-attacks share one clustering pass per trace."""
+        from repro.poi.clustering import extract_pois
+
+        return self._cached(
+            "poi-visits",
+            trace,
+            (diameter_m, min_dwell_s),
+            lambda: extract_pois(
+                trace, diameter_m=diameter_m, min_dwell_s=min_dwell_s
+            ),
+        )
+
     # -- attack -------------------------------------------------------------
+
+    def top1(self, trace: Trace) -> Optional[Tuple[str, float]]:
+        """Best ``(user, distance)`` candidate, or ``None`` if no hypothesis.
+
+        Equal to ``rank(trace)[0]`` by contract.  The base implementation
+        falls back to :meth:`rank`; subclasses with vectorised kernels
+        override it with an argmin so the hot ``is_protected`` loop never
+        pays for a full sort.
+        """
+        ranked = self.rank(trace)
+        return ranked[0] if ranked else None
 
     def reidentify(self, trace: Trace) -> str:
         """Guess the user id behind *trace* (or :data:`UNKNOWN_USER`)."""
-        ranked = self.rank(trace)
-        return ranked[0][0] if ranked else UNKNOWN_USER
+        top = self.top1(trace)
+        return top[0] if top is not None else UNKNOWN_USER
 
     @abc.abstractmethod
     def rank(self, trace: Trace) -> List[Tuple[str, float]]:

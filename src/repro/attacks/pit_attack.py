@@ -114,11 +114,20 @@ class PitAttack(Attack):
         self._profiles: Dict[str, MarkovChain] = {}
 
     def _model(self, trace: Trace) -> MarkovChain:
-        return build_mmc(
-            trace,
-            diameter_m=self.diameter_m,
-            min_dwell_s=self.min_dwell_s,
-            max_states=self.max_states,
+        def build() -> MarkovChain:
+            # The visit extraction is shared with the POI-attack, so a
+            # trace attacked by both is clustered once per cache lifetime.
+            visits = self._cached_poi_visits(trace, self.diameter_m, self.min_dwell_s)
+            return build_mmc(
+                trace,
+                diameter_m=self.diameter_m,
+                min_dwell_s=self.min_dwell_s,
+                max_states=self.max_states,
+                visits=visits,
+            )
+
+        return self._cached(
+            "mmc", trace, (self.diameter_m, self.min_dwell_s, self.max_states), build
         )
 
     def _build_profiles(self, background: MobilityDataset) -> None:

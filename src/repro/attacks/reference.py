@@ -1,0 +1,144 @@
+"""Scalar reference implementations of the attack kernels.
+
+The vectorised hot paths (:meth:`ApAttack.rank`'s zero-copy Topsoe
+kernel, :meth:`PoiAttack.rank`'s packed pairwise kernel) replaced
+straightforward implementations that are easy to audit against the
+papers.  Those originals live on here, byte-for-byte, as the ground
+truth for:
+
+* the equivalence property tests (``tests/test_equivalence.py``) — the
+  fast kernels must reproduce these rankings *exactly*, including
+  tie-break order, on randomised traces;
+* the micro-benchmarks (``benchmarks/bench_micro.py`` and
+  ``python -m repro bench``) — the committed ``BENCH_*.json`` speedups
+  are measured against these functions, not against a remembered
+  number.
+
+They take a *fitted* attack and reuse its profiles, so reference and
+fast path see identical training state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.ap_attack import ApAttack, _topsoe_rows
+from repro.attacks.poi_attack import PoiAttack
+from repro.core.trace import Trace
+from repro.geo.grid import Cell
+from repro.poi.clustering import POI
+from repro.poi.heatmap import build_heatmap
+
+__all__ = [
+    "ap_rank_reference",
+    "poi_set_distance_reference",
+    "poi_rank_reference",
+    "rankings_equivalent",
+]
+
+
+def rankings_equivalent(
+    fast: Sequence[Tuple[str, float]],
+    reference: Sequence[Tuple[str, float]],
+    tol: float = 1e-9,
+) -> bool:
+    """True iff two rankings agree up to floating-point-degenerate ties.
+
+    The fast kernels reorder floating-point sums, so a pair of users
+    whose distances are *mathematically equal* can carry different
+    last-ulp noise in the two implementations — the scalar reference
+    then breaks the "tie" by that noise, while the vectorised kernel
+    breaks the exact tie by user id.  Equivalence therefore means:
+
+    * the same candidate set with distances equal within *tol* (relative);
+    * identical order everywhere the reference's distance gaps exceed
+      *tol* — i.e. wherever the ranking carries information, it is the
+      same ranking; inside a tie group the ordering is permutable.
+    """
+    if len(fast) != len(reference):
+        return False
+    fast_by_user = dict(fast)
+    if len(fast_by_user) != len(fast) or set(fast_by_user) != {
+        u for u, _ in reference
+    }:
+        return False
+    for user, dist in reference:
+        if not abs(fast_by_user[user] - dist) <= tol * (1.0 + abs(dist)):
+            return False
+    fast_users = [u for u, _ in fast]
+    i = 0
+    while i < len(reference):
+        j = i + 1
+        while (
+            j < len(reference)
+            and reference[j][1] - reference[j - 1][1]
+            <= tol * (1.0 + abs(reference[j][1]))
+        ):
+            j += 1
+        if set(fast_users[i:j]) != {u for u, _ in reference[i:j]}:
+            return False
+        i = j
+    return True
+
+
+def ap_rank_reference(attack: ApAttack, trace: Trace) -> List[Tuple[str, float]]:
+    """The original :meth:`ApAttack.rank`: pad the profile matrix with the
+    anonymous trace's out-of-vocabulary cells and run the dense Topsoe
+    kernel over the full ``(users × width)`` copy."""
+    attack._require_fitted()
+    if len(trace) == 0 or not attack._users:
+        return []
+    anon = build_heatmap(trace, attack.grid)
+    n_known = len(attack._cell_index)
+    extra: Dict[Cell, int] = {}
+    for cell in anon.cells():
+        if cell not in attack._cell_index:
+            extra.setdefault(cell, n_known + len(extra))
+    width = n_known + len(extra)
+    q = np.zeros(width, dtype=np.float64)
+    for cell, mass in anon.items():
+        q[attack._cell_index.get(cell, extra.get(cell))] = mass
+    p = np.zeros((len(attack._users), width), dtype=np.float64)
+    p[:, :n_known] = attack._matrix
+    divergences = _topsoe_rows(p, q)
+    order = np.argsort(divergences, kind="stable")
+    return [(attack._users[i], float(divergences[i])) for i in order]
+
+
+def _directed_distance_reference(a: Sequence[POI], b: Sequence[POI]) -> float:
+    """Weighted mean over *a* of the distance to the nearest POI of *b*."""
+    total_w = 0.0
+    acc = 0.0
+    for poi in a:
+        nearest = min(poi.distance_m(other) for other in b)
+        acc += poi.weight * nearest
+        total_w += poi.weight
+    return acc / total_w if total_w > 0 else math.inf
+
+
+def poi_set_distance_reference(a: Sequence[POI], b: Sequence[POI]) -> float:
+    """The original pure-Python symmetrised nearest-neighbour distance."""
+    if not a or not b:
+        return math.inf
+    return 0.5 * (
+        _directed_distance_reference(a, b) + _directed_distance_reference(b, a)
+    )
+
+
+def poi_rank_reference(attack: PoiAttack, trace: Trace) -> List[Tuple[str, float]]:
+    """The original :meth:`PoiAttack.rank`: one scalar set distance per
+    profiled user, then a ``(distance, user)`` sort."""
+    attack._require_fitted()
+    anon = attack._extract(trace)
+    if not anon:
+        return []
+    scored = [
+        (user, poi_set_distance_reference(anon, profile))
+        for user, profile in attack._profiles.items()
+    ]
+    scored = [(u, d) for u, d in scored if math.isfinite(d)]
+    scored.sort(key=lambda ud: (ud[1], ud[0]))
+    return scored

@@ -1,0 +1,275 @@
+"""Kernel timing harness and perf snapshots (``python -m repro bench``).
+
+Measures the composition-search hot-path kernels — attack ``rank()`` /
+``top1()`` at N profiled users, POI extraction, POI-set distance —
+against the retained scalar reference implementations
+(:mod:`repro.attacks.reference`), plus an end-to-end engine smoke
+(users/sec).  Speedups are *measured on the spot*, never remembered:
+every snapshot times the reference and the fast kernel on the same data
+in the same process.
+
+Two entry points:
+
+* :func:`run_smoke` — a sub-minute sanity pass (100-user kernels + a
+  tiny engine run), wired into ``python -m repro bench smoke`` together
+  with the tier-1 test suite; this is the CI job.
+* :func:`run_micro` — the full micro suite at N ∈ {100, 1000} users,
+  emitting the committed ``BENCH_<k>.json`` trajectory snapshots.
+
+The synthetic corpus is generated directly here (homes + commutes over
+a city-sized box) so the benches do not depend on the experiment
+harness and scale to thousands of users in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.ap_attack import ApAttack
+from repro.attacks.poi_attack import PoiAttack, poi_set_distance
+from repro.attacks.reference import (
+    ap_rank_reference,
+    poi_rank_reference,
+    poi_set_distance_reference,
+    rankings_equivalent,
+)
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.poi.clustering import extract_pois, extract_pois_reference
+
+#: Reference city (Lyon, the Privamov vintage).
+CITY_LAT = 45.76
+CITY_LNG = 4.84
+_M_PER_DEG = 111_320.0
+
+
+def synthetic_trace(
+    user_id: str,
+    seed: int,
+    n_places: int = 4,
+    visits_per_place: int = 3,
+    dwell_s: float = 5400.0,
+    period_s: float = 300.0,
+    commute_points: int = 20,
+    spread_deg: float = 0.15,
+) -> Trace:
+    """One user's trace: repeated dwells at a few home places, joined by
+    commutes — yields stable POIs *and* a wide heatmap support."""
+    rng = np.random.default_rng(seed)
+    base_lat = CITY_LAT + rng.uniform(-spread_deg, spread_deg)
+    base_lng = CITY_LNG + rng.uniform(-spread_deg, spread_deg)
+    places = np.stack(
+        [
+            base_lat + rng.uniform(-0.02, 0.02, size=n_places),
+            base_lng + rng.uniform(-0.02, 0.02, size=n_places),
+        ],
+        axis=1,
+    )
+    lats: List[np.ndarray] = []
+    lngs: List[np.ndarray] = []
+    ts: List[np.ndarray] = []
+    t = 0.0
+    n_dwell = max(2, int(dwell_s / period_s))
+    jitter = 5.0 / _M_PER_DEG
+    order = [places[i % n_places] for i in range(n_places * visits_per_place)]
+    for k, (p_lat, p_lng) in enumerate(order):
+        lats.append(p_lat + rng.normal(0.0, jitter, size=n_dwell))
+        lngs.append(p_lng + rng.normal(0.0, jitter, size=n_dwell))
+        ts.append(t + np.arange(n_dwell) * period_s)
+        t += n_dwell * period_s
+        if k + 1 < len(order):
+            q_lat, q_lng = order[k + 1]
+            frac = np.linspace(0.0, 1.0, commute_points + 2)[1:-1]
+            lats.append(p_lat + (q_lat - p_lat) * frac)
+            lngs.append(p_lng + (q_lng - p_lng) * frac)
+            ts.append(t + np.arange(commute_points) * 60.0)
+            t += commute_points * 60.0 + 1800.0
+    return Trace(
+        user_id,
+        np.concatenate(ts),
+        np.concatenate(lats),
+        np.concatenate(lngs),
+    )
+
+
+def synthetic_background(n_users: int, seed: int = 7, **kwargs: Any) -> MobilityDataset:
+    """A corpus of :func:`synthetic_trace` users (``user0000`` …)."""
+    ds = MobilityDataset(f"bench-synth-{n_users}")
+    for i in range(n_users):
+        ds.add(synthetic_trace(f"user{i:04d}", seed=seed * 100_003 + i, **kwargs))
+    return ds
+
+
+def time_fn(fn: Callable[[], Any], repeat: int = 5, warmup: int = 1) -> float:
+    """Best-of-*repeat* wall seconds for one call of *fn* (after warmup)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _speedup_entry(fast_s: float, reference_s: float) -> Dict[str, float]:
+    return {
+        "fast_s": fast_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+def bench_rank_at_scale(
+    n_users: int, seed: int = 7, repeat: int = 3
+) -> Dict[str, Dict[str, float]]:
+    """``rank()``/``top1()`` timings at *n_users* profiled users, fast vs
+    scalar reference, for the AP- and POI-attacks."""
+    background = synthetic_background(n_users, seed=seed)
+    probe = synthetic_trace("probe", seed=seed - 1)
+    ap = ApAttack(cell_size_m=800.0, ref_lat=CITY_LAT).fit(background)
+    poi = PoiAttack().fit(background)
+    # Sanity: fast and reference kernels must agree before timing them.
+    if not rankings_equivalent(ap.rank(probe), ap_rank_reference(ap, probe)):
+        raise AssertionError("AP fast ranking diverged from the scalar reference")
+    if not rankings_equivalent(poi.rank(probe), poi_rank_reference(poi, probe)):
+        raise AssertionError("POI fast ranking diverged from the scalar reference")
+    if ap.top1(probe) != ap.rank(probe)[0] or poi.top1(probe) != poi.rank(probe)[0]:
+        raise AssertionError("top1 fast path disagreed with rank()[0]")
+    out = {
+        "ap_rank": _speedup_entry(
+            time_fn(lambda: ap.rank(probe), repeat=repeat),
+            time_fn(lambda: ap_rank_reference(ap, probe), repeat=repeat),
+        ),
+        "poi_rank": _speedup_entry(
+            time_fn(lambda: poi.rank(probe), repeat=repeat),
+            time_fn(lambda: poi_rank_reference(poi, probe), repeat=repeat),
+        ),
+        "ap_top1": {"fast_s": time_fn(lambda: ap.top1(probe), repeat=repeat)},
+        "poi_top1": {"fast_s": time_fn(lambda: poi.top1(probe), repeat=repeat)},
+    }
+    out["meta"] = {
+        "n_users": float(n_users),
+        "profile_cells": float(len(ap._cell_index)),
+        "profile_pois": float(len(poi._pw)),
+        "probe_records": float(len(probe)),
+    }
+    return out
+
+
+def bench_feature_kernels(seed: int = 7, repeat: int = 5) -> Dict[str, Dict[str, float]]:
+    """POI extraction and set-distance timings, fast vs reference."""
+    trace = synthetic_trace("kern", seed=seed, n_places=6, visits_per_place=4)
+    a = PoiAttack()._extract(trace)
+    b = PoiAttack()._extract(synthetic_trace("kern2", seed=seed + 1, n_places=6))
+    return {
+        "extract_pois": _speedup_entry(
+            time_fn(lambda: extract_pois(trace), repeat=repeat),
+            time_fn(lambda: extract_pois_reference(trace), repeat=repeat),
+        ),
+        "poi_set_distance": _speedup_entry(
+            time_fn(lambda: poi_set_distance(a, b), repeat=repeat, warmup=2),
+            time_fn(lambda: poi_set_distance_reference(a, b), repeat=repeat),
+        ),
+    }
+
+
+def bench_engine_smoke(
+    n_users: int = 8, days: int = 6, seed: int = 123
+) -> Dict[str, Any]:
+    """End-to-end ``protect_dataset`` users/sec on a tiny real context."""
+    from repro.experiments.harness import prepare_context
+
+    ctx = prepare_context("privamov", seed=seed, n_users=n_users, days=days)
+    engine = ctx.engine()
+    report = engine.protect_dataset(ctx.test)
+    return {
+        "dataset": ctx.name,
+        "users": len(report.results),
+        "wall_time_s": report.wall_time_s,
+        "users_per_second": report.users_per_second,
+        "evaluations": report.evaluations,
+        "data_loss": report.data_loss(),
+        "feature_cache": engine.feature_cache.stats(),
+    }
+
+
+def _snapshot_header() -> Dict[str, Any]:
+    return {
+        "schema": "mood-bench",
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def run_smoke(seed: int = 7) -> Dict[str, Any]:
+    """Sub-minute bench: 100-user kernels + feature kernels + tiny engine."""
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "smoke"
+    snapshot["rank_at_users"] = {"100": bench_rank_at_scale(100, seed=seed, repeat=2)}
+    snapshot["feature_kernels"] = bench_feature_kernels(seed=seed, repeat=3)
+    snapshot["engine"] = bench_engine_smoke()
+    return snapshot
+
+
+def run_micro(
+    sizes: Sequence[int] = (100, 1000),
+    seed: int = 7,
+    out_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The full micro suite; optionally written to *out_path* as JSON."""
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "micro"
+    snapshot["rank_at_users"] = {
+        str(n): bench_rank_at_scale(n, seed=seed) for n in sizes
+    }
+    snapshot["feature_kernels"] = bench_feature_kernels(seed=seed)
+    snapshot["engine"] = bench_engine_smoke()
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def format_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_micro`/:func:`run_smoke` dict."""
+    lines = [f"bench mode         : {snapshot['mode']}"]
+    for n, kernels in sorted(snapshot["rank_at_users"].items(), key=lambda kv: int(kv[0])):
+        for name in ("ap_rank", "poi_rank"):
+            entry = kernels[name]
+            lines.append(
+                f"{name:18s} @ {n:>4s} users : {entry['fast_s'] * 1e3:8.2f} ms "
+                f"(reference {entry['reference_s'] * 1e3:8.2f} ms, "
+                f"speedup {entry['speedup']:6.1f}x)"
+            )
+        for name in ("ap_top1", "poi_top1"):
+            lines.append(
+                f"{name:18s} @ {n:>4s} users : "
+                f"{kernels[name]['fast_s'] * 1e3:8.2f} ms"
+            )
+    for name, entry in sorted(snapshot["feature_kernels"].items()):
+        lines.append(
+            f"{name:25s} : {entry['fast_s'] * 1e3:8.3f} ms "
+            f"(reference {entry['reference_s'] * 1e3:8.3f} ms, "
+            f"speedup {entry['speedup']:6.1f}x)"
+        )
+    eng = snapshot["engine"]
+    lines.append(
+        f"engine smoke       : {eng['users']} users in {eng['wall_time_s']:.2f}s "
+        f"({eng['users_per_second']:.2f} users/s, {eng['evaluations']} evaluations)"
+    )
+    cache = eng["feature_cache"]
+    lines.append(
+        f"feature cache      : {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['entries']} entries)"
+    )
+    return "\n".join(lines)

@@ -15,6 +15,11 @@ Commands
     Run the crowdsensing deployment simulation.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
+``mood bench smoke`` / ``mood bench micro [--out BENCH.json]``
+    Perf gate: ``smoke`` runs the tier-1 test suite plus a sub-minute
+    kernel bench (the CI job); ``micro`` runs the full micro suite at
+    N ∈ {100, 1000} profiled users and writes a ``BENCH_*.json``
+    trajectory snapshot.
 """
 
 from __future__ import annotations
@@ -81,6 +86,35 @@ def build_parser() -> argparse.ArgumentParser:
     validate = conf_sub.add_parser("validate", help="lint a protection config file")
     validate.add_argument("file", help="path to a JSON ProtectionConfig")
     conf_sub.add_parser("example", help="print a template config to adapt")
+
+    bench = sub.add_parser("bench", help="run the perf gate / micro-benchmarks")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    smoke = bench_sub.add_parser(
+        "smoke", help="tier-1 test suite + a <60 s kernel bench (the CI job)"
+    )
+    smoke.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="only run the kernel bench, skip the pytest pass",
+    )
+    micro = bench_sub.add_parser(
+        "micro", help="full kernel micro suite; writes a BENCH snapshot"
+    )
+    micro.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    micro.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[100, 1000],
+        help="profiled-user counts for the rank() benches",
+    )
+    for p in (smoke, micro):
+        p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
 
@@ -201,6 +235,49 @@ def _cmd_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import format_snapshot, run_micro, run_smoke
+
+    if args.bench_command == "micro":
+        snapshot = run_micro(sizes=tuple(args.sizes), seed=args.seed, out_path=args.out)
+        print(format_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
+    # smoke: tier-1 suite first (when a tests/ tree is reachable), then
+    # a sub-minute kernel pass.  Non-zero on any failure — CI-gateable.
+    if not args.skip_tests:
+        if not os.path.isdir("tests"):
+            # The gate must never pass green without running the suite.
+            print(
+                "error: no tests/ directory under the current working "
+                "directory — run `bench smoke` from the repo root, or pass "
+                "--skip-tests to run only the kernel bench",
+                file=sys.stderr,
+            )
+            return 1
+        import subprocess
+
+        env = dict(os.environ)
+        src = os.path.abspath("src")
+        if os.path.isdir(src):
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+        code = subprocess.call(
+            [sys.executable, "-m", "pytest", "-x", "-q", "tests"], env=env
+        )
+        if code != 0:
+            print("tier-1 test suite failed", file=sys.stderr)
+            return code
+    t0 = time.perf_counter()
+    snapshot = run_smoke(seed=args.seed)
+    print(format_snapshot(snapshot))
+    print(f"bench smoke wall   : {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.errors import ReproError
 
@@ -211,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
         "config": _cmd_config,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -42,6 +42,7 @@ from typing import (
 
 from repro.core.composition import ComposedLPPM, enumerate_compositions
 from repro.core.dataset import MobilityDataset
+from repro.core.featurecache import FeatureCache
 from repro.core.search import CompositionSearchStrategy
 from repro.core.split import split_fixed_time, split_in_half
 from repro.core.trace import Trace
@@ -543,6 +544,37 @@ class ProtectionEngine:
         #: Number of (mechanism, trace) evaluations performed — the §6
         #: brute-force cost counter the search strategies aim to reduce.
         self.evaluations = 0
+        #: Shared per-trace feature cache (trace fingerprint → heatmap /
+        #: POI visits / MMC), attached to every attack that supports it.
+        #: The split recursion and the daily-chunk mode revisit identical
+        #: sub-traces — and every candidate output is deterministic in
+        #: (user, mechanism, sub-trace) — so features are built once and
+        #: shared across attacks instead of recomputed per evaluation.
+        #: Cache hits return the exact object a miss would build, so
+        #: results (and published datasets) are unchanged.
+        # Adopt a cache already attached to the attacks (an explicit
+        # caller attachment, or wiring by a previous engine sharing the
+        # same fitted suite — features are content-keyed, so sharing is
+        # safe and avoids re-featurising across engines); otherwise
+        # create a fresh one.  Either way ``self.feature_cache`` is the
+        # cache the attacks actually use, so its stats are meaningful.
+        adopted = next(
+            (
+                cache
+                for cache in (
+                    getattr(a, "feature_cache", None) for a in self.attacks
+                )
+                if cache is not None
+            ),
+            None,
+        )
+        # NB: an empty FeatureCache is falsy (it has __len__), so this
+        # must be an identity check, not an ``or``.
+        self.feature_cache = FeatureCache() if adopted is None else adopted
+        for attack in self.attacks:
+            use = getattr(attack, "use_feature_cache", None)
+            if use is not None and getattr(attack, "feature_cache", None) is None:
+                use(self.feature_cache)
         self.singles: List[ComposedLPPM] = enumerate_compositions(
             self.lppms, min_length=1, max_length=1
         )

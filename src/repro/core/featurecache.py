@@ -1,0 +1,99 @@
+"""Per-trace feature cache for the composition-search hot loop.
+
+MooD's cascade evaluates the same (sub-)traces against multiple attacks,
+and the daily-chunk recursion can revisit a trace it already searched:
+every candidate LPPM output is deterministic in ``(user, mechanism,
+sub-trace)``, so identical sub-traces yield identical candidates — and,
+without a cache, identical heatmaps, POI extractions, and MMC models are
+rebuilt from scratch every time.
+
+:class:`FeatureCache` is a small LRU keyed by ``(feature kind, trace
+fingerprint, parameters)``.  The fingerprint is a content digest of the
+trace's record arrays (:attr:`repro.core.trace.Trace.fingerprint`), so
+two trace objects with the same records share entries even across
+pseudonym renewals.  The cache is attached to every attack by
+:class:`repro.core.engine.ProtectionEngine` and consulted through
+:meth:`repro.attacks.base.Attack._cached`; attacks built stand-alone
+simply run uncached.
+
+Caching never changes results: a hit returns the exact object a miss
+would have built (features are treated as immutable by all consumers).
+Pickling a cache — e.g. when the process executor ships the engine to
+its workers — transfers the configuration but drops the entries, so
+workers start cold and stay deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["FeatureCache"]
+
+
+class FeatureCache:
+    """Bounded LRU cache mapping feature keys to built feature objects."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """The cached value for *key*, building (and storing) it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = builder()
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    # -- pickling ---------------------------------------------------------
+    #
+    # The process executor ships the engine (and therefore this cache,
+    # shared by every attack) to each worker once.  Entries are a local
+    # optimisation, not state: drop them so the pickle stays small and
+    # every worker starts cold.
+
+    def __getstate__(self) -> Tuple[int]:
+        return (self.maxsize,)
+
+    def __setstate__(self, state: Tuple[int]) -> None:
+        self.__init__(maxsize=state[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureCache(entries={len(self._entries)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -10,6 +10,7 @@ a new instance.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,7 +31,7 @@ class Trace:
         Parallel arrays.  ``timestamps`` must be non-decreasing.
     """
 
-    __slots__ = ("user_id", "_t", "_lat", "_lng")
+    __slots__ = ("user_id", "_t", "_lat", "_lng", "_fp")
 
     def __init__(
         self,
@@ -53,6 +54,7 @@ class Trace:
         self._t = t
         self._lat = lat
         self._lng = lng
+        self._fp: Optional[bytes] = None
         self._t.setflags(write=False)
         self._lat.setflags(write=False)
         self._lng.setflags(write=False)
@@ -91,6 +93,24 @@ class Trace:
     def lngs(self) -> np.ndarray:
         """Read-only array of longitudes (degrees)."""
         return self._lng
+
+    @property
+    def fingerprint(self) -> bytes:
+        """Content digest of the record arrays (user id excluded).
+
+        Two traces with identical timestamps and coordinates share a
+        fingerprint regardless of ownership, which is exactly what the
+        feature cache needs: heatmaps, POI sets, and MMC models depend
+        only on the records.  Computed lazily and memoised (traces are
+        immutable).
+        """
+        if self._fp is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self._t.tobytes())
+            h.update(self._lat.tobytes())
+            h.update(self._lng.tobytes())
+            self._fp = h.digest()
+        return self._fp
 
     # -- container protocol ---------------------------------------------
 

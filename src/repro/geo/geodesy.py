@@ -54,6 +54,23 @@ def equirectangular_distance_m(lat1: float, lng1: float, lat2: float, lng2: floa
     return EARTH_RADIUS_M * math.hypot(x, y)
 
 
+def equirectangular_distance_m_vec(
+    lat1: np.ndarray, lng1: np.ndarray, lat2: np.ndarray, lng2: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`equirectangular_distance_m` (numpy broadcasting).
+
+    The operation order mirrors the scalar formula exactly, so
+    elementwise results differ from it by at most the ``np.cos`` /
+    ``np.hypot`` vs :mod:`math` last-ulp noise — callers that need
+    bit-exact threshold decisions against the scalar (the POI merge)
+    re-check borderline pairs with the scalar function.
+    """
+    mean_phi = 0.5 * (lat1 + lat2) * _DEG
+    x = (lng2 - lng1) * _DEG * np.cos(mean_phi)
+    y = (lat2 - lat1) * _DEG
+    return EARTH_RADIUS_M * np.hypot(x, y)
+
+
 def destination_point(lat: float, lng: float, bearing_rad: float, distance_m: float) -> Tuple[float, float]:
     """Point reached from ``(lat, lng)`` after *distance_m* along *bearing_rad*.
 

@@ -43,7 +43,10 @@ def is_protected(obfuscated: Trace, true_user: str, attacks: "Sequence[Attack]")
     """``True`` iff **every** attack fails to re-identify *true_user* (Eq. 5).
 
     Attacks are evaluated lazily: the first successful re-identification
-    short-circuits, mirroring Algorithm 1's inner while loop.
+    short-circuits, mirroring Algorithm 1's inner while loop.  This is
+    the composition-search hot loop — ``reidentify`` routes through each
+    attack's :meth:`~repro.attacks.base.Attack.top1` fast path (a single
+    argmin over the profile set), never a full ranking sort.
     """
     for attack in attacks:
         if attack.reidentify(obfuscated) == true_user:

@@ -9,7 +9,7 @@ HMC LPPM [23]; both use 800 m cells in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,11 +17,16 @@ from repro.core.trace import Trace
 from repro.errors import EmptyTraceError
 from repro.geo.grid import Cell, MetricGrid
 
+#: Packing stride for (ix, iy) cell pairs; iy must fit in ±2**30 (it does
+#: for any cell size above ~1 cm — |lat| ≤ 90° is ~1e7 m of northing).
+_PACK = 2**31
+_HALF_PACK = 2**30
+
 
 class Heatmap:
     """A normalised visit-frequency distribution over grid cells."""
 
-    __slots__ = ("grid", "_mass")
+    __slots__ = ("grid", "_mass", "_sorted_cells", "_sorted_items")
 
     def __init__(self, grid: MetricGrid, counts: Dict[Cell, float]) -> None:
         total = float(sum(counts.values()))
@@ -29,6 +34,8 @@ class Heatmap:
             raise EmptyTraceError("cannot build a heatmap with zero total mass")
         self.grid = grid
         self._mass: Dict[Cell, float] = {c: v / total for c, v in counts.items() if v > 0}
+        self._sorted_cells: Optional[Tuple[Cell, ...]] = None
+        self._sorted_items: Optional[Tuple[Tuple[Cell, float], ...]] = None
 
     # -- mapping access ---------------------------------------------------
 
@@ -42,13 +49,22 @@ class Heatmap:
         """Probability mass of *cell* (0 if unvisited)."""
         return self._mass.get(cell, 0.0)
 
-    def cells(self) -> List[Cell]:
-        """Visited cells, sorted for deterministic iteration."""
-        return sorted(self._mass)
+    def cells(self) -> Tuple[Cell, ...]:
+        """Visited cells, sorted for deterministic iteration.
 
-    def items(self) -> List[Tuple[Cell, float]]:
-        """``(cell, mass)`` pairs, sorted by cell."""
-        return [(c, self._mass[c]) for c in self.cells()]
+        The sorted view is computed once and cached (heatmaps are
+        immutable and ``rank()`` iterates them on every call); it is a
+        tuple, so the shared cached view cannot be mutated by callers.
+        """
+        if self._sorted_cells is None:
+            self._sorted_cells = tuple(sorted(self._mass))
+        return self._sorted_cells
+
+    def items(self) -> Tuple[Tuple[Cell, float], ...]:
+        """``(cell, mass)`` pairs, sorted by cell (cached, immutable)."""
+        if self._sorted_items is None:
+            self._sorted_items = tuple((c, self._mass[c]) for c in self.cells())
+        return self._sorted_items
 
     def support(self) -> frozenset:
         """The set of visited cells."""
@@ -71,7 +87,12 @@ def build_heatmap(trace: Trace, grid: MetricGrid) -> Heatmap:
     """Accumulate *trace* into a heatmap over *grid*.
 
     Vectorised: the lat/lng arrays are converted to integer cell indices
-    in one pass, then reduced with :func:`numpy.unique`.
+    in one pass, then reduced with :func:`numpy.unique`.  The cell
+    indices agree with :meth:`MetricGrid.cell_of` in *all four*
+    quadrants: the packed key is decoded with a centred modulus, so
+    negative rows (southern-hemisphere latitudes) and negative columns
+    round-trip exactly instead of borrowing into the neighbouring
+    column.
     """
     if len(trace) == 0:
         raise EmptyTraceError(f"trace of user {trace.user_id!r} is empty")
@@ -79,13 +100,16 @@ def build_heatmap(trace: Trace, grid: MetricGrid) -> Heatmap:
     m_lng = grid._m_per_deg_lng
     ix = np.floor(trace.lngs * m_lng / grid.cell_size_m).astype(np.int64)
     iy = np.floor(trace.lats * m_lat / grid.cell_size_m).astype(np.int64)
-    packed = ix * (2**31) + iy
+    packed = ix * _PACK + iy
     uniq, counts = np.unique(packed, return_counts=True)
-    cells: Dict[Cell, float] = {}
-    for key, count in zip(uniq, counts):
-        cx = int(key) // (2**31)
-        cy = int(key) - cx * (2**31)
-        cells[Cell(cx, cy)] = float(count)
+    # Centred decode: cy ∈ [-2**30, 2**30) regardless of sign, and the
+    # remainder is subtracted before the exact division recovering cx.
+    cy = (uniq + _HALF_PACK) % _PACK - _HALF_PACK
+    cx = (uniq - cy) // _PACK
+    cells: Dict[Cell, float] = {
+        Cell(int(x), int(y)): float(count)
+        for x, y, count in zip(cx, cy, counts)
+    }
     return Heatmap(grid, cells)
 
 

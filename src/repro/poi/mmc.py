@@ -9,7 +9,7 @@ compares the MMC of an anonymous trace against the MMCs of known users.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,7 @@ def build_mmc(
     min_dwell_s: float = 3600.0,
     max_states: int = 10,
     smoothing: float = 0.05,
+    visits: Optional[Sequence[POI]] = None,
 ) -> MarkovChain:
     """Build the MMC of *trace*.
 
@@ -77,8 +78,14 @@ def build_mmc(
     chain stays ergodic), and take visit frequency as the stationary law.
     Returns an empty chain (0 states) when the trace has no qualifying POI
     — callers treat such users as unprofiled.
+
+    *visits* short-circuits the extraction with precomputed chronological
+    POI visits (they must come from :func:`extract_pois` with the same
+    parameters) — the PIT-attack passes its cached extraction here so
+    one trace is clustered at most once across the whole attack suite.
     """
-    visits = extract_pois(trace, diameter_m=diameter_m, min_dwell_s=min_dwell_s)
+    if visits is None:
+        visits = extract_pois(trace, diameter_m=diameter_m, min_dwell_s=min_dwell_s)
     places = merge_nearby_pois(visits, merge_radius_m=diameter_m)
     places.sort(key=lambda p: (-p.weight, p.t_enter))
     states = places[:max_states]

@@ -1,0 +1,122 @@
+"""Tests for repro.core.featurecache and its engine/attack wiring."""
+
+import pickle
+
+import pytest
+
+from repro.attacks import default_attack_suite
+from repro.attacks.ap_attack import ApAttack
+from repro.attacks.pit_attack import PitAttack
+from repro.attacks.poi_attack import PoiAttack
+from repro.bench import synthetic_background, synthetic_trace
+from repro.core.featurecache import FeatureCache
+from repro.core.engine import ProtectionEngine
+from repro.lppm.geoi import GeoInd
+
+
+class TestFeatureCache:
+    def test_get_or_build_caches(self):
+        cache = FeatureCache()
+        calls = []
+        assert cache.get_or_build("k", lambda: calls.append(1) or "v") == "v"
+        assert cache.get_or_build("k", lambda: calls.append(1) or "v2") == "v"
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = FeatureCache(maxsize=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("a", lambda: None)  # refresh a
+        cache.get_or_build("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureCache(maxsize=0)
+
+    def test_pickle_drops_entries_keeps_config(self):
+        cache = FeatureCache(maxsize=7)
+        cache.get_or_build("a", lambda: 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 7
+        assert len(clone) == 0
+
+    def test_clear(self):
+        cache = FeatureCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestTraceFingerprint:
+    def test_same_records_same_fingerprint(self):
+        a = synthetic_trace("a", seed=1)
+        b = a.with_user("someone-else")
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_records_differ(self):
+        a = synthetic_trace("a", seed=1)
+        b = synthetic_trace("a", seed=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_memoised(self):
+        a = synthetic_trace("a", seed=1)
+        assert a.fingerprint is a.fingerprint
+
+
+class TestAttackCacheWiring:
+    def test_results_identical_with_and_without_cache(self):
+        background = synthetic_background(12, seed=3)
+        probe = synthetic_trace("p", seed=99)
+        for make in (lambda: ApAttack(ref_lat=45.76), PoiAttack, PitAttack):
+            plain = make().fit(background)
+            cached = make().use_feature_cache(FeatureCache()).fit(background)
+            assert plain.rank(probe) == cached.rank(probe)
+            assert plain.top1(probe) == cached.top1(probe)
+
+    def test_poi_and_pit_share_one_extraction(self):
+        cache = FeatureCache()
+        background = synthetic_background(6, seed=5)
+        poi = PoiAttack().use_feature_cache(cache)
+        pit = PitAttack().use_feature_cache(cache)
+        poi.fit(background)
+        misses_after_poi = cache.misses
+        pit.fit(background)
+        # PIT's fit re-uses every 'poi-visits' entry the POI fit built.
+        visit_keys = [k for k in cache._entries if k[0] == "poi-visits"]
+        assert len(visit_keys) == 6
+        assert cache.misses > 0
+        assert cache.hits >= 6
+        assert misses_after_poi >= 6
+
+    def test_repeated_rank_hits_cache(self):
+        cache = FeatureCache()
+        background = synthetic_background(6, seed=5)
+        ap = ApAttack(ref_lat=45.76).use_feature_cache(cache).fit(background)
+        probe = synthetic_trace("p", seed=42)
+        ap.rank(probe)
+        misses = cache.misses
+        ap.rank(probe)
+        ap.top1(probe)
+        assert cache.misses == misses  # no new feature builds
+        assert cache.hits >= 2
+
+
+class TestEngineCacheWiring:
+    def test_engine_attaches_shared_cache(self):
+        attacks = default_attack_suite()
+        engine = ProtectionEngine([GeoInd(0.01)], attacks)
+        for attack in attacks:
+            assert attack.feature_cache is engine.feature_cache
+
+    def test_cache_populated_by_protection(self):
+        background = synthetic_background(6, seed=5)
+        attacks = [a.fit(background) for a in default_attack_suite()]
+        engine = ProtectionEngine([GeoInd(0.015)], attacks, seed=1)
+        engine.protect(background.traces()[0])
+        stats = engine.feature_cache.stats()
+        assert stats["misses"] > 0
+        assert stats["hits"] > 0  # POI/PIT sharing alone guarantees hits

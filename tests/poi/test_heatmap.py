@@ -75,6 +75,45 @@ class TestBuildHeatmap:
         assert len(hm) == 2
         assert sum(m for _, m in hm.items()) == pytest.approx(1.0)
 
+    def test_southern_hemisphere_matches_cell_of(self):
+        # Regression: negative latitudes make iy negative, and the old
+        # packed-key decode borrowed into the column (ix-1, 2**31+iy) —
+        # AP profiles and HMC grid cells silently lived in different
+        # coordinate systems south of the equator.
+        grid = MetricGrid(800.0, ref_lat=-33.45)  # Santiago de Chile
+        rng = np.random.default_rng(7)
+        lats = -33.45 + rng.uniform(-0.08, 0.08, 200)
+        lngs = -70.66 + rng.uniform(-0.08, 0.08, 200)
+        trace = Trace("s", np.arange(200.0), lats, lngs)
+        hm = build_heatmap(trace, grid)
+        expected = {}
+        for lat, lng in zip(lats, lngs):
+            c = grid.cell_of(float(lat), float(lng))
+            expected[c] = expected.get(c, 0) + 1
+        assert hm.support() == set(expected)
+        for cell, count in expected.items():
+            assert hm.mass(cell) == pytest.approx(count / 200.0)
+
+    @pytest.mark.parametrize(
+        "lat,lng",
+        [(-33.45, -70.66), (-33.45, 151.21), (51.5, -0.12), (0.0005, -0.0005)],
+    )
+    def test_all_quadrants_round_trip(self, lat, lng):
+        grid = MetricGrid(800.0, ref_lat=max(-89.0, min(89.0, lat)))
+        trace = spot_trace(spots=[(lat, lng, 4)])
+        hm = build_heatmap(trace, grid)
+        assert hm.support() == {grid.cell_of(lat, lng)}
+
+    def test_sorted_views_cached_and_consistent(self):
+        hm = build_heatmap(
+            spot_trace(spots=[(45.0, 4.0, 3), (45.1, 4.1, 7), (45.2, 4.2, 10)]), GRID
+        )
+        assert hm.cells() is hm.cells()  # cached object, not re-sorted
+        assert hm.items() is hm.items()
+        assert list(hm.cells()) == sorted(hm.support())
+        assert list(hm.items()) == [(c, hm.mass(c)) for c in hm.cells()]
+        assert isinstance(hm.cells(), tuple)  # shared view is immutable
+
 
 class TestHeatmapApi:
     def test_top_cells(self):

@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bench_args(self):
+        args = build_parser().parse_args(["bench", "micro", "--sizes", "50", "200"])
+        assert args.bench_command == "micro"
+        assert args.sizes == [50, 200]
+        args = build_parser().parse_args(["bench", "smoke", "--skip-tests"])
+        assert args.skip_tests
+
+    def test_bench_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
 
 class TestCommands:
     def test_generate_writes_csv(self, tmp_path, capsys):
@@ -61,6 +72,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "count-query fidelity" in out
         assert "mechanism usage" in out
+
+    def test_bench_micro_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "micro", "--sizes", "20", "--out", str(out)])
+        assert code == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["mode"] == "micro"
+        entry = snapshot["rank_at_users"]["20"]["ap_rank"]
+        assert entry["fast_s"] > 0 and entry["reference_s"] > 0
+        assert "speedup" in entry
+        assert "users_per_second" in snapshot["engine"]
+        assert "ap_rank" in capsys.readouterr().out
 
 
 class TestConfigCommands:

@@ -1,0 +1,230 @@
+"""Equivalence property tests: vectorised kernels vs scalar references.
+
+The perf overhaul rewrote the attack hot paths (zero-copy Topsoe kernel,
+packed pairwise POI kernel, ring-pruned ``top1``, loop-optimised
+clustering).  These tests pin them, on randomised traces, to the
+retained original implementations in :mod:`repro.attacks.reference` and
+:mod:`repro.poi.clustering`:
+
+* clustering (``extract_pois`` / ``merge_nearby_pois``) must be
+  **bit-identical** — same arithmetic, same POIs, all fields;
+* rankings must be identical wherever they carry information — order
+  and distances agree, with reordering permitted only inside
+  floating-point-degenerate tie groups (see
+  :func:`repro.attacks.reference.rankings_equivalent`);
+* every ``top1`` fast path must equal ``rank()[0]`` exactly, including
+  the tie-break by user id — the engine's ``is_protected`` loop relies
+  on that contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.ap_attack import ApAttack
+from repro.attacks.poi_attack import (
+    _TOP1_BRUTE_THRESHOLD,
+    PoiAttack,
+    poi_set_distance,
+)
+from repro.attacks.reference import (
+    ap_rank_reference,
+    poi_rank_reference,
+    poi_set_distance_reference,
+    rankings_equivalent,
+)
+from repro.bench import CITY_LAT, synthetic_background, synthetic_trace
+from repro.core.trace import Trace
+from repro.poi.clustering import (
+    POI,
+    extract_pois,
+    extract_pois_reference,
+    merge_nearby_pois,
+    merge_nearby_pois_reference,
+)
+
+
+def random_walk_trace(seed, n=400, lat0=45.76, lng0=4.84, step_m=60.0):
+    """A jittery random walk with occasional long dwells — adversarial
+    input for the sequential clustering (constant boundary decisions)."""
+    rng = np.random.default_rng(seed)
+    deg = step_m / 111_320.0
+    dlat = rng.normal(0.0, deg, size=n)
+    dlng = rng.normal(0.0, deg, size=n)
+    # Freeze movement in random stretches to create qualifying dwells.
+    for _ in range(4):
+        start = rng.integers(0, max(1, n - 40))
+        span = rng.integers(15, 40)
+        dlat[start : start + span] *= 0.02
+        dlng[start : start + span] *= 0.02
+    dts = rng.integers(30, 600, size=n).astype(float)
+    return Trace(
+        f"w{seed}",
+        np.cumsum(dts),
+        lat0 + np.cumsum(dlat),
+        lng0 + np.cumsum(dlng),
+    )
+
+
+def random_pois(seed, n, lat0=45.76, lng0=4.84, spread=0.01):
+    rng = np.random.default_rng(seed)
+    return [
+        POI(
+            lat=lat0 + rng.uniform(-spread, spread),
+            lng=lng0 + rng.uniform(-spread, spread),
+            weight=int(rng.integers(1, 20)),
+            dwell_s=float(rng.uniform(3600, 40000)),
+            t_enter=float(rng.uniform(0, 1e6)),
+            t_exit=float(rng.uniform(1e6, 2e6)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestClusteringEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_extract_pois_bit_identical(self, seed):
+        trace = random_walk_trace(seed)
+        assert extract_pois(trace) == extract_pois_reference(trace)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_extract_pois_parameter_sweep(self, seed):
+        trace = random_walk_trace(seed + 100, n=250)
+        for diameter, dwell in [(100.0, 1800.0), (200.0, 3600.0), (500.0, 600.0)]:
+            assert extract_pois(trace, diameter, dwell) == extract_pois_reference(
+                trace, diameter, dwell
+            )
+
+    def test_extract_pois_empty_trace(self):
+        assert extract_pois(Trace.empty("u")) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_bit_identical(self, seed):
+        pois = random_pois(seed, n=int(np.random.default_rng(seed).integers(2, 60)))
+        for radius in (50.0, 100.0, 400.0):
+            assert merge_nearby_pois(pois, radius) == merge_nearby_pois_reference(
+                pois, radius
+            )
+
+    def test_merge_trivial_sizes(self):
+        assert merge_nearby_pois([]) == []
+        one = random_pois(1, 1)
+        assert merge_nearby_pois(one) == one
+
+
+class TestPoiSetDistanceEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(seed + 500)
+        a = random_pois(seed * 2, int(rng.integers(1, 15)))
+        b = random_pois(seed * 2 + 1, int(rng.integers(1, 15)))
+        fast = poi_set_distance(a, b)
+        ref = poi_set_distance_reference(a, b)
+        assert fast == pytest.approx(ref, rel=1e-12)
+
+    def test_symmetry_and_identity(self):
+        a = random_pois(3, 6)
+        b = random_pois(4, 9)
+        assert poi_set_distance(a, b) == pytest.approx(poi_set_distance(b, a))
+        assert poi_set_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_sets_infinite(self):
+        a = random_pois(5, 3)
+        assert math.isinf(poi_set_distance(a, []))
+        assert math.isinf(poi_set_distance([], a))
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    """40 users (POI top1 takes the brute path) + mixed probes."""
+    background = synthetic_background(40, seed=11)
+    ap = ApAttack(cell_size_m=800.0, ref_lat=CITY_LAT).fit(background)
+    poi = PoiAttack().fit(background)
+    probes = [synthetic_trace(f"p{i}", seed=900 + i) for i in range(4)]
+    probes += [background.traces()[0], background.traces()[17]]
+    return ap, poi, probes
+
+
+@pytest.fixture(scope="module")
+def large_suite():
+    """Enough users to force the ring-pruned POI top1 path."""
+    n = _TOP1_BRUTE_THRESHOLD + 20
+    background = synthetic_background(n, seed=23)
+    ap = ApAttack(cell_size_m=800.0, ref_lat=CITY_LAT).fit(background)
+    poi = PoiAttack().fit(background)
+    probes = [synthetic_trace(f"q{i}", seed=700 + i) for i in range(4)]
+    probes += [background.traces()[3], background.traces()[n - 1]]
+    return ap, poi, probes
+
+
+class TestRankingEquivalence:
+    def test_ap_rank_matches_reference(self, small_suite):
+        ap, _, probes = small_suite
+        for probe in probes:
+            assert rankings_equivalent(ap.rank(probe), ap_rank_reference(ap, probe))
+
+    def test_poi_rank_matches_reference(self, small_suite):
+        _, poi, probes = small_suite
+        for probe in probes:
+            fast = poi.rank(probe)
+            ref = poi_rank_reference(poi, probe)
+            assert rankings_equivalent(fast, ref, tol=1e-6)
+
+    def test_ap_rank_matches_reference_at_scale(self, large_suite):
+        ap, _, probes = large_suite
+        for probe in probes:
+            assert rankings_equivalent(ap.rank(probe), ap_rank_reference(ap, probe))
+
+    def test_poi_rank_matches_reference_at_scale(self, large_suite):
+        _, poi, probes = large_suite
+        for probe in probes:
+            assert rankings_equivalent(
+                poi.rank(probe), poi_rank_reference(poi, probe), tol=1e-6
+            )
+
+    def test_background_user_ranks_first(self, small_suite):
+        # The unobfuscated own trace must beat every other profile.
+        ap, poi, _ = small_suite
+        for attack in (ap, poi):
+            trace = synthetic_trace("user0007", seed=11 * 100_003 + 7)
+            ranked = attack.rank(trace)
+            assert ranked and ranked[0][0] == "user0007"
+
+
+class TestTop1Contract:
+    def test_ap_top1_equals_rank_head(self, small_suite):
+        ap, _, probes = small_suite
+        for probe in probes:
+            assert ap.top1(probe) == ap.rank(probe)[0]
+
+    def test_poi_top1_equals_rank_head_brute_path(self, small_suite):
+        _, poi, probes = small_suite
+        assert len(poi._users) <= _TOP1_BRUTE_THRESHOLD
+        for probe in probes:
+            assert poi.top1(probe) == poi.rank(probe)[0]
+
+    def test_poi_top1_equals_rank_head_ring_path(self, large_suite):
+        _, poi, probes = large_suite
+        assert len(poi._users) > _TOP1_BRUTE_THRESHOLD
+        assert poi._buckets
+        for probe in probes:
+            assert poi.top1(probe) == poi.rank(probe)[0]
+
+    def test_top1_none_iff_rank_empty(self, small_suite):
+        ap, poi, _ = small_suite
+        # A 2-record trace has no POI and an almost-empty heatmap.
+        stub = Trace("x", [0.0, 60.0], [45.76, 45.76], [4.84, 4.84])
+        assert (poi.top1(stub) is None) == (poi.rank(stub) == [])
+        assert (ap.top1(stub) is None) == (ap.rank(stub) == [])
+        assert ap.top1(Trace.empty("x")) is None
+
+    def test_reidentify_routes_through_top1(self, small_suite):
+        ap, poi, probes = small_suite
+        for attack in (ap, poi):
+            for probe in probes:
+                ranked = attack.rank(probe)
+                expected = ranked[0][0] if ranked else "unknown-user"
+                got = attack.reidentify(probe)
+                if ranked:
+                    assert got == expected

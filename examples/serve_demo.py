@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Serve demo: protect a trace end-to-end against a locally spawned server.
+
+Spins up the protection service on a real socket (an ephemeral TCP
+port), then acts as a mobile client: protect a trace, upload a daily
+chunk, and run the analytics queries the crowdsensing campaign is for —
+all through the versioned JSON-lines wire protocol (docs/SERVICE.md).
+
+Run:  python examples/serve_demo.py
+"""
+
+from repro import (
+    default_attack_suite,
+    default_lppm_suite,
+    generate_dataset,
+    train_test_split,
+)
+from repro.core.engine import ProtectionEngine
+from repro.service import ProtectionService, ServiceClient, ServiceServer
+
+
+def main() -> None:
+    # 1. A fitted engine, exactly as in examples/quickstart.py.
+    raw = generate_dataset("privamov", seed=42, n_users=8, days=6)
+    background, to_share = train_test_split(raw, train_days=3, test_days=3)
+    attacks = [attack.fit(background) for attack in default_attack_suite()]
+    engine = ProtectionEngine(default_lppm_suite(background), attacks, seed=7)
+
+    # 2. Deploy it: the middleware proxy + collection server behind a
+    #    real asyncio socket server (port 0 = pick an ephemeral port).
+    service = ProtectionService(engine)
+    with ServiceServer(service, host="127.0.0.1", port=0) as server:
+        host, port = server.address
+        print(f"protection service listening on {host}:{port}")
+
+        # 3. The mobile client side: the synchronous SDK over TCP.
+        with ServiceClient(host=host, port=port) as client:
+            victim = to_share.traces()[0]
+
+            # protect = dry run: cascade output, nothing ingested.
+            protected = client.protect(victim)
+            print(f"\nprotect {victim.user_id}: {len(protected.pieces)} piece(s), "
+                  f"{protected.erased_records} record(s) erased "
+                  f"(data loss {100 * protected.data_loss:.1f}%)")
+            for piece in protected.pieces:
+                print(f"  {piece.pseudonym}: {piece.mechanism}, "
+                      f"{len(piece.trace)} records, "
+                      f"distortion {piece.distortion_m:.0f} m")
+
+            # upload = the real middleware path: protect + ingest.
+            for day, chunk in enumerate(to_share.traces()):
+                receipt = client.upload(chunk, day_index=day)
+                print(f"upload {receipt.user_id}: published "
+                      f"{receipt.published_records} records as "
+                      f"{list(receipt.pseudonyms)}")
+
+            # 4. Analytics over the protected corpus only.
+            lat, lng = float(victim.lats[0]), float(victim.lngs[0])
+            print(f"\nrecords near ({lat:.3f}, {lng:.3f}): "
+                  f"{client.query_count(lat, lng)}")
+            print("busiest cells:")
+            for ix, iy, n in client.top_cells(k=3):
+                print(f"  cell ({ix}, {iy}): {n} records")
+
+            stats = client.stats()
+            print(f"\nproxy : {stats.proxy}")
+            print(f"server: {stats.server}")
+
+    print("\nserver stopped ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,12 @@ Two entry points:
   with the tier-1 test suite; this is the CI job.
 * :func:`run_micro` — the full micro suite at N ∈ {100, 1000} users,
   emitting the committed ``BENCH_<k>.json`` trajectory snapshots.
+* :func:`run_service` — the service-path suite: requests/s through the
+  loopback and TCP transports (same engine, same upload stream, replies
+  asserted identical) and ``protect_dataset`` throughput per executor
+  backend (serial vs async vs sharded, published datasets asserted
+  byte-identical).  ``smoke=True`` is the <60 s CI variant; the full
+  run emits ``BENCH_3.json``.
 
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
@@ -238,6 +244,129 @@ def run_micro(
             json.dump(snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
     return snapshot
+
+
+def run_service(
+    seed: int = 7, smoke: bool = False, out_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Service-path throughput: transports, then executor backends.
+
+    Every number is measured on the spot and every equivalence is
+    asserted on the spot: the TCP transport must return byte-identical
+    receipts to the loopback one, and every executor backend must
+    publish the byte-identical dataset — a failed assertion fails the
+    bench (and CI).
+    """
+    from repro.core.split import split_fixed_time
+    from repro.datasets.io import to_csv_string
+    from repro.experiments.harness import prepare_context
+    from repro.service.api import LoopbackClient, ProtectionService
+    from repro.service.rpc import ServiceClient, ServiceServer
+
+    n_users, days = (4, 4) if smoke else (8, 6)
+    ctx = prepare_context("privamov", seed=seed, n_users=n_users, days=days)
+    chunks = []
+    for trace in ctx.test.traces():
+        for day, chunk in enumerate(split_fixed_time(trace, 86_400.0)):
+            if len(chunk):
+                chunks.append((chunk, day))
+
+    def drive(client: Any) -> Tuple[List[Dict[str, Any]], float]:
+        """Replay the upload stream plus one query and one stats call."""
+        t0 = time.perf_counter()
+        receipts = [
+            client.upload(chunk, day_index=day).to_body() for chunk, day in chunks
+        ]
+        receipts.append(client.query_count(CITY_LAT, CITY_LNG))
+        receipts.append(client.stats().to_body())
+        return receipts, time.perf_counter() - t0
+
+    n_requests = len(chunks) + 2
+    with LoopbackClient(ProtectionService(ctx.engine())) as client:
+        loop_receipts, loop_wall = drive(client)
+    with ServiceServer(ProtectionService(ctx.engine()), port=0) as server:
+        host, port = server.address
+        with ServiceClient(host=host, port=port) as client:
+            tcp_receipts, tcp_wall = drive(client)
+    if loop_receipts != tcp_receipts:
+        raise AssertionError("loopback and TCP transports returned different replies")
+
+    def transport_entry(wall: float) -> Dict[str, float]:
+        return {
+            "requests": float(n_requests),
+            "wall_s": wall,
+            "requests_per_s": n_requests / wall if wall > 0 else float("inf"),
+        }
+
+    executors = {}
+    reference_csv: Optional[str] = None
+    backends = [
+        ("serial", "serial", 1),
+        ("async", "async", 2),
+        ("sharded", {"name": "sharded", "shards": 2}, 2),
+    ]
+    for label, spec, jobs in backends:
+        engine = ctx.engine(executor=spec, jobs=jobs)
+        report = engine.protect_dataset(ctx.test, daily=True)
+        csv = to_csv_string(report.published_dataset())
+        if reference_csv is None:
+            reference_csv = csv
+        elif csv != reference_csv:
+            raise AssertionError(
+                f"executor {label!r} published a different dataset than serial"
+            )
+        executors[label] = {
+            "wall_s": report.wall_time_s,
+            "users_per_s": report.users_per_second,
+            "evaluations": float(report.evaluations),
+        }
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "service"
+    snapshot["corpus"] = {
+        "dataset": ctx.name,
+        "users": float(len(ctx.test)),
+        "upload_chunks": float(len(chunks)),
+    }
+    snapshot["transports"] = {
+        "loopback": transport_entry(loop_wall),
+        "tcp": transport_entry(tcp_wall),
+    }
+    snapshot["transports_identical"] = True
+    snapshot["executors"] = executors
+    snapshot["executors_identical"] = True
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def format_service_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_service` dict."""
+    corpus = snapshot["corpus"]
+    lines = [
+        f"bench mode         : {snapshot['mode']}",
+        f"corpus             : {corpus['dataset']} × {corpus['users']:.0f} users "
+        f"({corpus['upload_chunks']:.0f} daily upload chunks)",
+    ]
+    for name, entry in sorted(snapshot["transports"].items()):
+        lines.append(
+            f"transport {name:9s}: {entry['requests']:.0f} requests in "
+            f"{entry['wall_s']:.2f}s ({entry['requests_per_s']:.1f} req/s)"
+        )
+    lines.append(
+        f"transports identical: {snapshot['transports_identical']}"
+    )
+    for name, entry in snapshot["executors"].items():
+        lines.append(
+            f"executor {name:10s}: {entry['users_per_s']:.2f} users/s "
+            f"({entry['wall_s']:.2f}s, {entry['evaluations']:.0f} evaluations)"
+        )
+    lines.append(
+        f"executors identical : {snapshot['executors_identical']}"
+    )
+    return "\n".join(lines)
 
 
 def format_snapshot(snapshot: Dict[str, Any]) -> str:

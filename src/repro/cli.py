@@ -13,13 +13,22 @@ Commands
     Regenerate a paper table/figure as an ASCII table.
 ``mood campaign --dataset privamov``
     Run the crowdsensing deployment simulation.
+``mood serve [--host H --port P | --unix PATH]``
+    Run the protection service as a real middleware: fit an engine on
+    the dataset's background split, then serve the versioned JSON-lines
+    protocol (see docs/SERVICE.md) over TCP or a unix socket.
+``mood request <protect|upload|query|stats> [--csv FILE] [--lat --lng]``
+    One-shot client against a running ``serve`` instance; prints the
+    response body as JSON.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
-``mood bench smoke`` / ``mood bench micro [--out BENCH.json]``
+``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
+``mood bench service [--out BENCH.json] [--smoke]``
     Perf gate: ``smoke`` runs the tier-1 test suite plus a sub-minute
     kernel bench (the CI job); ``micro`` runs the full micro suite at
     N ∈ {100, 1000} profiled users and writes a ``BENCH_*.json``
-    trajectory snapshot.
+    trajectory snapshot; ``service`` measures requests/s through the
+    loopback and TCP transports plus executor-backend throughput.
 """
 
 from __future__ import annotations
@@ -81,6 +90,46 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
     _add_common(camp)
 
+    serve = sub.add_parser(
+        "serve", help="run the protection service over TCP or a unix socket"
+    )
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
+    serve.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON ProtectionConfig file for the served engine",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--port", type=int, default=7464, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH", help="serve on a unix socket instead"
+    )
+    _add_common(serve)
+
+    req = sub.add_parser(
+        "request", help="send one request to a running protection service"
+    )
+    req.add_argument("what", choices=["protect", "upload", "query", "stats"])
+    req.add_argument("--host", default="127.0.0.1")
+    req.add_argument("--port", type=int, default=7464)
+    req.add_argument("--unix", default=None, metavar="PATH")
+    req.add_argument(
+        "--csv", default=None, metavar="FILE", help="trace CSV for protect/upload"
+    )
+    req.add_argument(
+        "--user", default=None, help="user id inside the CSV (default: first user)"
+    )
+    req.add_argument(
+        "--daily", action="store_true", help="protect in daily chunks (§4.5 mode)"
+    )
+    req.add_argument("--day-index", type=int, default=0, help="upload day index")
+    req.add_argument("--lat", type=float, default=None, help="query latitude")
+    req.add_argument("--lng", type=float, default=None, help="query longitude")
+    req.add_argument("--k", type=int, default=None, help="query: top-k busiest cells")
+
     conf = sub.add_parser("config", help="work with declarative protection configs")
     conf_sub = conf.add_subparsers(dest="config_command", required=True)
     validate = conf_sub.add_parser("validate", help="lint a protection config file")
@@ -113,7 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=[100, 1000],
         help="profiled-user counts for the rank() benches",
     )
-    for p in (smoke, micro):
+    service = bench_sub.add_parser(
+        "service", help="service-path throughput: transports and executor backends"
+    )
+    service.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    service.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller corpus and request counts (the <60 s CI job)",
+    )
+    for p in (smoke, micro, service):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
@@ -214,6 +277,88 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_served_engine(args: argparse.Namespace):
+    """Context-fitted engine for ``serve``/``bench service`` (config-aware)."""
+    from repro.config import ProtectionConfig
+    from repro.core.engine import ProtectionEngine
+    from repro.experiments.harness import prepare_context
+
+    ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
+    if args.config:
+        cfg = ProtectionConfig.from_file(args.config)
+        return ctx, ProtectionEngine.from_config(cfg).fit(ctx.train)
+    return ctx, ctx.engine()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.api import ProtectionService
+    from repro.service.rpc import ServiceServer
+
+    ctx, engine = _build_served_engine(args)
+    service = ProtectionService(engine)
+    server = ServiceServer(
+        service, host=args.host, port=args.port, unix_path=args.unix
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        where = (
+            server.unix_path
+            if server.unix_path is not None
+            else f"{server.host}:{server.port}"
+        )
+        print(f"serving {ctx.name} protection service on {where}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets.io import load_csv
+    from repro.errors import ConfigurationError
+    from repro.service.api import QueryRequest
+    from repro.service.rpc import ServiceClient
+
+    def pick_trace():
+        if not args.csv:
+            raise ConfigurationError(f"'{args.what}' needs --csv FILE with the trace")
+        dataset = load_csv(args.csv)
+        user = args.user or dataset.user_ids()[0]
+        return dataset[user]
+
+    if args.unix:
+        client = ServiceClient(unix_path=args.unix)
+    else:
+        client = ServiceClient(host=args.host, port=args.port)
+    with client:
+        if args.what == "protect":
+            reply = client.protect(pick_trace(), daily=args.daily)
+        elif args.what == "upload":
+            reply = client.upload(pick_trace(), day_index=args.day_index)
+        elif args.what == "query":
+            if args.k is not None:
+                request = QueryRequest(kind="top_cells", k=args.k)
+            elif args.lat is not None and args.lng is not None:
+                request = QueryRequest(kind="count", lat=args.lat, lng=args.lng)
+            else:
+                raise ConfigurationError(
+                    "'query' needs --lat and --lng (or --k for top cells)"
+                )
+            reply = client.query(request)
+        else:
+            reply = client.stats()
+    print(json.dumps(reply.to_body(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     from repro.config import ProtectionConfig
     from repro.core.engine import ProtectionEngine
@@ -238,8 +383,20 @@ def _cmd_config(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
-    from repro.bench import format_snapshot, run_micro, run_smoke
+    from repro.bench import (
+        format_service_snapshot,
+        format_snapshot,
+        run_micro,
+        run_service,
+        run_smoke,
+    )
 
+    if args.bench_command == "service":
+        snapshot = run_service(seed=args.seed, smoke=args.smoke, out_path=args.out)
+        print(format_service_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "micro":
         snapshot = run_micro(sizes=tuple(args.sizes), seed=args.seed, out_path=args.out)
         print(format_snapshot(snapshot))
@@ -287,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "protect": _cmd_protect,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
         "config": _cmd_config,
         "bench": _cmd_bench,
     }

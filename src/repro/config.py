@@ -75,8 +75,10 @@ class ProtectionConfig:
     #: exhaustive lowest-distortion search (registry kind
     #: ``search_strategy``).
     search_strategy: Optional[Dict[str, Any]] = None
-    #: Batch execution backend (registry kind ``executor``).
-    executor: str = "serial"
+    #: Batch execution backend (registry kind ``executor``): a bare name
+    #: (``"serial"``, ``"process"``, ``"async"``, ``"sharded"``) or a
+    #: spec dict with backend kwargs (``{"name": "sharded", "shards": 8}``).
+    executor: Union[str, Dict[str, Any]] = "serial"
     #: Worker count for parallel executors (``None`` = all cores).
     jobs: Optional[int] = 1
     #: Base seed; all per-user randomness derives stable children.
@@ -88,6 +90,8 @@ class ProtectionConfig:
         self.delta_s = float(self.delta_s)
         if self.search_strategy is not None:
             self.search_strategy = normalize_spec(self.search_strategy)
+        if not isinstance(self.executor, str):
+            self.executor = normalize_spec(self.executor)
         if self.seed is not None:
             self.seed = int(self.seed)
 
@@ -117,11 +121,14 @@ class ProtectionConfig:
         get("split_policy", self.split_policy)
         if self.search_strategy is not None:
             get("search_strategy", self.search_strategy["name"])
-        if not isinstance(self.executor, str):
+        if isinstance(self.executor, str):
+            get("executor", self.executor)
+        elif isinstance(self.executor, dict):
+            get("executor", self.executor["name"])
+        else:
             raise ConfigurationError(
-                f"executor must be a registered name, got {self.executor!r}"
+                f"executor must be a registered name or spec, got {self.executor!r}"
             )
-        get("executor", self.executor)
         if self.jobs is not None and (not isinstance(self.jobs, int) or self.jobs < 1):
             raise ConfigurationError(f"jobs must be >= 1 or null, got {self.jobs!r}")
         if not isinstance(self.seed, int):
@@ -160,7 +167,9 @@ class ProtectionConfig:
             "search_strategy": (
                 dict(self.search_strategy) if self.search_strategy is not None else None
             ),
-            "executor": self.executor,
+            "executor": (
+                dict(self.executor) if isinstance(self.executor, dict) else self.executor
+            ),
             "jobs": self.jobs,
             "seed": self.seed,
         }
@@ -197,6 +206,9 @@ class ProtectionConfig:
     def describe(self) -> str:
         """One human line per field — the ``config validate`` summary."""
         strategy = self.search_strategy["name"] if self.search_strategy else "exhaustive"
+        executor = (
+            self.executor["name"] if isinstance(self.executor, dict) else self.executor
+        )
         return "\n".join(
             [
                 f"lppms          : {', '.join(s['name'] for s in self.lppms)}",
@@ -205,7 +217,7 @@ class ProtectionConfig:
                 f"split policy   : {self.split_policy} "
                 f"(registered: {', '.join(available('split_policy'))})",
                 f"search strategy: {strategy}",
-                f"executor       : {self.executor} × jobs={self.jobs}",
+                f"executor       : {executor} × jobs={self.jobs}",
                 f"seed           : {self.seed}",
             ]
         )

@@ -9,10 +9,13 @@ This module is the system's front door.  It hosts:
   and the unified :meth:`ProtectionEngine.evaluate` (subsuming the
   legacy ``evaluate_lppm`` / ``evaluate_hybrid`` / ``evaluate_mood``
   trio) fan the per-user work out over a pluggable executor;
-* the executors — ``serial`` and ``process`` (multiprocessing).  Per-user
+* the executors — ``serial``, ``process`` (multiprocessing), ``async``
+  (asyncio fan-out over a thread/process pool, for the service/proxy
+  path), and ``sharded`` (deterministic user-hash partitioning across
+  per-shard process pools, for campaign-scale corpora).  Per-user
   protection is embarrassingly parallel and every random draw derives
-  from :func:`repro.rng.stable_user_seed`, so the process executor
-  publishes byte-identical datasets to the serial one;
+  from :func:`repro.rng.stable_user_seed`, so every backend publishes
+  byte-identical datasets to the serial one;
 * the declarative entry point — :meth:`ProtectionEngine.from_config`
   rebuilds the whole engine from a :class:`repro.config.ProtectionConfig`
   via the component registries.
@@ -23,6 +26,7 @@ subclass of :class:`ProtectionEngine`.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -287,6 +291,200 @@ class ProcessExecutor:
         return [result for result, _ in out]
 
 
+# Thread-worker state for AsyncExecutor's thread pool: each worker thread
+# owns a private engine clone, so no mutable state (evaluation counter,
+# feature cache, fitted attacks) is ever shared between threads.  Created
+# eagerly at import time — a lazy check-then-set would race when two
+# worker initializers run concurrently.
+_THREAD_STATE = threading.local()
+
+
+def _thread_clone_init(payload: bytes, method: str, kwargs: Dict[str, Any]) -> None:
+    import pickle
+
+    _THREAD_STATE.engine = pickle.loads(payload)
+    _THREAD_STATE.method = method
+    _THREAD_STATE.kwargs = kwargs
+
+
+def _thread_clone_run(item: Any) -> Tuple[Any, int]:
+    engine = _THREAD_STATE.engine
+    before = engine.evaluations
+    out = getattr(engine, _THREAD_STATE.method)(item, **_THREAD_STATE.kwargs)
+    return out, engine.evaluations - before
+
+
+@register_executor("async")
+class AsyncExecutor:
+    """Asyncio fan-out with the CPU kernels offloaded to a worker pool.
+
+    Built for the service/proxy path: the items are dispatched from an
+    asyncio event loop onto a pool — ``pool="thread"`` (default; each
+    worker thread gets a pickled *clone* of the engine so no mutable
+    state is shared) or ``pool="process"`` (the multiprocessing worker
+    protocol shared with :class:`ProcessExecutor`).  Results come back
+    in submission order and every random draw derives from
+    :func:`repro.rng.stable_user_seed`, so published datasets are
+    byte-identical to the serial backend; the evaluation counter is
+    reconciled from per-task deltas.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, pool: str = "thread") -> None:
+        if pool not in ("thread", "process"):
+            raise ConfigurationError(
+                f"async executor pool must be 'thread' or 'process', got {pool!r}"
+            )
+        self.jobs = jobs
+        self.pool = pool
+
+    def map(
+        self,
+        engine: "ProtectionEngine",
+        method: str,
+        items: Sequence[Any],
+        kwargs: Dict[str, Any],
+    ) -> List[Any]:
+        import asyncio
+        import os
+
+        items = list(items)
+        jobs = self.jobs or os.cpu_count() or 1
+        jobs = max(1, min(int(jobs), len(items) or 1))
+        if jobs == 1 or len(items) <= 1:
+            return SerialExecutor().map(engine, method, items, kwargs)
+        if self.pool == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            def pool_factory() -> Any:
+                return ProcessPoolExecutor(
+                    jobs, initializer=_pool_init, initargs=(engine, method, kwargs)
+                )
+
+            run = _pool_run
+        else:
+            import pickle
+
+            payload = pickle.dumps(engine)
+            from concurrent.futures import ThreadPoolExecutor
+
+            def pool_factory() -> Any:
+                return ThreadPoolExecutor(
+                    jobs,
+                    initializer=_thread_clone_init,
+                    initargs=(payload, method, kwargs),
+                )
+
+            run = _thread_clone_run
+
+        async def gather() -> List[Tuple[Any, int]]:
+            loop = asyncio.get_running_loop()
+            with pool_factory() as pool:
+                futures = [loop.run_in_executor(pool, run, item) for item in items]
+                return await asyncio.gather(*futures)
+
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            out = asyncio.run(gather())
+        else:
+            # Called from inside a live event loop (a server handler):
+            # blocking this thread on a nested loop is forbidden, so
+            # drive the pool directly — same results, same order.
+            with pool_factory() as pool:
+                out = list(pool.map(run, items))
+        engine.evaluations += sum(delta for _, delta in out)
+        return [result for result, _ in out]
+
+
+def _shard_of(key: str, shards: int) -> int:
+    """Deterministic shard assignment (stable across processes and runs).
+
+    Python's builtin ``hash`` is salted per process, so this uses a
+    keyed-free blake2b digest instead — the same user always lands on
+    the same shard, which is what makes sharded runs reproducible.
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+@register_executor("sharded")
+class ShardedExecutor:
+    """Partition items across per-shard process pools by user hash.
+
+    Campaign-scale corpora are split into ``shards`` deterministic
+    partitions (blake2b of the item's ``user_id``); each partition runs
+    on its own :mod:`multiprocessing` pool (the per-host unit of a
+    scaled-out deployment) and the per-item results are merged back in
+    the original submission order.  The total worker count never exceeds
+    ``jobs`` (the shard count is capped to the worker budget, one
+    process per pool minimum).  Determinism: the shard assignment is
+    content-addressed, per-item work is independent, and the merge is
+    positional — so published datasets are byte-identical to the serial
+    backend regardless of shard count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, shards: int = 4) -> None:
+        if int(shards) < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.jobs = jobs
+        self.shards = int(shards)
+
+    def map(
+        self,
+        engine: "ProtectionEngine",
+        method: str,
+        items: Sequence[Any],
+        kwargs: Dict[str, Any],
+    ) -> List[Any]:
+        import multiprocessing
+        import os
+
+        items = list(items)
+        if not items:
+            return []
+        # Effective shard count honours the worker budget: every shard
+        # pool holds at least one process, so more shards than `jobs`
+        # would oversubscribe.  Capping is output-neutral — the merge is
+        # positional, so any shard count publishes identical bytes.
+        total_jobs = int(self.jobs or os.cpu_count() or 1)
+        shards = max(1, min(self.shards, len(items), total_jobs))
+        if shards == 1:
+            return SerialExecutor().map(engine, method, items, kwargs)
+        buckets: Dict[int, List[Tuple[int, Any]]] = {}
+        for idx, item in enumerate(items):
+            key = getattr(item, "user_id", None) or f"item-{idx}"
+            buckets.setdefault(_shard_of(str(key), shards), []).append((idx, item))
+        per_shard = max(1, total_jobs // len(buckets))
+        results: List[Any] = [None] * len(items)
+        pools: List[Any] = []
+        pending: List[Tuple[List[Tuple[int, Any]], Any]] = []
+        try:
+            for shard in sorted(buckets):
+                bucket = buckets[shard]
+                pool = multiprocessing.Pool(
+                    min(per_shard, len(bucket)),
+                    initializer=_pool_init,
+                    initargs=(engine, method, kwargs),
+                )
+                pools.append(pool)
+                pending.append(
+                    (bucket, pool.map_async(_pool_run, [item for _, item in bucket]))
+                )
+            for bucket, handle in pending:
+                out = handle.get()
+                for (idx, _), (result, delta) in zip(bucket, out):
+                    results[idx] = result
+                    engine.evaluations += delta
+        finally:
+            for pool in pools:
+                pool.close()
+            for pool in pools:
+                pool.join()
+        return results
+
+
 # ---------------------------------------------------------------------------
 # Dataset-level reports
 # ---------------------------------------------------------------------------
@@ -498,8 +696,10 @@ class ProtectionEngine:
         :class:`~repro.core.search.CompositionSearchStrategy` instance.
     executor:
         Batch backend for :meth:`protect_dataset`/:meth:`evaluate`: a
-        registered name or spec (``"serial"``, ``"process"``) or an
-        executor instance.
+        registered name or spec (``"serial"``, ``"process"``,
+        ``"async"``, ``{"name": "sharded", "shards": 8}``) or an
+        executor instance.  All built-in backends publish byte-identical
+        datasets.
     jobs:
         Worker count for parallel executors (``None`` = all cores).
     """

@@ -42,3 +42,16 @@ class ConfigurationError(ReproError, ValueError):
 
 class ProtectionFailedError(ReproError, RuntimeError):
     """MooD could not protect a trace and erasure was disallowed by the caller."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A service message violates the wire protocol (bad JSON, version, or schema)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The protection service answered a request with an error envelope."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message

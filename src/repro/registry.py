@@ -26,6 +26,12 @@ keyword arguments).  ``split_policy`` entries are an exception: they are
 plain callables ``trace -> (left, right)`` used as-is (parameters, when
 given, are bound with :func:`functools.partial`).
 
+The ``executor`` kind catalogs the batch backends of
+:meth:`repro.core.engine.ProtectionEngine.protect_dataset` — built-ins
+``serial``, ``process``, ``async``, and ``sharded`` (specs like
+``{"name": "sharded", "shards": 8}``), all required to publish
+byte-identical datasets on the same corpus.
+
 The module is intentionally import-light (only :mod:`repro.errors`), so
 component modules can import it without cycles; the built-in catalog is
 loaded lazily on first lookup.

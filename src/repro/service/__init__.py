@@ -1,9 +1,48 @@
-"""Deployment substrate: crowdsensing middleware simulation."""
+"""Deployment substrate: crowdsensing middleware as an actual service.
 
+Layers (bottom up):
+
+* :mod:`repro.service.events` — deterministic discrete-event loop;
+* :mod:`repro.service.client` / :mod:`repro.service.proxy` /
+  :mod:`repro.service.server` — mobile client, MooD proxy (with
+  session-scoped :class:`PseudonymProvider`), collection server;
+* :mod:`repro.service.api` — the versioned, transport-agnostic service
+  protocol (messages, JSON-lines codec, async
+  :class:`ProtectionService` facade, loopback transport);
+* :mod:`repro.service.rpc` — the socket transport (asyncio TCP / unix
+  server + synchronous client SDK);
+* :mod:`repro.service.campaign` — the end-to-end simulation, driven
+  through the same service API as a real deployment.
+"""
+
+from repro.service.api import (
+    ErrorEnvelope,
+    LoopbackClient,
+    ProtectionService,
+    ProtectRequest,
+    ProtectResponse,
+    PublishedPiece,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    StatsResponse,
+    UploadRequest,
+    UploadResponse,
+    WIRE_VERSION,
+    decode_message,
+    encode_message,
+)
 from repro.service.campaign import CampaignReport, CrowdsensingCampaign
 from repro.service.client import MobileClient, UploadChunk
 from repro.service.events import EventLoop
-from repro.service.proxy import MoodProxy, ProxyStats
+from repro.service.proxy import (
+    MoodProxy,
+    ProxyStats,
+    PseudonymProvider,
+    SessionPseudonyms,
+    coerce_engine,
+)
+from repro.service.rpc import ServiceClient, ServiceServer
 from repro.service.server import CollectionServer, ServerStats
 
 __all__ = [
@@ -12,8 +51,28 @@ __all__ = [
     "UploadChunk",
     "MoodProxy",
     "ProxyStats",
+    "PseudonymProvider",
+    "SessionPseudonyms",
+    "coerce_engine",
     "CollectionServer",
     "ServerStats",
     "CrowdsensingCampaign",
     "CampaignReport",
+    "WIRE_VERSION",
+    "ProtectRequest",
+    "ProtectResponse",
+    "UploadRequest",
+    "UploadResponse",
+    "QueryRequest",
+    "QueryResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "ErrorEnvelope",
+    "PublishedPiece",
+    "encode_message",
+    "decode_message",
+    "ProtectionService",
+    "LoopbackClient",
+    "ServiceClient",
+    "ServiceServer",
 ]

@@ -1,0 +1,666 @@
+"""Protection Service API v2: versioned messages, codec, and facade.
+
+The paper's deployment unit is a middleware proxy between mobile clients
+and the crowdsensing server.  This module turns that boundary into an
+explicit, transport-agnostic protocol:
+
+* **Messages** — request/response dataclasses (:class:`ProtectRequest`,
+  :class:`ProtectResponse`, :class:`UploadRequest`,
+  :class:`UploadResponse`, :class:`QueryRequest`,
+  :class:`QueryResponse`, :class:`StatsRequest`, :class:`StatsResponse`)
+  plus the :class:`ErrorEnvelope` every fault travels in.
+* **Wire codec** — JSON lines.  One message is one JSON object on one
+  ``\\n``-terminated line: ``{"v": 1, "type": "<slug>", "body": {...}}``.
+  Floats round-trip exactly (shortest-repr encoding), so a trace that
+  crosses the wire protects byte-identically to one that never left the
+  process.
+* **Facade** — :class:`ProtectionService` wraps a
+  :class:`~repro.core.engine.ProtectionEngine` (via the
+  :class:`~repro.service.proxy.MoodProxy`) and a
+  :class:`~repro.service.server.CollectionServer` behind async
+  ``protect()`` / ``upload()`` / ``query()`` / ``stats()`` methods, with
+  pseudonym management delegated to a session-scoped
+  :class:`~repro.service.proxy.PseudonymProvider`.
+* **Loopback transport** — :class:`LoopbackClient` drives the service
+  in-process through the same codec, deterministically.  The campaign
+  simulation runs on it, so simulation and deployment share one code
+  path; :mod:`repro.service.rpc` provides the real socket transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
+
+from repro.core.engine import DEFAULT_CHUNK_S, ProtectionEngine
+from repro.core.split import split_fixed_time
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, ProtocolError, ReproError, ServiceError
+from repro.service.client import UploadChunk
+from repro.service.proxy import MoodProxy, PseudonymProvider
+from repro.service.server import CollectionServer
+
+#: Wire protocol version; bumped on any incompatible message change.
+WIRE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Trace wire form
+# ---------------------------------------------------------------------------
+
+
+def trace_to_wire(trace: Trace) -> Dict[str, Any]:
+    """*trace* as a plain JSON-serialisable dict (exact float round-trip)."""
+    # ndarray.tolist() yields exact Python floats (same shortest-repr
+    # round-trip) without a per-element Python loop — this runs once per
+    # trace per message, the wire hot path.
+    return {
+        "user_id": trace.user_id,
+        "t": trace.timestamps.tolist(),
+        "lat": trace.lats.tolist(),
+        "lng": trace.lngs.tolist(),
+    }
+
+
+def trace_from_wire(data: Any) -> Trace:
+    """Rebuild a :class:`Trace` from its wire dict."""
+    if not isinstance(data, dict):
+        raise ProtocolError(f"trace body must be an object, got {type(data).__name__}")
+    missing = {"user_id", "t", "lat", "lng"} - set(data)
+    if missing:
+        raise ProtocolError(f"trace body is missing keys {sorted(missing)}")
+    try:
+        return Trace(str(data["user_id"]), data["t"], data["lat"], data["lng"])
+    except (TypeError, ValueError, ReproError) as exc:
+        raise ProtocolError(f"malformed trace on the wire: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublishedPiece:
+    """Wire form of one published sub-trace (raw original never leaves)."""
+
+    pseudonym: str
+    mechanism: str
+    distortion_m: float
+    trace: Trace
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "pseudonym": self.pseudonym,
+            "mechanism": self.mechanism,
+            "distortion_m": self.distortion_m,
+            "trace": trace_to_wire(self.trace),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "PublishedPiece":
+        return cls(
+            pseudonym=str(body["pseudonym"]),
+            mechanism=str(body["mechanism"]),
+            distortion_m=float(body["distortion_m"]),
+            trace=trace_from_wire(body["trace"]),
+        )
+
+
+@dataclass(frozen=True)
+class ProtectRequest:
+    """Run the MooD cascade on one trace; nothing is ingested server-side."""
+
+    trace: Trace
+    #: Pre-chunk into daily windows first (the §4.5 crowdsensing mode).
+    daily: bool = False
+    chunk_s: float = DEFAULT_CHUNK_S
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "trace": trace_to_wire(self.trace),
+            "daily": bool(self.daily),
+            "chunk_s": float(self.chunk_s),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ProtectRequest":
+        return cls(
+            trace=trace_from_wire(body["trace"]),
+            daily=bool(body.get("daily", False)),
+            chunk_s=float(body.get("chunk_s", DEFAULT_CHUNK_S)),
+        )
+
+
+@dataclass(frozen=True)
+class ProtectResponse:
+    """Published pieces and erasure counts for one protected trace."""
+
+    user_id: str
+    pieces: Tuple[PublishedPiece, ...]
+    erased_records: int
+    original_records: int
+
+    @property
+    def data_loss(self) -> float:
+        if self.original_records == 0:
+            return 0.0
+        return self.erased_records / self.original_records
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "pieces": [p.to_body() for p in self.pieces],
+            "erased_records": self.erased_records,
+            "original_records": self.original_records,
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ProtectResponse":
+        return cls(
+            user_id=str(body["user_id"]),
+            pieces=tuple(PublishedPiece.from_body(p) for p in body["pieces"]),
+            erased_records=int(body["erased_records"]),
+            original_records=int(body["original_records"]),
+        )
+
+
+@dataclass(frozen=True)
+class UploadRequest:
+    """The middleware path: protect one daily chunk and ingest the pieces."""
+
+    trace: Trace
+    day_index: int = 0
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"trace": trace_to_wire(self.trace), "day_index": int(self.day_index)}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "UploadRequest":
+        return cls(
+            trace=trace_from_wire(body["trace"]),
+            day_index=int(body.get("day_index", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class UploadResponse:
+    """Receipt for one upload: what was published, what was dropped."""
+
+    user_id: str
+    pseudonyms: Tuple[str, ...]
+    published_records: int
+    erased_records: int
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "pseudonyms": list(self.pseudonyms),
+            "published_records": self.published_records,
+            "erased_records": self.erased_records,
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "UploadResponse":
+        return cls(
+            user_id=str(body["user_id"]),
+            pseudonyms=tuple(str(p) for p in body["pseudonyms"]),
+            published_records=int(body["published_records"]),
+            erased_records=int(body["erased_records"]),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Spatial analytics over the collected (protected) corpus.
+
+    ``kind``:
+
+    * ``"count"`` — records in the cell containing ``(lat, lng)``;
+    * ``"top_cells"`` — the ``k`` busiest cells.
+    """
+
+    kind: str = "count"
+    lat: Optional[float] = None
+    lng: Optional[float] = None
+    k: int = 10
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "lat": self.lat, "lng": self.lng, "k": self.k}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "QueryRequest":
+        lat = body.get("lat")
+        lng = body.get("lng")
+        return cls(
+            kind=str(body.get("kind", "count")),
+            lat=None if lat is None else float(lat),
+            lng=None if lng is None else float(lng),
+            k=int(body.get("k", 10)),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answer to a :class:`QueryRequest`."""
+
+    kind: str
+    count: Optional[int] = None
+    #: ``(cell_ix, cell_iy, count)`` rows for ``top_cells``.
+    cells: Tuple[Tuple[int, int, int], ...] = ()
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "cells": [list(row) for row in self.cells],
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "QueryResponse":
+        count = body.get("count")
+        return cls(
+            kind=str(body["kind"]),
+            count=None if count is None else int(count),
+            cells=tuple(
+                (int(ix), int(iy), int(n)) for ix, iy, n in body.get("cells", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask for the proxy's and server's operational counters."""
+
+    def to_body(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StatsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Operational counters (plain dicts of the stats dataclasses)."""
+
+    proxy: Dict[str, Any] = field(default_factory=dict)
+    server: Dict[str, Any] = field(default_factory=dict)
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"proxy": dict(self.proxy), "server": dict(self.server)}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StatsResponse":
+        return cls(proxy=dict(body["proxy"]), server=dict(body["server"]))
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """The one shape every service-side fault travels in.
+
+    ``code`` is machine-readable (``"protocol"``, ``"bad_request"``,
+    ``"unsupported"``, ``"internal"``); ``message`` is for humans.
+    """
+
+    code: str
+    message: str
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ErrorEnvelope":
+        return cls(code=str(body["code"]), message=str(body["message"]))
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines codec
+# ---------------------------------------------------------------------------
+
+#: slug <-> message class (the versioned vocabulary of the protocol).
+MESSAGE_TYPES: Dict[str, Type[Any]] = {
+    "protect_request": ProtectRequest,
+    "protect_response": ProtectResponse,
+    "upload_request": UploadRequest,
+    "upload_response": UploadResponse,
+    "query_request": QueryRequest,
+    "query_response": QueryResponse,
+    "stats_request": StatsRequest,
+    "stats_response": StatsResponse,
+    "error": ErrorEnvelope,
+}
+
+_SLUG_OF = {cls: slug for slug, cls in MESSAGE_TYPES.items()}
+
+#: Any message of the protocol.
+Message = Union[
+    ProtectRequest,
+    ProtectResponse,
+    UploadRequest,
+    UploadResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    StatsResponse,
+    ErrorEnvelope,
+]
+
+
+def encode_message(message: Message) -> bytes:
+    """One ``\\n``-terminated JSON line for *message*."""
+    slug = _SLUG_OF.get(type(message))
+    if slug is None:
+        raise ProtocolError(f"{type(message).__name__} is not a wire message")
+    frame = {"v": WIRE_VERSION, "type": slug, "body": message.to_body()}
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: Union[str, bytes]) -> Message:
+    """Parse one wire line back into its message dataclass."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"wire frame is not valid UTF-8: {exc}") from exc
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON on the wire: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"wire frame must be an object, got {type(frame).__name__}")
+    version = frame.get("v")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this side speaks {WIRE_VERSION})"
+        )
+    slug = frame.get("type")
+    cls = MESSAGE_TYPES.get(slug)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown message type {slug!r}; known: {sorted(MESSAGE_TYPES)}"
+        )
+    body = frame.get("body")
+    if not isinstance(body, dict):
+        raise ProtocolError(f"message body must be an object, got {type(body).__name__}")
+    try:
+        return cls.from_body(body)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {slug} body: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# The service facade
+# ---------------------------------------------------------------------------
+
+
+class ProtectionService:
+    """Async facade over engine + proxy + collection server.
+
+    One instance is one deployment of the middleware: it owns the proxy
+    (cascade + session pseudonyms + operational counters) and the
+    collection server (protected corpus + analytics).  All four verbs
+    are coroutines; CPU-heavy protection runs on the event loop's
+    default thread pool so a serving loop stays responsive.  Requests
+    handled sequentially are fully deterministic — the loopback
+    transport relies on that to keep campaign reports reproducible.
+
+    Shared state (pseudonym counters, proxy stats, the collected
+    corpus) is guarded by one service-wide mutex: the socket server
+    multiplexes many connections onto one loop whose pool may run
+    several protection bodies at once, and an unguarded
+    ``SessionPseudonyms`` get/increment could hand two concurrent
+    uploads of the same user the same pseudonym.  The lock is a plain
+    :class:`threading.Lock` (not an asyncio one) because the service
+    may be driven from different event loops over its lifetime and the
+    mutation happens on pool threads.
+    """
+
+    def __init__(
+        self,
+        engine: ProtectionEngine,
+        *,
+        server: Optional[CollectionServer] = None,
+        pseudonyms: Optional[PseudonymProvider] = None,
+    ) -> None:
+        self.proxy = MoodProxy(engine, pseudonyms=pseudonyms)
+        self.server = server if server is not None else CollectionServer()
+        self._state_lock = threading.Lock()
+        self._handlers = {
+            ProtectRequest: self.protect,
+            UploadRequest: self.upload,
+            QueryRequest: self.query,
+            StatsRequest: self.stats,
+        }
+
+    @property
+    def engine(self) -> ProtectionEngine:
+        return self.proxy.engine
+
+    # -- verbs -----------------------------------------------------------
+
+    async def protect(self, request: ProtectRequest) -> ProtectResponse:
+        """Run the cascade; return published pieces without ingesting."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._protect_sync, request)
+
+    async def upload(self, request: UploadRequest) -> UploadResponse:
+        """Protect one chunk and ingest its pieces into the server."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._upload_sync, request)
+
+    async def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer a spatial analytics query over the collected corpus."""
+        # Validate on the loop (cheap, lock-free); read on the pool —
+        # waiting for the state lock must never stall the event loop.
+        if request.kind not in ("count", "top_cells"):
+            raise ConfigurationError(
+                f"unknown query kind {request.kind!r}; choose from ('count', 'top_cells')"
+            )
+        if request.kind == "count" and (request.lat is None or request.lng is None):
+            raise ConfigurationError("a 'count' query needs 'lat' and 'lng'")
+        if request.kind == "top_cells" and request.k < 1:
+            raise ConfigurationError(f"'top_cells' needs k >= 1, got {request.k}")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._query_sync, request)
+
+    async def stats(self, request: Optional[StatsRequest] = None) -> StatsResponse:
+        """Proxy and server operational counters."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stats_sync)
+
+    # -- sync bodies (run on the pool, under the state lock) -------------
+
+    def _query_sync(self, request: QueryRequest) -> QueryResponse:
+        if request.kind == "count":
+            with self._state_lock:
+                count = self.server.count_in_cell(request.lat, request.lng)
+            return QueryResponse(kind="count", count=count)
+        with self._state_lock:
+            top = self.server.top_cells(request.k)
+        return QueryResponse(
+            kind="top_cells", cells=tuple((cell.ix, cell.iy, n) for cell, n in top)
+        )
+
+    def _stats_sync(self) -> StatsResponse:
+        from dataclasses import asdict
+
+        with self._state_lock:
+            return StatsResponse(
+                proxy=asdict(self.proxy.stats), server=asdict(self.server.stats)
+            )
+
+    def _protect_sync(self, request: ProtectRequest) -> ProtectResponse:
+        # The engine, pseudonym counters, and stats are shared mutable
+        # state: one protection body runs at a time.
+        trace = request.trace
+        chunks = (
+            split_fixed_time(trace, request.chunk_s) if request.daily else [trace]
+        )
+        pieces: List[PublishedPiece] = []
+        erased = 0
+        with self._state_lock:
+            for i, chunk in enumerate(chunks):
+                if len(chunk) == 0:
+                    continue
+                result = self.proxy.protect_chunk(UploadChunk(trace.user_id, i, chunk))
+                erased += result.erased_records
+                pieces.extend(
+                    PublishedPiece(
+                        pseudonym=p.pseudonym,
+                        mechanism=p.mechanism,
+                        distortion_m=p.distortion_m,
+                        trace=p.published,
+                    )
+                    for p in result.pieces
+                )
+        return ProtectResponse(
+            user_id=trace.user_id,
+            pieces=tuple(pieces),
+            erased_records=erased,
+            original_records=len(trace),
+        )
+
+    def _upload_sync(self, request: UploadRequest) -> UploadResponse:
+        chunk = UploadChunk(request.trace.user_id, request.day_index, request.trace)
+        published = 0
+        pseudonyms: List[str] = []
+        with self._state_lock:
+            result = self.proxy.protect_chunk(chunk)
+            for piece in result.pieces:
+                self.server.receive(piece.published)
+                pseudonyms.append(piece.pseudonym)
+                published += len(piece.published)
+        return UploadResponse(
+            user_id=request.trace.user_id,
+            pseudonyms=tuple(pseudonyms),
+            published_records=published,
+            erased_records=result.erased_records,
+        )
+
+    # -- dispatch --------------------------------------------------------
+
+    async def handle(self, message: Message) -> Message:
+        """Route one decoded request; faults become error envelopes."""
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            return ErrorEnvelope(
+                code="unsupported",
+                message=f"{type(message).__name__} is not a request this side serves",
+            )
+        try:
+            return await handler(message)
+        except ReproError as exc:
+            return ErrorEnvelope(code="bad_request", message=str(exc))
+        except Exception as exc:  # noqa: BLE001 - the envelope is the contract
+            return ErrorEnvelope(
+                code="internal", message=f"{type(exc).__name__}: {exc}"
+            )
+
+    async def handle_wire(self, line: Union[str, bytes]) -> bytes:
+        """Decode one wire line, handle it, encode the reply.
+
+        Never raises: protocol violations come back as ``error`` frames,
+        so a transport can pipe bytes blindly.
+        """
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            return encode_message(ErrorEnvelope(code="protocol", message=str(exc)))
+        return encode_message(await self.handle(message))
+
+
+# ---------------------------------------------------------------------------
+# Client SDK base + loopback transport
+# ---------------------------------------------------------------------------
+
+
+class ServiceClientBase:
+    """Verb-level SDK shared by every transport.
+
+    Subclasses implement :meth:`request` (one message in, one message
+    out); the convenience methods add typed signatures and raise
+    :class:`~repro.errors.ServiceError` on error envelopes.
+    """
+
+    def request(self, message: Message) -> Message:
+        raise NotImplementedError
+
+    def _ask(self, message: Message, expected: Type[Any]) -> Any:
+        reply = self.request(message)
+        if isinstance(reply, ErrorEnvelope):
+            raise ServiceError(reply.code, reply.message)
+        if not isinstance(reply, expected):
+            raise ProtocolError(
+                f"expected {expected.__name__}, got {type(reply).__name__}"
+            )
+        return reply
+
+    def protect(
+        self, trace: Trace, daily: bool = False, chunk_s: float = DEFAULT_CHUNK_S
+    ) -> ProtectResponse:
+        return self._ask(
+            ProtectRequest(trace=trace, daily=daily, chunk_s=chunk_s), ProtectResponse
+        )
+
+    def upload(self, trace: Trace, day_index: int = 0) -> UploadResponse:
+        return self._ask(UploadRequest(trace=trace, day_index=day_index), UploadResponse)
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        return self._ask(request, QueryResponse)
+
+    def query_count(self, lat: float, lng: float) -> int:
+        reply = self.query(QueryRequest(kind="count", lat=lat, lng=lng))
+        return int(reply.count or 0)
+
+    def top_cells(self, k: int = 10) -> Tuple[Tuple[int, int, int], ...]:
+        return self.query(QueryRequest(kind="top_cells", k=k)).cells
+
+    def stats(self) -> StatsResponse:
+        return self._ask(StatsRequest(), StatsResponse)
+
+
+class LoopbackClient(ServiceClientBase):
+    """In-process transport: full codec round-trip, no sockets.
+
+    Every request is encoded to its wire line, decoded by the service,
+    handled on a private event loop, and the reply decoded back — the
+    exact byte path of the socket transport minus the socket.  Requests
+    run one at a time, so results are deterministic; the campaign
+    simulation is built on this client.
+    """
+
+    def __init__(self, service: ProtectionService) -> None:
+        self._service = service
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def request(self, message: Message) -> Message:
+        if self._loop is None or self._loop.is_closed():
+            self._loop = asyncio.new_event_loop()
+        reply = self._loop.run_until_complete(
+            self._service.handle_wire(encode_message(message))
+        )
+        return decode_message(reply)
+
+    def close(self) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.run_until_complete(self._loop.shutdown_default_executor())
+            self._loop.close()
+        self._loop = None
+
+    def __enter__(self) -> "LoopbackClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

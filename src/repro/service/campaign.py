@@ -1,23 +1,32 @@
 """End-to-end crowdsensing campaign simulation.
 
-Wires clients, the MooD proxy, and the collection server onto the
-discrete-event loop: every client uploads its daily chunk at the end of
-each campaign day; the proxy protects (or erases) it; the server ingests
+Wires clients, the protection service, and the collection server onto
+the discrete-event loop: every client uploads its daily chunk at the end
+of each campaign day; the service protects (or erases) it and ingests
 the published pieces.  The campaign report aggregates privacy,
 operational, and utility outcomes — the deployment-side evidence the
 paper's title promises.
+
+Since the service API redesign the campaign no longer calls the proxy
+directly: each upload goes through a
+:class:`~repro.service.api.LoopbackClient` — the same messages, codec,
+and :class:`~repro.service.api.ProtectionService` dispatch as the socket
+deployment (`python -m repro serve`), minus the socket.  Simulation and
+deployment exercise one code path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.dataset import MobilityDataset
 from repro.core.engine import ProtectionEngine
+from repro.errors import ConfigurationError
+from repro.service.api import LoopbackClient, ProtectionService
 from repro.service.client import MobileClient
 from repro.service.events import EventLoop
-from repro.service.proxy import MoodProxy, ProxyStats, _coerce_engine
+from repro.service.proxy import MoodProxy, ProxyStats, coerce_engine
 from repro.service.server import CollectionServer, ServerStats
 
 
@@ -49,14 +58,31 @@ class CrowdsensingCampaign:
         chunk_s: float = 86_400.0,
         *,
         mood: Optional[ProtectionEngine] = None,
+        service: Optional[ProtectionService] = None,
     ) -> None:
         self.raw = raw
-        self.proxy = MoodProxy(_coerce_engine(engine, mood, "CrowdsensingCampaign"))
-        self.server = CollectionServer()
+        if service is None:
+            service = ProtectionService(coerce_engine(engine, mood, "CrowdsensingCampaign"))
+        elif engine is not None or mood is not None:
+            raise ConfigurationError(
+                "CrowdsensingCampaign got both a 'service' and an engine — "
+                "pass one or the other"
+            )
+        self.service = service
         self.chunk_s = float(chunk_s)
         self.clients: List[MobileClient] = [
             MobileClient(trace, chunk_s) for trace in raw.traces() if len(trace) > 0
         ]
+
+    @property
+    def proxy(self) -> MoodProxy:
+        """The service's proxy (cascade + pseudonyms + counters)."""
+        return self.service.proxy
+
+    @property
+    def server(self) -> CollectionServer:
+        """The service's collection server (protected corpus + queries)."""
+        return self.service.server
 
     def run(self) -> CampaignReport:
         """Run the full campaign on the event loop and report."""
@@ -64,14 +90,14 @@ class CrowdsensingCampaign:
             raise ValueError("campaign has no active clients")
         start = min(c._chunks[0].start_time() for c in self.clients if c.days_total)
         loop = EventLoop(start_time=start)
+        rpc = LoopbackClient(self.service)
 
         def make_upload(client: MobileClient):
             def upload() -> None:
                 chunk = client.next_upload()
                 if chunk is None:
                     return
-                for piece in self.proxy.process(chunk):
-                    self.server.receive(piece)
+                rpc.upload(chunk.trace, day_index=chunk.day_index)
 
             return upload
 
@@ -79,7 +105,10 @@ class CrowdsensingCampaign:
             action = make_upload(client)
             for t in client.upload_times(start):
                 loop.schedule(t, action, label=f"upload:{client.user_id}")
-        loop.run()
+        try:
+            loop.run()
+        finally:
+            rpc.close()
         fidelity = self.server.density_correlation(self.raw)
         return CampaignReport(
             days=(loop.now - start) / 86_400.0,

@@ -1,0 +1,284 @@
+"""Socket transport for the protection service (TCP or unix domain).
+
+The server is a thin asyncio shell around
+:meth:`repro.service.api.ProtectionService.handle_wire`: one JSON line
+in, one JSON line out, connections multiplexed on the event loop while
+protection work runs on the pool.  The client SDK
+(:class:`ServiceClient`) is deliberately synchronous — mobile-client
+code and tests drive it like a function call — and shares every verb
+with the loopback client through
+:class:`~repro.service.api.ServiceClientBase`, so switching transports
+is a one-line change::
+
+    service = ProtectionService(engine)
+    server = ServiceServer(service, host="127.0.0.1", port=0)
+    address = server.start_background()          # ("127.0.0.1", 54321)
+    with ServiceClient(host=address[0], port=address[1]) as client:
+        receipt = client.upload(trace)
+        busy = client.top_cells(k=5)
+    server.stop_background()
+
+``python -m repro serve`` / ``python -m repro request`` expose the same
+pair on the command line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Any, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service.api import (
+    ErrorEnvelope,
+    Message,
+    ProtectionService,
+    ServiceClientBase,
+    decode_message,
+    encode_message,
+)
+
+#: Generous per-line cap: a month-long trace at 1 Hz is ~10 MB of JSON.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ServiceServer:
+    """Serve a :class:`ProtectionService` over TCP or a unix socket.
+
+    Exactly one of ``(host, port)`` or ``unix_path`` addresses the
+    server.  ``port=0`` binds an ephemeral port; the bound address is
+    available as :attr:`address` once started.
+    """
+
+    def __init__(
+        self,
+        service: ProtectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.unix_path = unix_path
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Cancellation (server shutdown) is absorbed so the connection
+        # task always finishes cleanly: a task left in cancelled state
+        # trips asyncio's stream done-callback on Python 3.11.
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_message(
+                            ErrorEnvelope(
+                                code="protocol",
+                                message=f"line exceeds {MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                writer.write(await self.service.handle_wire(line))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- async lifecycle --------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        if self.unix_path is not None:
+            # A killed/crashed predecessor leaves its socket file behind
+            # (asyncio does not unlink on close either), which would make
+            # every restart fail with EADDRINUSE.  Only ever remove an
+            # actual socket — anything else at that path is a user error.
+            import os
+            import stat
+
+            try:
+                if stat.S_ISSOCK(os.stat(self.unix_path).st_mode):
+                    os.unlink(self.unix_path)
+            except FileNotFoundError:
+                pass
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Union[str, Tuple[str, int]]:
+        """Where clients connect: a unix path or ``(host, port)``."""
+        if self.unix_path is not None:
+            return self.unix_path
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def run(self) -> None:
+        """Blocking entry point (the ``repro serve`` command)."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    # -- background-thread lifecycle (tests, demos, benchmarks) ----------
+
+    def start_background(self) -> Union[str, Tuple[str, int]]:
+        """Run the server on a dedicated thread; returns the bound address."""
+        if self._thread is not None:
+            return self.address
+        ready = threading.Event()
+        startup: dict = {}
+
+        def _serve() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._thread_loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except Exception as exc:  # pragma: no cover - bind failures
+                startup["error"] = exc
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_default_executor())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_serve, name="mood-service-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if "error" in startup:
+            self._thread.join()
+            self._thread = None
+            raise startup["error"]
+        return self.address
+
+    def stop_background(self) -> None:
+        """Stop a :meth:`start_background` server and join its thread."""
+        if self._thread is None:
+            return
+        assert self._thread_loop is not None
+        self._thread_loop.call_soon_threadsafe(self._thread_loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._thread_loop = None
+
+    def __enter__(self) -> "ServiceServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop_background()
+
+
+class ServiceClient(ServiceClientBase):
+    """Synchronous socket client for a running :class:`ServiceServer`.
+
+    Connects over TCP (``host``/``port``) or a unix socket
+    (``unix_path``); usable as a context manager.  All verb methods
+    (``protect`` / ``upload`` / ``query_count`` / ``top_cells`` /
+    ``stats``) come from :class:`~repro.service.api.ServiceClientBase`.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(unix_path)
+        elif host is not None and port is not None:
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        else:
+            raise ConfigurationError(
+                "ServiceClient needs either host+port or unix_path"
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def request(self, message: Message) -> Message:
+        self._file.write(encode_message(message))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ProtocolError("server closed the connection mid-request")
+        if not line.endswith(b"\n"):
+            # A reply longer than the cap would leave its tail unread and
+            # desynchronize every later request — fail loudly instead.
+            raise ProtocolError(
+                f"reply exceeds {MAX_LINE_BYTES} bytes (truncated); "
+                "close this connection"
+            )
+        return decode_message(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

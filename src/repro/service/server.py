@@ -32,11 +32,17 @@ class CollectionServer:
         self._traces: List[Trace] = []
         self._cell_counts: Dict[Cell, int] = {}
         self._pseudonyms: set = set()
+        # Incremental counters: ``stats`` is read on every service
+        # round-trip, so it must not rescan all stored traces.
+        self._uploads = 0
+        self._records = 0
 
     def receive(self, trace: Trace) -> None:
         """Ingest one published sub-trace."""
         self._traces.append(trace)
         self._pseudonyms.add(trace.user_id)
+        self._uploads += 1
+        self._records += len(trace)
         for i in range(len(trace)):
             cell = self.grid.cell_of(float(trace.lats[i]), float(trace.lngs[i]))
             self._cell_counts[cell] = self._cell_counts.get(cell, 0) + 1
@@ -44,8 +50,8 @@ class CollectionServer:
     @property
     def stats(self) -> ServerStats:
         return ServerStats(
-            uploads=len(self._traces),
-            records=sum(len(t) for t in self._traces),
+            uploads=self._uploads,
+            records=self._records,
             distinct_pseudonyms=len(self._pseudonyms),
         )
 

@@ -116,29 +116,101 @@ class TestFromConfig:
             ProtectionEngine([_Shift()], [_ThresholdAttack()], jobs=0)
 
 
+@pytest.fixture(scope="module")
+def serial_published(tiny_split, tmp_path_factory):
+    """The serial-backend published dataset: the byte-level reference."""
+    train, test = tiny_split
+    engine = ProtectionEngine.from_config(ProtectionConfig(seed=5)).fit(train)
+    report = engine.evaluate("mood", test)
+    path = tmp_path_factory.mktemp("published") / "serial.csv"
+    save_csv(report.published_dataset(), path)
+    return path.read_bytes(), report.non_protected(), engine.evaluations
+
+
 class TestExecutorDeterminism:
-    def test_process_executor_matches_serial_byte_for_byte(
-        self, tiny_split, tmp_path
+    def test_all_backends_registered(self):
+        from repro.registry import available
+
+        assert {"serial", "process", "async", "sharded"} <= set(available("executor"))
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            "process",
+            "async",
+            {"name": "async", "pool": "process"},
+            {"name": "sharded", "shards": 2},
+            {"name": "sharded", "shards": 3},
+        ],
+        ids=lambda e: e if isinstance(e, str) else "-".join(
+            str(v) for v in e.values()
+        ),
+    )
+    def test_every_executor_matches_serial_byte_for_byte(
+        self, tiny_split, tmp_path, serial_published, executor
     ):
-        """Acceptance: --jobs 4 publishes the identical dataset to serial."""
+        """Acceptance: every registered backend publishes the identical dataset."""
         train, test = tiny_split
+        reference_bytes, reference_non_protected, reference_evaluations = (
+            serial_published
+        )
         base = ProtectionConfig(seed=5).to_dict()
-        serial = ProtectionEngine.from_config(
-            ProtectionConfig.from_dict(base)
-        ).fit(train)
         parallel = ProtectionEngine.from_config(
-            ProtectionConfig.from_dict({**base, "executor": "process", "jobs": 4})
+            ProtectionConfig.from_dict({**base, "executor": executor, "jobs": 2})
         ).fit(train)
 
-        a = serial.evaluate("mood", test)
-        b = parallel.evaluate("mood", test)
-        pa, pb = tmp_path / "serial.csv", tmp_path / "process.csv"
-        save_csv(a.published_dataset(), pa)
-        save_csv(b.published_dataset(), pb)
-        assert pa.read_bytes() == pb.read_bytes()
-        assert a.non_protected() == b.non_protected()
+        report = parallel.evaluate("mood", test)
+        path = tmp_path / "parallel.csv"
+        save_csv(report.published_dataset(), path)
+        assert path.read_bytes() == reference_bytes
+        assert report.non_protected() == reference_non_protected
         # The evaluation counter is reconciled from the worker deltas.
-        assert serial.evaluations == parallel.evaluations
+        assert parallel.evaluations == reference_evaluations
+
+    def test_sharded_assignment_is_stable(self):
+        from repro.core.engine import _shard_of
+
+        first = [_shard_of(f"user{i}", 4) for i in range(32)]
+        assert first == [_shard_of(f"user{i}", 4) for i in range(32)]
+        assert all(0 <= s < 4 for s in first)
+        assert len(set(first)) > 1  # users actually spread across shards
+
+    def test_invalid_executor_params_rejected(self):
+        from repro.core.engine import AsyncExecutor, ShardedExecutor
+
+        with pytest.raises(ConfigurationError):
+            AsyncExecutor(pool="fiber")
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(shards=0)
+
+    def test_sharded_worker_budget_is_capped_by_jobs(self, monkeypatch):
+        """shards > jobs must not spawn more than `jobs` processes."""
+        import multiprocessing
+
+        from repro.core.engine import ShardedExecutor
+
+        spawned = []
+        original_pool = multiprocessing.Pool
+
+        def tracking_pool(processes, *args, **kwargs):
+            spawned.append(processes)
+            return original_pool(processes, *args, **kwargs)
+
+        monkeypatch.setattr(multiprocessing, "Pool", tracking_pool)
+        engine = ProtectionEngine([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        ds = MobilityDataset("toy")
+        for i in range(6):
+            ds.add(_trace(f"u{i}"))
+        # jobs=1: shards collapse to 1 → pure serial, no pools at all.
+        report = ShardedExecutor(jobs=1, shards=8).map(
+            engine, "protect", ds.traces(), {}
+        )
+        assert len(report) == 6 and spawned == []
+        # jobs=2, shards=8: at most 2 worker processes in total.
+        report = ShardedExecutor(jobs=2, shards=8).map(
+            engine, "protect", ds.traces(), {}
+        )
+        assert len(report) == 6 and sum(spawned) <= 2
 
     def test_protect_dataset_reports(self):
         lppms = [_Shift("strong", 0.3)]

@@ -1,0 +1,292 @@
+"""Tests for the service API v2: messages, codec, facade, loopback."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.core.engine import ProtectionEngine
+from repro.core.trace import Trace
+from repro.errors import ProtocolError, ServiceError
+from repro.lppm.base import LPPM
+from repro.service.api import (
+    WIRE_VERSION,
+    ErrorEnvelope,
+    LoopbackClient,
+    ProtectRequest,
+    ProtectResponse,
+    ProtectionService,
+    PublishedPiece,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    StatsResponse,
+    UploadRequest,
+    UploadResponse,
+    decode_message,
+    encode_message,
+    trace_from_wire,
+    trace_to_wire,
+)
+from repro.service.client import UploadChunk
+from repro.service.proxy import MoodProxy, SessionPseudonyms
+from repro.service.server import CollectionServer
+
+DAY = 86_400.0
+
+
+class _Noop(LPPM):
+    name = "noop"
+
+    def apply(self, trace, rng=None):
+        return trace
+
+class _Shift(LPPM):
+    name = "shift"
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + 0.1, trace.lngs)
+
+
+class _NeverAttack:
+    name = "never"
+
+    def reidentify(self, trace):
+        return "<nobody>"
+
+
+class _AlwaysAttack:
+    name = "always"
+
+    def reidentify(self, trace):
+        return trace.user_id
+
+
+def stub_engine(attack=None, lppm=None):
+    return ProtectionEngine([lppm or _Noop()], [attack or _NeverAttack()])
+
+
+def day_trace(user="u", days=1, period=600.0, lat=45.0, lng=4.0):
+    n = int(days * DAY / period)
+    ts = np.arange(n) * period
+    return Trace(user, ts, np.full(n, lat), np.full(n, lng))
+
+
+def random_trace(user="r", n=50, seed=3):
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.uniform(1.0, 900.0, size=n))
+    return Trace(user, ts, 45.0 + rng.normal(0, 0.05, n), 4.0 + rng.normal(0, 0.05, n))
+
+
+class TestTraceWire:
+    def test_round_trip_is_bit_exact(self):
+        trace = random_trace()
+        back = trace_from_wire(trace_to_wire(trace))
+        assert back.user_id == trace.user_id
+        assert np.array_equal(back.timestamps, trace.timestamps)
+        assert np.array_equal(back.lats, trace.lats)
+        assert np.array_equal(back.lngs, trace.lngs)
+        # Same content → same fingerprint → same feature-cache key.
+        assert back.fingerprint == trace.fingerprint
+
+    def test_empty_trace_survives(self):
+        back = trace_from_wire(trace_to_wire(Trace.empty("nobody")))
+        assert len(back) == 0 and back.user_id == "nobody"
+
+    def test_malformed_wire_trace_rejected(self):
+        with pytest.raises(ProtocolError):
+            trace_from_wire({"user_id": "u"})
+        with pytest.raises(ProtocolError):
+            trace_from_wire("not-a-dict")
+        with pytest.raises(ProtocolError):
+            trace_from_wire({"user_id": "u", "t": [2.0, 1.0], "lat": [0, 0], "lng": [0, 0]})
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            ProtectRequest(trace=day_trace(), daily=True, chunk_s=DAY),
+            ProtectResponse(
+                user_id="u",
+                pieces=(
+                    PublishedPiece(
+                        pseudonym="u#0",
+                        mechanism="noop",
+                        distortion_m=12.5,
+                        trace=day_trace("u#0"),
+                    ),
+                ),
+                erased_records=3,
+                original_records=10,
+            ),
+            UploadRequest(trace=day_trace(), day_index=2),
+            UploadResponse(
+                user_id="u",
+                pseudonyms=("u#0", "u#1"),
+                published_records=9,
+                erased_records=1,
+            ),
+            QueryRequest(kind="count", lat=45.0, lng=4.0),
+            QueryRequest(kind="top_cells", k=3),
+            QueryResponse(kind="count", count=7),
+            QueryResponse(kind="top_cells", cells=((1, 2, 3), (4, 5, 6))),
+            StatsRequest(),
+            StatsResponse(proxy={"chunks_processed": 1}, server={"uploads": 2}),
+            ErrorEnvelope(code="bad_request", message="nope"),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_every_message_round_trips(self, message):
+        line = encode_message(message)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        decoded = decode_message(line)
+        assert type(decoded) is type(message)
+        assert encode_message(decoded) == line
+
+    def test_version_is_enforced(self):
+        line = encode_message(StatsRequest()).replace(
+            b'"v":%d' % WIRE_VERSION, b'"v":999'
+        )
+        with pytest.raises(ProtocolError, match="version"):
+            decode_message(line)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(b'{"v":1,"type":"teleport_request","body":{}}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_message(b"{nope")
+
+    def test_invalid_utf8_rejected_not_mangled(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_message(b'{"v":1,"type":"stats_request","body":{"x":"\xe9ric"}}')
+
+    def test_non_message_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(object())
+        with pytest.raises(ProtocolError):
+            decode_message(b'[1,2,3]')
+        with pytest.raises(ProtocolError, match="body"):
+            decode_message(b'{"v":1,"type":"stats_request","body":[]}')
+
+    def test_malformed_body_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_message(b'{"v":1,"type":"upload_response","body":{"user_id":"u"}}')
+
+
+class TestSessionPseudonyms:
+    def test_counters_are_per_user_and_monotonic(self):
+        provider = SessionPseudonyms()
+        assert provider.pseudonym_for("a") == "a#0"
+        assert provider.pseudonym_for("a") == "a#1"
+        assert provider.pseudonym_for("b") == "b#0"
+        provider.reset()
+        assert provider.pseudonym_for("a") == "a#0"
+
+    def test_proxy_uses_injected_provider(self):
+        class Fixed(SessionPseudonyms):
+            def pseudonym_for(self, user_id):
+                return "anon"
+
+        proxy = MoodProxy(stub_engine(), pseudonyms=Fixed())
+        published = proxy.process(UploadChunk("u", 0, day_trace()))
+        assert [t.user_id for t in published] == ["anon"]
+
+
+class TestProtectionService:
+    def _client(self, engine=None, **kwargs):
+        return LoopbackClient(ProtectionService(engine or stub_engine(), **kwargs))
+
+    def test_protect_returns_pieces_without_ingesting(self):
+        with self._client() as client:
+            reply = client.protect(day_trace("alice"))
+            assert isinstance(reply, ProtectResponse)
+            assert [p.pseudonym for p in reply.pieces] == ["alice#0"]
+            assert reply.erased_records == 0
+            assert reply.data_loss == 0.0
+            # Nothing was ingested: the corpus is still empty.
+            assert client.stats().server["uploads"] == 0
+
+    def test_protect_daily_chunks(self):
+        with self._client() as client:
+            reply = client.protect(day_trace("bob", days=3), daily=True)
+            assert [p.pseudonym for p in reply.pieces] == ["bob#0", "bob#1", "bob#2"]
+
+    def test_upload_ingests_and_query_sees_it(self):
+        trace = day_trace("carol")
+        with self._client() as client:
+            receipt = client.upload(trace)
+            assert isinstance(receipt, UploadResponse)
+            assert receipt.pseudonyms == ("carol#0",)
+            assert receipt.published_records == len(trace)
+            assert client.query_count(45.0, 4.0) == len(trace)
+            assert client.query_count(50.0, 10.0) == 0
+            top = client.top_cells(k=2)
+            assert top and top[0][2] == len(trace)
+
+    def test_hopeless_upload_erased(self):
+        with self._client(stub_engine(attack=_AlwaysAttack())) as client:
+            receipt = client.upload(day_trace("dave"))
+            assert receipt.pseudonyms == ()
+            assert receipt.erased_records == len(day_trace("dave"))
+            assert client.stats().server["uploads"] == 0
+
+    def test_stats_mirror_proxy_and_server(self):
+        service = ProtectionService(stub_engine())
+        with LoopbackClient(service) as client:
+            client.upload(day_trace("eve"))
+            stats = client.stats()
+        assert stats.proxy["chunks_processed"] == 1
+        assert stats.proxy["mechanism_usage"] == {"noop": 1}
+        assert stats.server == {
+            "uploads": 1,
+            "records": len(day_trace("eve")),
+            "distinct_pseudonyms": 1,
+        }
+
+    def test_bad_query_becomes_service_error(self):
+        with self._client() as client:
+            with pytest.raises(ServiceError, match="lat"):
+                client.query(QueryRequest(kind="count"))
+            with pytest.raises(ServiceError, match="unknown query kind"):
+                client.query(QueryRequest(kind="median"))
+            with pytest.raises(ServiceError, match="k >= 1"):
+                client.query(QueryRequest(kind="top_cells", k=-1))
+
+    def test_response_message_is_unsupported_request(self):
+        service = ProtectionService(stub_engine())
+        with LoopbackClient(service) as client:
+            reply = client.request(QueryResponse(kind="count", count=1))
+        assert isinstance(reply, ErrorEnvelope)
+        assert reply.code == "unsupported"
+
+    def test_wire_protocol_violation_becomes_error_frame(self):
+        service = ProtectionService(stub_engine())
+        import asyncio
+
+        reply = asyncio.run(service.handle_wire(b"garbage\n"))
+        decoded = decode_message(reply)
+        assert isinstance(decoded, ErrorEnvelope)
+        assert decoded.code == "protocol"
+
+    def test_loopback_equals_direct_proxy_path(self):
+        """The codec round-trip must not change protection outcomes."""
+        trace = random_trace("frank", n=200)
+        direct = MoodProxy(stub_engine(lppm=_Shift())).process(
+            UploadChunk("frank", 0, trace)
+        )
+        with self._client(stub_engine(lppm=_Shift())) as client:
+            reply = client.protect(trace)
+        assert len(reply.pieces) == len(direct)
+        for piece, expected in zip(reply.pieces, direct):
+            assert piece.trace.user_id == expected.user_id
+            assert np.array_equal(piece.trace.lats, expected.lats)
+            assert np.array_equal(piece.trace.timestamps, expected.timestamps)
+
+    def test_service_shares_injected_server(self):
+        server = CollectionServer()
+        service = ProtectionService(stub_engine(), server=server)
+        with LoopbackClient(service) as client:
+            client.upload(day_trace("gina"))
+        assert server.stats.uploads == 1

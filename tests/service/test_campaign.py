@@ -92,6 +92,60 @@ class TestCampaignRealMood:
                 assert attack.reidentify(trace) != original_user
 
 
+class TestCampaignThroughServiceApi:
+    """The campaign must drive the transport-agnostic service API."""
+
+    def test_campaign_owns_a_protection_service(self):
+        from repro.service.api import ProtectionService
+
+        engine = Mood([_Noop()], [_NeverAttack()])
+        campaign = CrowdsensingCampaign(corpus(), engine)
+        assert isinstance(campaign.service, ProtectionService)
+        assert campaign.proxy is campaign.service.proxy
+        assert campaign.server is campaign.service.server
+
+    def test_injected_service_is_used(self):
+        from repro.service.api import ProtectionService
+
+        service = ProtectionService(Mood([_Noop()], [_NeverAttack()]))
+        campaign = CrowdsensingCampaign(corpus(), service=service)
+        report = campaign.run()
+        assert campaign.service is service
+        assert report.proxy is service.proxy.stats
+        assert service.server.stats.uploads == report.server.uploads > 0
+
+    def test_service_plus_engine_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.service.api import ProtectionService
+
+        engine = Mood([_Noop()], [_NeverAttack()])
+        service = ProtectionService(Mood([_Noop()], [_NeverAttack()]))
+        with pytest.raises(ConfigurationError, match="both"):
+            CrowdsensingCampaign(corpus(), engine, service=service)
+
+    def test_campaign_report_matches_direct_proxy_loop(self):
+        """Service + codec round-trip must not change campaign outcomes."""
+        from repro.core.split import split_fixed_time
+        from repro.service.client import UploadChunk
+        from repro.service.proxy import MoodProxy
+        from repro.service.server import CollectionServer
+
+        report = CrowdsensingCampaign(
+            corpus(), Mood([_Noop()], [_NeverAttack()])
+        ).run()
+
+        proxy = MoodProxy(Mood([_Noop()], [_NeverAttack()]))
+        server = CollectionServer()
+        for trace in corpus().traces():
+            for day, chunk in enumerate(split_fixed_time(trace, DAY)):
+                for piece in proxy.process(UploadChunk(trace.user_id, day, chunk)):
+                    server.receive(piece)
+        assert report.proxy == proxy.stats
+        assert report.server == server.stats
+        collected = {t.user_id for t in server.as_dataset()}
+        assert report.server.distinct_pseudonyms == len(collected)
+
+
 class TestLegacyMoodKeyword:
     def test_mood_keyword_still_accepted_with_warning(self, micro_ctx):
         import pytest as _pytest
@@ -115,3 +169,29 @@ class TestLegacyMoodKeyword:
         engine = micro_ctx.engine()
         with _pytest.raises(ConfigurationError):
             MoodProxy(engine, mood=engine)
+
+    def test_campaign_engine_and_mood_together_rejected(self, micro_ctx):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        engine = micro_ctx.engine()
+        with _pytest.raises(ConfigurationError, match="both"):
+            CrowdsensingCampaign(micro_ctx.test, engine, mood=engine)
+
+    def test_coerce_engine_is_public_and_aliased(self):
+        """`coerce_engine` lost its underscore; the old name must survive."""
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+        from repro.service.proxy import _coerce_engine, coerce_engine
+
+        assert _coerce_engine is coerce_engine
+        engine = Mood([_Noop()], [_NeverAttack()])
+        assert coerce_engine(engine, None, "X") is engine
+        with _pytest.warns(DeprecationWarning, match="deprecated"):
+            assert coerce_engine(None, engine, "X") is engine
+        with _pytest.raises(ConfigurationError, match="both"):
+            coerce_engine(engine, engine, "X")
+        with _pytest.raises(ConfigurationError, match="needs"):
+            coerce_engine(None, None, "X")

@@ -140,3 +140,29 @@ class TestCollectionServer:
         server.receive(multi_day_trace("u#0", days=1))
         out = server.as_dataset()
         assert out.user_ids() == ["u#0"]
+
+    def test_stats_counters_are_incremental(self):
+        """`stats` must not rescan the stored traces on every access."""
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        expected_records = 0
+        for k in range(5):
+            trace = multi_day_trace(f"u#{k}", days=1)
+            server.receive(trace)
+            expected_records += len(trace)
+            stats = server.stats
+            assert stats.uploads == k + 1
+            assert stats.records == expected_records
+            assert stats.distinct_pseudonyms == k + 1
+        # Reading stats is pure: repeated access returns equal values
+        # without touching the stored traces.
+        server._traces = None  # a rescan would now blow up
+        again = server.stats
+        assert again.records == expected_records
+        assert again.distinct_pseudonyms == 5
+
+    def test_duplicate_pseudonym_not_double_counted(self):
+        server = CollectionServer(MetricGrid(800.0, 45.0))
+        server.receive(multi_day_trace("u#0", days=1))
+        server.receive(multi_day_trace("u#0", days=1))
+        assert server.stats.uploads == 2
+        assert server.stats.distinct_pseudonyms == 1

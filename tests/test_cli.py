@@ -37,6 +37,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench"])
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--unix", "/tmp/x.sock", "--users", "3"]
+        )
+        assert args.command == "serve"
+        assert args.unix == "/tmp/x.sock"
+        assert args.users == 3
+        args = build_parser().parse_args(["serve", "--host", "0.0.0.0", "--port", "0"])
+        assert args.port == 0
+
+    def test_request_args(self):
+        args = build_parser().parse_args(
+            ["request", "upload", "--csv", "t.csv", "--day-index", "2"]
+        )
+        assert args.what == "upload"
+        assert args.day_index == 2
+        args = build_parser().parse_args(
+            ["request", "query", "--lat", "45.0", "--lng", "4.0"]
+        )
+        assert args.lat == 45.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["request", "teleport"])
+
+    def test_bench_service_args(self):
+        args = build_parser().parse_args(["bench", "service", "--smoke"])
+        assert args.bench_command == "service"
+        assert args.smoke
+
 
 class TestCommands:
     def test_generate_writes_csv(self, tmp_path, capsys):
@@ -72,6 +100,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "count-query fidelity" in out
         assert "mechanism usage" in out
+
+    def test_bench_service_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_svc.json"
+        code = main(["bench", "service", "--smoke", "--out", str(out)])
+        assert code == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["mode"] == "service"
+        assert snapshot["transports_identical"] is True
+        assert snapshot["executors_identical"] is True
+        assert set(snapshot["executors"]) == {"serial", "async", "sharded"}
+        for entry in snapshot["transports"].values():
+            assert entry["requests_per_s"] > 0
+        assert "transport" in capsys.readouterr().out
+
+    def test_request_against_live_server(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.engine import ProtectionEngine
+        from repro.core.trace import Trace
+        from repro.core.dataset import MobilityDataset
+        from repro.datasets.io import save_csv
+        from repro.lppm.base import LPPM
+        from repro.service.api import ProtectionService
+        from repro.service.rpc import ServiceServer
+
+        class _Noop(LPPM):
+            name = "noop"
+
+            def apply(self, trace, rng=None):
+                return trace
+
+        class _Never:
+            name = "never"
+
+            def reidentify(self, trace):
+                return "<nobody>"
+
+        n = 20
+        ds = MobilityDataset("cli")
+        ds.add(Trace("u", np.arange(n) * 600.0, np.full(n, 45.0), np.full(n, 4.0)))
+        csv = tmp_path / "trace.csv"
+        save_csv(ds, csv)
+        service = ProtectionService(ProtectionEngine([_Noop()], [_Never()]))
+        with ServiceServer(service, port=0) as server:
+            host, port = server.address
+            base = ["request", "--host", host, "--port", str(port)]
+            assert main(base[:1] + ["upload"] + base[1:] + ["--csv", str(csv)]) == 0
+            assert '"u#0"' in capsys.readouterr().out
+            assert main(
+                base[:1] + ["query"] + base[1:] + ["--lat", "45.0", "--lng", "4.0"]
+            ) == 0
+            assert f'"count": {n}' in capsys.readouterr().out
+            assert main(base[:1] + ["stats"] + base[1:]) == 0
+            assert '"uploads": 1' in capsys.readouterr().out
 
     def test_bench_micro_writes_snapshot(self, tmp_path, capsys):
         import json

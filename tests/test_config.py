@@ -81,6 +81,20 @@ class TestValidation:
             ProtectionConfig(split_policy="zigzag").validate()
         with pytest.raises(ConfigurationError):
             ProtectionConfig(executor="gpu").validate()
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(executor={"name": "gpu"}).validate()
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(executor=42).validate()
+
+    def test_executor_spec_dict_round_trips(self):
+        cfg = ProtectionConfig(executor={"name": "sharded", "shards": 8}).validate()
+        assert cfg.executor == {"name": "sharded", "shards": 8}
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+        assert "sharded" in cfg.describe()
+
+    def test_new_executor_names_validate(self):
+        for name in ("async", "sharded"):
+            assert ProtectionConfig(executor=name).validate().executor == name
 
     def test_invalid_json_text(self):
         with pytest.raises(ConfigurationError):

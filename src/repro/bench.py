@@ -21,6 +21,13 @@ Two entry points:
   backend (serial vs async vs sharded, published datasets asserted
   byte-identical).  ``smoke=True`` is the <60 s CI variant; the full
   run emits ``BENCH_3.json``.
+* :func:`run_remote` — the multi-host suite: ``protect_dataset`` through
+  the ``remote`` executor against a loopback cluster of two freshly
+  spawned ``ServiceServer`` instances, with the published dataset
+  asserted byte-identical to the serial backend — once with both
+  endpoints alive, once with one endpoint killed (failover onto the
+  survivor).  ``smoke=True`` is the <60 s CI variant; the full run
+  emits ``BENCH_4.json``.
 
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
@@ -340,6 +347,110 @@ def run_service(
             json.dump(snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
     return snapshot
+
+
+def run_remote(
+    seed: int = 7, smoke: bool = False, out_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Remote-executor throughput over a loopback two-server cluster.
+
+    Byte-identity is asserted on the spot, twice: the remote backend
+    (blake2b shard placement, ``protect_request`` batches over the wire,
+    positional merge) must publish the serial bytes with both endpoints
+    alive, and again with one endpoint killed before dispatch so every
+    shard fails over to the survivor.  Each leg spawns **fresh** servers
+    — pseudonym counters are session-scoped, which is part of the
+    byte-identity contract (docs/SERVICE.md).
+    """
+    from repro.datasets.io import to_csv_string
+    from repro.experiments.harness import prepare_context
+    from repro.service.api import ProtectionService
+    from repro.service.rpc import ServiceServer
+
+    n_users, days = (4, 4) if smoke else (8, 6)
+    ctx = prepare_context("privamov", seed=seed, n_users=n_users, days=days)
+
+    serial_report = ctx.engine().protect_dataset(ctx.test, daily=True)
+    reference_csv = to_csv_string(serial_report.published_dataset())
+
+    def spawn_cluster() -> Tuple[List[Any], List[str]]:
+        servers = [
+            ServiceServer(ProtectionService(ctx.engine()), port=0) for _ in range(2)
+        ]
+        endpoints = []
+        for server in servers:
+            host, port = server.start_background()
+            endpoints.append(f"{host}:{port}")
+        return servers, endpoints
+
+    def drive(kill_first: bool) -> Dict[str, float]:
+        servers, endpoints = spawn_cluster()
+        try:
+            if kill_first:
+                servers[0].stop_background()
+            engine = ctx.engine(
+                executor={"name": "remote", "endpoints": endpoints, "shards": 4},
+                jobs=4,
+            )
+            report = engine.protect_dataset(ctx.test, daily=True)
+        finally:
+            for server in servers:
+                server.stop_background()
+        csv = to_csv_string(report.published_dataset())
+        if csv != reference_csv:
+            label = "failover" if kill_first else "remote"
+            raise AssertionError(
+                f"the {label} run published a different dataset than serial"
+            )
+        requests = float(len(report.results))
+        return {
+            "requests": requests,
+            "wall_s": report.wall_time_s,
+            "requests_per_s": (
+                requests / report.wall_time_s
+                if report.wall_time_s > 0
+                else float("inf")
+            ),
+            "users_per_s": report.users_per_second,
+        }
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "remote"
+    snapshot["corpus"] = {
+        "dataset": ctx.name,
+        "users": float(len(ctx.test)),
+    }
+    snapshot["serial"] = {
+        "wall_s": serial_report.wall_time_s,
+        "users_per_s": serial_report.users_per_second,
+    }
+    snapshot["remote"] = drive(kill_first=False)
+    snapshot["failover"] = drive(kill_first=True)
+    snapshot["byte_identical"] = True
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def format_remote_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_remote` dict."""
+    corpus = snapshot["corpus"]
+    lines = [
+        f"bench mode         : {snapshot['mode']}",
+        f"corpus             : {corpus['dataset']} × {corpus['users']:.0f} users",
+        f"serial             : {snapshot['serial']['users_per_s']:.2f} users/s "
+        f"({snapshot['serial']['wall_s']:.2f}s)",
+    ]
+    for leg in ("remote", "failover"):
+        entry = snapshot[leg]
+        lines.append(
+            f"{leg:19s}: {entry['requests']:.0f} requests in "
+            f"{entry['wall_s']:.2f}s ({entry['requests_per_s']:.1f} req/s)"
+        )
+    lines.append(f"byte identical     : {snapshot['byte_identical']}")
+    return "\n".join(lines)
 
 
 def format_service_snapshot(snapshot: Dict[str, Any]) -> str:

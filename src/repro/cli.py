@@ -13,22 +13,28 @@ Commands
     Regenerate a paper table/figure as an ASCII table.
 ``mood campaign --dataset privamov``
     Run the crowdsensing deployment simulation.
-``mood serve [--host H --port P | --unix PATH]``
+``mood serve [--host H --port P | --unix PATH] [--workers N]``
     Run the protection service as a real middleware: fit an engine on
     the dataset's background split, then serve the versioned JSON-lines
-    protocol (see docs/SERVICE.md) over TCP or a unix socket.
+    protocol (see docs/SERVICE.md) over TCP or a unix socket.  Tagged
+    requests are handled concurrently; ``--workers`` bounds how many are
+    in flight at once (backpressure).
 ``mood request <protect|upload|query|stats> [--csv FILE] [--lat --lng]``
     One-shot client against a running ``serve`` instance; prints the
     response body as JSON.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
 ``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
-``mood bench service [--out BENCH.json] [--smoke]``
+``mood bench service [--out BENCH.json] [--smoke]`` /
+``mood bench remote [--out BENCH.json] [--smoke]``
     Perf gate: ``smoke`` runs the tier-1 test suite plus a sub-minute
     kernel bench (the CI job); ``micro`` runs the full micro suite at
     N ∈ {100, 1000} profiled users and writes a ``BENCH_*.json``
     trajectory snapshot; ``service`` measures requests/s through the
-    loopback and TCP transports plus executor-backend throughput.
+    loopback and TCP transports plus executor-backend throughput;
+    ``remote`` drives the remote executor against a loopback 2-server
+    cluster (byte-identity to serial asserted, with and without killing
+    an endpoint mid-run).
 """
 
 from __future__ import annotations
@@ -107,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--unix", default=None, metavar="PATH", help="serve on a unix socket instead"
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max concurrently-served requests (backpressure bound; "
+        "default 32)",
+    )
     _add_common(serve)
 
     req = sub.add_parser(
@@ -176,7 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller corpus and request counts (the <60 s CI job)",
     )
-    for p in (smoke, micro, service):
+    remote = bench_sub.add_parser(
+        "remote",
+        help="remote-executor throughput over a loopback 2-server cluster",
+    )
+    remote.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    remote.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller corpus (the <60 s CI job)",
+    )
+    for p in (smoke, micro, service, remote):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
@@ -298,8 +327,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     ctx, engine = _build_served_engine(args)
     service = ProtectionService(engine)
+    kwargs = {} if args.workers is None else {"max_inflight": args.workers}
     server = ServiceServer(
-        service, host=args.host, port=args.port, unix_path=args.unix
+        service, host=args.host, port=args.port, unix_path=args.unix, **kwargs
     )
 
     async def _serve() -> None:
@@ -384,13 +414,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.bench import (
+        format_remote_snapshot,
         format_service_snapshot,
         format_snapshot,
         run_micro,
+        run_remote,
         run_service,
         run_smoke,
     )
 
+    if args.bench_command == "remote":
+        snapshot = run_remote(seed=args.seed, smoke=args.smoke, out_path=args.out)
+        print(format_remote_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "service":
         snapshot = run_service(seed=args.seed, smoke=args.smoke, out_path=args.out)
         print(format_service_snapshot(snapshot))

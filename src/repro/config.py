@@ -77,7 +77,8 @@ class ProtectionConfig:
     search_strategy: Optional[Dict[str, Any]] = None
     #: Batch execution backend (registry kind ``executor``): a bare name
     #: (``"serial"``, ``"process"``, ``"async"``, ``"sharded"``) or a
-    #: spec dict with backend kwargs (``{"name": "sharded", "shards": 8}``).
+    #: spec dict with backend kwargs (``{"name": "sharded", "shards": 8}``,
+    #: ``{"name": "remote", "endpoints": ["host:7464"], "shards": 8}``).
     executor: Union[str, Dict[str, Any]] = "serial"
     #: Worker count for parallel executors (``None`` = all cores).
     jobs: Optional[int] = 1

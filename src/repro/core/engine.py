@@ -409,20 +409,40 @@ def _shard_of(key: str, shards: int) -> int:
     return int.from_bytes(digest, "big") % shards
 
 
+def _partition_items(
+    items: Sequence[Any], shards: int
+) -> Dict[int, List[Tuple[int, Any]]]:
+    """Bucket *items* by ``blake2b(user_id) mod shards``, keeping indices.
+
+    This is the **stable placement** map shared by the ``sharded`` and
+    ``remote`` executors: it depends only on item content and the
+    logical ``shards`` modulus — never on ``os.cpu_count()``, the worker
+    budget, or which hosts serve the shards — so the same user lands on
+    the same shard on every machine.  Only non-empty buckets appear.
+    """
+    buckets: Dict[int, List[Tuple[int, Any]]] = {}
+    for idx, item in enumerate(items):
+        key = getattr(item, "user_id", None) or f"item-{idx}"
+        buckets.setdefault(_shard_of(str(key), shards), []).append((idx, item))
+    return buckets
+
+
 @register_executor("sharded")
 class ShardedExecutor:
     """Partition items across per-shard process pools by user hash.
 
     Campaign-scale corpora are split into ``shards`` deterministic
-    partitions (blake2b of the item's ``user_id``); each partition runs
-    on its own :mod:`multiprocessing` pool (the per-host unit of a
-    scaled-out deployment) and the per-item results are merged back in
-    the original submission order.  The total worker count never exceeds
-    ``jobs`` (the shard count is capped to the worker budget, one
-    process per pool minimum).  Determinism: the shard assignment is
-    content-addressed, per-item work is independent, and the merge is
-    positional — so published datasets are byte-identical to the serial
-    backend regardless of shard count.
+    partitions (blake2b of the item's ``user_id``).  The logical shard
+    count is **placement**, not concurrency: it is never clamped by
+    ``os.cpu_count()`` or the worker budget, so the same user lands on
+    the same shard on every host (the guarantee remote dispatch builds
+    on).  Local concurrency adapts separately — the shard buckets are
+    grouped onto at most ``jobs`` :mod:`multiprocessing` pools, so the
+    total worker count never exceeds ``jobs`` — which is output-neutral:
+    the shard assignment is content-addressed, per-item work is
+    independent, and the merge is positional, so published datasets are
+    byte-identical to the serial backend regardless of shard count or
+    worker budget.
     """
 
     def __init__(self, jobs: Optional[int] = None, shards: int = 4) -> None:
@@ -444,37 +464,38 @@ class ShardedExecutor:
         items = list(items)
         if not items:
             return []
-        # Effective shard count honours the worker budget: every shard
-        # pool holds at least one process, so more shards than `jobs`
-        # would oversubscribe.  Capping is output-neutral — the merge is
-        # positional, so any shard count publishes identical bytes.
+        # Placement first: host-independent, worker-budget-independent.
+        buckets = _partition_items(items, self.shards)
         total_jobs = int(self.jobs or os.cpu_count() or 1)
-        shards = max(1, min(self.shards, len(items), total_jobs))
-        if shards == 1:
+        if total_jobs == 1 or len(items) == 1 or len(buckets) == 1:
+            # One worker (or one bucket) degenerates to serial execution;
+            # the logical placement above is unchanged, so this is
+            # output-neutral and spawns no pools.
             return SerialExecutor().map(engine, method, items, kwargs)
-        buckets: Dict[int, List[Tuple[int, Any]]] = {}
-        for idx, item in enumerate(items):
-            key = getattr(item, "user_id", None) or f"item-{idx}"
-            buckets.setdefault(_shard_of(str(key), shards), []).append((idx, item))
-        per_shard = max(1, total_jobs // len(buckets))
+        # Concurrency second: group logical shards onto at most
+        # ``total_jobs`` pools (ring order), one process per pool minimum.
+        n_pools = min(total_jobs, len(buckets))
+        groups: List[List[Tuple[int, Any]]] = [[] for _ in range(n_pools)]
+        for j, shard in enumerate(sorted(buckets)):
+            groups[j % n_pools].extend(buckets[shard])
+        per_pool = max(1, total_jobs // n_pools)
         results: List[Any] = [None] * len(items)
         pools: List[Any] = []
         pending: List[Tuple[List[Tuple[int, Any]], Any]] = []
         try:
-            for shard in sorted(buckets):
-                bucket = buckets[shard]
+            for group in groups:
                 pool = multiprocessing.Pool(
-                    min(per_shard, len(bucket)),
+                    min(per_pool, len(group)),
                     initializer=_pool_init,
                     initargs=(engine, method, kwargs),
                 )
                 pools.append(pool)
                 pending.append(
-                    (bucket, pool.map_async(_pool_run, [item for _, item in bucket]))
+                    (group, pool.map_async(_pool_run, [item for _, item in group]))
                 )
-            for bucket, handle in pending:
+            for group, handle in pending:
                 out = handle.get()
-                for (idx, _), (result, delta) in zip(bucket, out):
+                for (idx, _), (result, delta) in zip(group, out):
                     results[idx] = result
                     engine.evaluations += delta
         finally:
@@ -483,6 +504,227 @@ class ShardedExecutor:
             for pool in pools:
                 pool.join()
         return results
+
+
+@dataclass(frozen=True)
+class RemoteProtectedPiece:
+    """One published sub-trace reconstructed from the wire.
+
+    The raw original never leaves the serving host (the protocol's
+    privacy invariant), so unlike :class:`ProtectedPiece` there is no
+    ``original`` trace here — only its record count, which is all the
+    dataset-level readouts (data loss, record-weighted distortion) need.
+    """
+
+    pseudonym: str
+    original_user: str
+    #: The published, obfuscated sub-trace (``user_id == pseudonym``).
+    published: Trace
+    mechanism: str
+    distortion_m: float
+    #: Record count of the raw sub-trace this piece protects.
+    original_records: int
+
+
+@dataclass
+class RemoteMoodResult(MoodResult):
+    """A :class:`MoodResult` rebuilt from a wire ``ProtectResponse``.
+
+    Published pieces are exact (the codec round-trips floats); erased
+    raw sub-traces never crossed the wire, so erasure is represented by
+    its record count alone.  Every aggregate readout
+    (``data_loss``, ``fully_protected``, ``mean_distortion_m``,
+    ``published_dataset``) matches the local result bit-for-bit.
+    """
+
+    #: Wire-reported erased record count (the traces stayed remote).
+    remote_erased_records: int = 0
+
+    @property
+    def erased_records(self) -> int:
+        return self.remote_erased_records
+
+    @property
+    def published_records(self) -> int:
+        return sum(p.original_records for p in self.pieces)
+
+    def mean_distortion_m(self) -> float:
+        total = self.published_records
+        if total == 0:
+            return float("inf")
+        return (
+            sum(p.distortion_m * p.original_records for p in self.pieces) / total
+        )
+
+
+@register_executor("remote")
+class RemoteExecutor:
+    """Dispatch shards to remote ``repro serve`` instances over the wire.
+
+    The multi-host sibling of :class:`ShardedExecutor`: items are
+    partitioned with the same blake2b user-hash (stable placement — the
+    same user lands on the same logical shard on every machine), but
+    each shard is served by a *remote* protection service instead of a
+    local process pool.  Shard ``s`` goes to endpoint ``s % len(endpoints)``
+    as a batch of ``protect_request`` frames pipelined on one connection
+    (``jobs`` caps the per-endpoint in-flight requests); an endpoint
+    that fails mid-batch is retired and its requests fail over to the
+    survivors; the merge is positional.  Because every draw derives from
+    the trace content and the codec round-trips floats exactly, the
+    published dataset is byte-identical to the serial backend — provided
+    each endpoint serves an equivalently-configured, equivalently-fitted
+    engine and a **fresh service session** (pseudonym counters are
+    session-scoped), and no two items share a ``user_id``.
+
+    Declaratively::
+
+        {"name": "remote", "endpoints": ["10.0.0.1:7464", "10.0.0.2:7464"],
+         "shards": 8}
+
+    Endpoints accept ``"host:port"``, ``"unix:/path"``, or
+    ``{"host": ..., "port": ...}`` dicts.  Only ``protect`` and
+    ``protect_daily`` travel the wire (the protocol's ``ProtectRequest``
+    vocabulary); other batch methods must run on a local backend.  The
+    engine's ``evaluations`` counter is **not** reconciled — the
+    evaluations happen on the serving hosts, which own their counters.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Any],
+        shards: Optional[int] = None,
+        jobs: Optional[int] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if not endpoints:
+            raise ConfigurationError(
+                "the remote executor needs at least one endpoint"
+            )
+        self.endpoints = list(endpoints)
+        if shards is None:
+            shards = len(self.endpoints)
+        if int(shards) < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        if jobs is not None and int(jobs) < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout = float(timeout)
+
+    #: Per-endpoint in-flight default when ``jobs`` is unset.
+    DEFAULT_INFLIGHT = 4
+
+    def map(
+        self,
+        engine: "ProtectionEngine",
+        method: str,
+        items: Sequence[Any],
+        kwargs: Dict[str, Any],
+    ) -> List[Any]:
+        # Engine and service layers would import-cycle at module scope
+        # (service.api imports this module), so resolve lazily.
+        from repro.errors import ProtocolError, ServiceError
+        from repro.service.api import ErrorEnvelope, ProtectRequest, ProtectResponse
+        from repro.service.rpc import RemoteClusterClient
+
+        if method == "protect":
+            daily, chunk_s = False, DEFAULT_CHUNK_S
+        elif method == "protect_daily":
+            daily = True
+            chunk_s = float(kwargs.get("chunk_s", DEFAULT_CHUNK_S))
+        else:
+            raise ConfigurationError(
+                f"the remote executor only serves 'protect' and 'protect_daily' "
+                f"(the wire protocol's protect_request vocabulary); run "
+                f"{method!r} on a local backend instead"
+            )
+        items = list(items)
+        if not items:
+            return []
+        buckets = _partition_items(items, self.shards)
+        shard_of_index: Dict[int, int] = {}
+        for shard, bucket in buckets.items():
+            for idx, _ in bucket:
+                shard_of_index[idx] = shard
+        requests = [
+            (
+                shard_of_index[idx],
+                ProtectRequest(trace=item, daily=daily, chunk_s=chunk_s),
+            )
+            for idx, item in enumerate(items)
+        ]
+        inflight = int(self.jobs or self.DEFAULT_INFLIGHT)
+
+        async def dispatch() -> List[Any]:
+            cluster = RemoteClusterClient(
+                self.endpoints, timeout=self.timeout, max_inflight=inflight
+            )
+            try:
+                return await cluster.run(requests)
+            finally:
+                await cluster.close()
+
+        replies = _run_coroutine(dispatch())
+        results: List[Any] = []
+        for item, reply in zip(items, replies):
+            if isinstance(reply, ErrorEnvelope):
+                raise ServiceError(reply.code, reply.message)
+            if not isinstance(reply, ProtectResponse):
+                raise ProtocolError(
+                    f"expected protect_response, got {type(reply).__name__}"
+                )
+            results.append(self._to_result(reply))
+        return results
+
+    @staticmethod
+    def _to_result(reply: Any) -> RemoteMoodResult:
+        result = RemoteMoodResult(
+            user_id=reply.user_id,
+            original_records=reply.original_records,
+            remote_erased_records=reply.erased_records,
+        )
+        result.pieces = [
+            RemoteProtectedPiece(
+                pseudonym=p.pseudonym,
+                original_user=reply.user_id,
+                published=p.trace,
+                mechanism=p.mechanism,
+                distortion_m=p.distortion_m,
+                original_records=p.records_protected,
+            )
+            for p in reply.pieces
+        ]
+        return result
+
+
+def _run_coroutine(coro: Any) -> Any:
+    """Drive *coro* to completion from synchronous code.
+
+    Uses :func:`asyncio.run` directly; when already inside a running
+    event loop (a server handler protecting a dataset), the coroutine is
+    run on a private loop in a helper thread — blocking a live loop on a
+    nested one is forbidden.
+    """
+    import asyncio
+
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    box: Dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = asyncio.run(coro)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, name="mood-remote-dispatch")
+    thread.start()
+    thread.join()
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
 
 
 # ---------------------------------------------------------------------------

@@ -55,3 +55,13 @@ class ServiceError(ReproError, RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class TransportError(ServiceError):
+    """The connection to a service endpoint failed (refused, reset, timed
+    out, or desynchronised) — as opposed to the service *answering* with
+    an error envelope.  Transport failures are retriable on another
+    endpoint; envelope errors are deterministic and are not."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("transport", message)

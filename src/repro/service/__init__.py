@@ -42,7 +42,14 @@ from repro.service.proxy import (
     SessionPseudonyms,
     coerce_engine,
 )
-from repro.service.rpc import ServiceClient, ServiceServer
+from repro.service.rpc import (
+    AsyncServiceClient,
+    Endpoint,
+    RemoteClusterClient,
+    ServiceClient,
+    ServiceServer,
+    parse_endpoint,
+)
 from repro.service.server import CollectionServer, ServerStats
 
 __all__ = [
@@ -75,4 +82,8 @@ __all__ = [
     "LoopbackClient",
     "ServiceClient",
     "ServiceServer",
+    "AsyncServiceClient",
+    "RemoteClusterClient",
+    "Endpoint",
+    "parse_endpoint",
 ]

@@ -10,10 +10,14 @@ explicit, transport-agnostic protocol:
   :class:`QueryResponse`, :class:`StatsRequest`, :class:`StatsResponse`)
   plus the :class:`ErrorEnvelope` every fault travels in.
 * **Wire codec** — JSON lines.  One message is one JSON object on one
-  ``\\n``-terminated line: ``{"v": 1, "type": "<slug>", "body": {...}}``.
+  ``\\n``-terminated line: ``{"v": 1, "type": "<slug>", "body": {...}}``
+  with an optional ``"id"`` key (int or str) that tags a request so its
+  reply can be correlated out of order; replies echo the id verbatim.
   Floats round-trip exactly (shortest-repr encoding), so a trace that
   crosses the wire protects byte-identically to one that never left the
-  process.
+  process.  Non-finite floats are rejected at encode time
+  (``allow_nan=False``): ``NaN``/``Infinity`` tokens are not JSON and no
+  conforming peer could parse them.
 * **Facade** — :class:`ProtectionService` wraps a
   :class:`~repro.core.engine.ProtectionEngine` (via the
   :class:`~repro.service.proxy.MoodProxy`) and a
@@ -44,7 +48,13 @@ from repro.service.proxy import MoodProxy, PseudonymProvider
 from repro.service.server import CollectionServer
 
 #: Wire protocol version; bumped on any incompatible message change.
+#: (The optional request-id tag and the per-piece ``original_records``
+#: count are backward-compatible additions: peers that predate them
+#: ignore unknown frame/body keys.)
 WIRE_VERSION = 1
+
+#: A request/response correlation tag: JSON-representable scalar only.
+RequestId = Union[int, str]
 
 
 # ---------------------------------------------------------------------------
@@ -85,12 +95,27 @@ def trace_from_wire(data: Any) -> Trace:
 
 @dataclass(frozen=True)
 class PublishedPiece:
-    """Wire form of one published sub-trace (raw original never leaves)."""
+    """Wire form of one published sub-trace (raw original never leaves).
+
+    ``original_records`` is the record count of the raw sub-trace this
+    piece protects — a count, never coordinates — so a remote caller can
+    weight distortion and data-loss readouts exactly like a local one.
+    ``None`` means "same as the published trace" (every built-in LPPM is
+    record-preserving), which also keeps old peers' bodies decodable.
+    """
 
     pseudonym: str
     mechanism: str
     distortion_m: float
     trace: Trace
+    original_records: Optional[int] = None
+
+    @property
+    def records_protected(self) -> int:
+        """Record count of the raw sub-trace behind this piece."""
+        if self.original_records is not None:
+            return self.original_records
+        return len(self.trace)
 
     def to_body(self) -> Dict[str, Any]:
         return {
@@ -98,15 +123,19 @@ class PublishedPiece:
             "mechanism": self.mechanism,
             "distortion_m": self.distortion_m,
             "trace": trace_to_wire(self.trace),
+            "original_records": self.records_protected,
         }
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "PublishedPiece":
+        trace = trace_from_wire(body["trace"])
+        raw = body.get("original_records")
         return cls(
             pseudonym=str(body["pseudonym"]),
             mechanism=str(body["mechanism"]),
             distortion_m=float(body["distortion_m"]),
-            trace=trace_from_wire(body["trace"]),
+            trace=trace,
+            original_records=len(trace) if raw is None else int(raw),
         )
 
 
@@ -350,17 +379,48 @@ Message = Union[
 ]
 
 
-def encode_message(message: Message) -> bytes:
-    """One ``\\n``-terminated JSON line for *message*."""
+def encode_message(
+    message: Message, request_id: Optional[RequestId] = None
+) -> bytes:
+    """One ``\\n``-terminated JSON line for *message*.
+
+    With *request_id*, the frame carries an ``"id"`` key so the peer can
+    correlate the reply to this request even when replies come back out
+    of order (concurrent per-connection handling).  Non-finite floats
+    are a :class:`~repro.errors.ProtocolError`: ``json.dumps`` would
+    otherwise emit ``NaN``/``Infinity`` tokens, which are not JSON.
+    """
     slug = _SLUG_OF.get(type(message))
     if slug is None:
         raise ProtocolError(f"{type(message).__name__} is not a wire message")
-    frame = {"v": WIRE_VERSION, "type": slug, "body": message.to_body()}
-    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+    frame: Dict[str, Any] = {"v": WIRE_VERSION, "type": slug}
+    if request_id is not None:
+        if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+            raise ProtocolError(
+                f"request id must be an int or str, got {type(request_id).__name__}"
+            )
+        frame["id"] = request_id
+    frame["body"] = message.to_body()
+    try:
+        text = json.dumps(frame, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"{slug} contains a non-finite float (NaN/Infinity), which has "
+            f"no JSON encoding: {exc}"
+        ) from exc
+    return (text + "\n").encode("utf-8")
 
 
-def decode_message(line: Union[str, bytes]) -> Message:
-    """Parse one wire line back into its message dataclass."""
+def decode_frame(
+    line: Union[str, bytes]
+) -> Tuple[Optional[RequestId], Message]:
+    """Parse one wire line into ``(request_id, message)``.
+
+    ``request_id`` is ``None`` for untagged (legacy FIFO) frames.  On a
+    malformed frame the raised :class:`~repro.errors.ProtocolError`
+    carries a ``request_id`` attribute when the tag itself was readable,
+    so error envelopes can still be correlated.
+    """
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
@@ -372,26 +432,65 @@ def decode_message(line: Union[str, bytes]) -> Message:
         raise ProtocolError(f"invalid JSON on the wire: {exc}") from exc
     if not isinstance(frame, dict):
         raise ProtocolError(f"wire frame must be an object, got {type(frame).__name__}")
+    request_id = frame.get("id")
+    if request_id is not None and (
+        not isinstance(request_id, (int, str)) or isinstance(request_id, bool)
+    ):
+        # Silently downgrading to "untagged" would make the reply come
+        # back without an id and leave the sender's pending future
+        # hanging until timeout — reject loudly instead (mirroring the
+        # encode side).  The bogus tag is not echoed.
+        raise ProtocolError(
+            f"request id must be an int or str, got {type(request_id).__name__}"
+        )
+
+    def fail(message: str) -> "ProtocolError":
+        exc = ProtocolError(message)
+        exc.request_id = request_id
+        return exc
+
     version = frame.get("v")
     if version != WIRE_VERSION:
-        raise ProtocolError(
+        raise fail(
             f"unsupported protocol version {version!r} (this side speaks {WIRE_VERSION})"
         )
     slug = frame.get("type")
     cls = MESSAGE_TYPES.get(slug)
     if cls is None:
-        raise ProtocolError(
+        raise fail(
             f"unknown message type {slug!r}; known: {sorted(MESSAGE_TYPES)}"
         )
     body = frame.get("body")
     if not isinstance(body, dict):
-        raise ProtocolError(f"message body must be an object, got {type(body).__name__}")
+        raise fail(f"message body must be an object, got {type(body).__name__}")
     try:
-        return cls.from_body(body)
-    except ProtocolError:
+        return request_id, cls.from_body(body)
+    except ProtocolError as exc:
+        exc.request_id = request_id
         raise
     except (KeyError, TypeError, ValueError) as exc:
-        raise ProtocolError(f"malformed {slug} body: {exc}") from exc
+        raise fail(f"malformed {slug} body: {exc}") from exc
+
+
+def decode_message(line: Union[str, bytes]) -> Message:
+    """Parse one wire line back into its message dataclass."""
+    return decode_frame(line)[1]
+
+
+def encode_reply(message: Message, request_id: Optional[RequestId] = None) -> bytes:
+    """Encode a reply, downgrading encode failures to error envelopes.
+
+    A reply that cannot be serialised (e.g. a non-finite float produced
+    by the engine) must not kill the connection or leak a half-written
+    frame: the peer gets a well-formed ``error`` envelope instead.
+    """
+    try:
+        return encode_message(message, request_id=request_id)
+    except ProtocolError as exc:
+        return encode_message(
+            ErrorEnvelope(code="internal", message=f"reply not encodable: {exc}"),
+            request_id=request_id,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -516,6 +615,7 @@ class ProtectionService:
                         mechanism=p.mechanism,
                         distortion_m=p.distortion_m,
                         trace=p.published,
+                        original_records=len(p.original),
                     )
                     for p in result.pieces
                 )
@@ -566,13 +666,18 @@ class ProtectionService:
         """Decode one wire line, handle it, encode the reply.
 
         Never raises: protocol violations come back as ``error`` frames,
-        so a transport can pipe bytes blindly.
+        so a transport can pipe bytes blindly.  A tagged request's id is
+        echoed on the reply (including error envelopes, whenever the tag
+        itself was readable).
         """
         try:
-            message = decode_message(line)
+            request_id, message = decode_frame(line)
         except ProtocolError as exc:
-            return encode_message(ErrorEnvelope(code="protocol", message=str(exc)))
-        return encode_message(await self.handle(message))
+            return encode_reply(
+                ErrorEnvelope(code="protocol", message=str(exc)),
+                request_id=getattr(exc, "request_id", None),
+            )
+        return encode_reply(await self.handle(message), request_id=request_id)
 
 
 # ---------------------------------------------------------------------------

@@ -1,14 +1,33 @@
 """Socket transport for the protection service (TCP or unix domain).
 
-The server is a thin asyncio shell around
-:meth:`repro.service.api.ProtectionService.handle_wire`: one JSON line
-in, one JSON line out, connections multiplexed on the event loop while
-protection work runs on the pool.  The client SDK
-(:class:`ServiceClient`) is deliberately synchronous — mobile-client
-code and tests drive it like a function call — and shares every verb
-with the loopback client through
-:class:`~repro.service.api.ServiceClientBase`, so switching transports
-is a one-line change::
+The server is an asyncio shell around
+:class:`repro.service.api.ProtectionService`: JSON lines in, JSON lines
+out, connections multiplexed on the event loop while protection work
+runs on the pool.  Requests that carry an ``"id"`` tag are handled
+*concurrently* per connection — each reply echoes its request's id, so
+a pipelining client can correlate replies arriving out of order — under
+a server-wide in-flight semaphore that provides backpressure: when
+``max_inflight`` requests are being served, the server stops reading
+new lines and the kernel's TCP window pushes back on the clients.
+Untagged requests keep the v1 FIFO contract (handled inline, strictly
+in order), so old clients work unchanged.
+
+Three clients share the verb vocabulary:
+
+* :class:`ServiceClient` — synchronous, one request at a time; mobile
+  client code and tests drive it like a function call.  Every request
+  is tagged and the reply id is verified, so a desynchronised stream is
+  detected immediately instead of silently answering request *n* with
+  reply *n-1*; after a transport failure the client is **broken** (the
+  socket is closed, every later call raises
+  :class:`~repro.errors.TransportError`) until :meth:`reconnect`.
+* :class:`AsyncServiceClient` — asyncio, many requests in flight on one
+  connection, replies matched to futures by id.
+* :class:`RemoteClusterClient` — a pool of endpoints with shard-affine
+  dispatch and failover: a request whose endpoint dies is retried on a
+  surviving endpoint; the failed endpoint is retired for the run.
+
+::
 
     service = ProtectionService(engine)
     server = ServiceServer(service, host="127.0.0.1", port=0)
@@ -27,20 +46,26 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
-from typing import Any, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, TransportError
 from repro.service.api import (
     ErrorEnvelope,
     Message,
     ProtectionService,
+    RequestId,
     ServiceClientBase,
-    decode_message,
+    decode_frame,
     encode_message,
+    encode_reply,
 )
 
 #: Generous per-line cap: a month-long trace at 1 Hz is ~10 MB of JSON.
 MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Default bound on concurrently-served requests (`repro serve --workers`).
+DEFAULT_MAX_INFLIGHT = 32
 
 
 class ServiceServer:
@@ -48,7 +73,9 @@ class ServiceServer:
 
     Exactly one of ``(host, port)`` or ``unix_path`` addresses the
     server.  ``port=0`` binds an ephemeral port; the bound address is
-    available as :attr:`address` once started.
+    available as :attr:`address` once started.  ``max_inflight`` bounds
+    the number of tagged requests being served at once across all
+    connections — the backpressure knob (``repro serve --workers``).
     """
 
     def __init__(
@@ -57,16 +84,60 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         unix_path: Optional[str] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
+        if int(max_inflight) < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self.service = service
         self.host = host
         self.port = int(port)
         self.unix_path = unix_path
+        self.max_inflight = int(max_inflight)
         self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
         self._thread: Optional[threading.Thread] = None
         self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- connection handling ---------------------------------------------
+
+    async def _serve_tagged(
+        self,
+        request_id: RequestId,
+        message: Message,
+        write_lock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One concurrently-handled request; owns one semaphore slot.
+
+        The slot is held until the reply has been written (or the write
+        failed): releasing earlier would let a client that pipelines
+        without reading accumulate unbounded finished replies behind the
+        write lock, defeating the backpressure bound.
+        """
+        assert self._inflight is not None
+        try:
+            try:
+                payload = encode_reply(
+                    await self.service.handle(message), request_id=request_id
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # handle() promises never to raise; a service that breaks
+                # that contract (or a test that injects a fault) kills the
+                # connection rather than leaving the client waiting forever.
+                writer.close()
+                return
+            try:
+                async with write_lock:
+                    writer.write(payload)
+                    await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            self._inflight.release()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -74,32 +145,68 @@ class ServiceServer:
         # Cancellation (server shutdown) is absorbed so the connection
         # task always finishes cleanly: a task left in cancelled state
         # trips asyncio's stream done-callback on Python 3.11.
+        assert self._inflight is not None
+        write_lock = asyncio.Lock()
+        tasks: set = set()
         try:
             while True:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(
-                        encode_message(
-                            ErrorEnvelope(
-                                code="protocol",
-                                message=f"line exceeds {MAX_LINE_BYTES} bytes",
+                    async with write_lock:
+                        writer.write(
+                            encode_message(
+                                ErrorEnvelope(
+                                    code="protocol",
+                                    message=f"line exceeds {MAX_LINE_BYTES} bytes",
+                                )
                             )
                         )
-                    )
-                    await writer.drain()
+                        await writer.drain()
                     break
                 if not line:
                     break
                 if not line.strip():
                     continue
-                writer.write(await self.service.handle_wire(line))
-                await writer.drain()
+                try:
+                    request_id, message = decode_frame(line)
+                except ProtocolError as exc:
+                    async with write_lock:
+                        writer.write(
+                            encode_reply(
+                                ErrorEnvelope(code="protocol", message=str(exc)),
+                                request_id=getattr(exc, "request_id", None),
+                            )
+                        )
+                        await writer.drain()
+                    continue
+                if request_id is None:
+                    # Untagged = legacy FIFO: handled inline, replies in
+                    # request order, exactly the v1 behaviour.
+                    payload = encode_reply(await self.service.handle(message))
+                    async with write_lock:
+                        writer.write(payload)
+                        await writer.drain()
+                    continue
+                # Tagged: acquire an in-flight slot *before* reading the
+                # next line — a full server stops consuming input, and
+                # TCP flow control backpressures the client.
+                await self._inflight.acquire()
+                task = asyncio.ensure_future(
+                    self._serve_tagged(request_id, message, write_lock, writer)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except asyncio.CancelledError:
             pass
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
+            if tasks:
+                # Let in-flight replies finish (the client may be
+                # half-closed but still reading); shutdown cancellation
+                # arrives via the outer CancelledError path.
+                await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -112,6 +219,7 @@ class ServiceServer:
         """Bind and start accepting connections (idempotent)."""
         if self._server is not None:
             return
+        self._inflight = asyncio.Semaphore(self.max_inflight)
         if self.unix_path is not None:
             # A killed/crashed predecessor leaves its socket file behind
             # (asyncio does not unlink on close either), which would make
@@ -227,6 +335,76 @@ class ServiceServer:
         self.stop_background()
 
 
+# ---------------------------------------------------------------------------
+# Endpoint addressing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One ``repro serve`` address: TCP ``(host, port)`` or a unix path."""
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    unix_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        tcp = self.host is not None and self.port is not None
+        if tcp == (self.unix_path is not None):
+            raise ConfigurationError(
+                f"an endpoint needs either host+port or unix_path, got {self!r}"
+            )
+
+    def label(self) -> str:
+        if self.unix_path is not None:
+            return f"unix:{self.unix_path}"
+        return f"{self.host}:{self.port}"
+
+
+def parse_endpoint(spec: Any) -> Endpoint:
+    """An :class:`Endpoint` from any of the declarative spellings.
+
+    ``"host:port"``, ``"unix:/path"``, ``("host", port)``,
+    ``{"host": ..., "port": ...}``, ``{"unix": "/path"}``, or an
+    :class:`Endpoint` — all JSON-friendly, so a ``ProtectionConfig`` can
+    carry a cluster.
+    """
+    if isinstance(spec, Endpoint):
+        return spec
+    if isinstance(spec, str):
+        if spec.startswith("unix:"):
+            return Endpoint(unix_path=spec[len("unix:"):])
+        host, sep, port = spec.rpartition(":")
+        if not sep or not host:
+            raise ConfigurationError(
+                f"endpoint {spec!r} is not 'host:port' or 'unix:/path'"
+            )
+        try:
+            return Endpoint(host=host, port=int(port))
+        except ValueError:
+            raise ConfigurationError(
+                f"endpoint {spec!r} has a non-numeric port"
+            ) from None
+    if isinstance(spec, Mapping):
+        if "unix" in spec:
+            return Endpoint(unix_path=str(spec["unix"]))
+        if "unix_path" in spec:
+            return Endpoint(unix_path=str(spec["unix_path"]))
+        if "host" in spec and "port" in spec:
+            return Endpoint(host=str(spec["host"]), port=int(spec["port"]))
+        raise ConfigurationError(
+            f"endpoint dict needs host+port or unix, got {dict(spec)!r}"
+        )
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return Endpoint(host=str(spec[0]), port=int(spec[1]))
+    raise ConfigurationError(f"cannot parse endpoint {spec!r}")
+
+
+# ---------------------------------------------------------------------------
+# Synchronous client SDK
+# ---------------------------------------------------------------------------
+
+
 class ServiceClient(ServiceClientBase):
     """Synchronous socket client for a running :class:`ServiceServer`.
 
@@ -234,6 +412,14 @@ class ServiceClient(ServiceClientBase):
     (``unix_path``); usable as a context manager.  All verb methods
     (``protect`` / ``upload`` / ``query_count`` / ``top_cells`` /
     ``stats``) come from :class:`~repro.service.api.ServiceClientBase`.
+
+    Every request is tagged with a connection-unique id and the reply's
+    id is verified.  A transport failure (timeout, reset, truncated or
+    mismatched reply) leaves the stream mid-frame, so the client closes
+    the socket and marks itself **broken**: every later call raises
+    :class:`~repro.errors.TransportError` until :meth:`reconnect` — the
+    one thing it must never do is read the stale tail of the aborted
+    exchange as the answer to a fresh request.
     """
 
     def __init__(
@@ -243,42 +429,365 @@ class ServiceClient(ServiceClientBase):
         unix_path: Optional[str] = None,
         timeout: float = 60.0,
     ) -> None:
-        if unix_path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
-            sock.connect(unix_path)
-        elif host is not None and port is not None:
-            sock = socket.create_connection((host, int(port)), timeout=timeout)
-        else:
+        if unix_path is None and (host is None or port is None):
             raise ConfigurationError(
                 "ServiceClient needs either host+port or unix_path"
             )
+        self._host = host
+        self._port = None if port is None else int(port)
+        self._unix_path = unix_path
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._broken: Optional[str] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        if self._unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._unix_path)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
         self._sock = sock
         self._file = sock.makefile("rwb")
+        self._broken = None
+
+    def _mark_broken(self, why: str) -> None:
+        self._broken = why
+        self._close_quietly()
+
+    def _close_quietly(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+            try:
+                if self._sock is not None:
+                    self._sock.close()
+            except OSError:
+                pass
+            finally:
+                self._sock = None
+
+    def reconnect(self) -> "ServiceClient":
+        """Drop the (possibly broken) connection and dial a fresh one."""
+        with self._lock:
+            self._close_quietly()
+            self._connect()
+        return self
 
     def request(self, message: Message) -> Message:
-        self._file.write(encode_message(message))
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES)
-        if not line:
-            raise ProtocolError("server closed the connection mid-request")
-        if not line.endswith(b"\n"):
-            # A reply longer than the cap would leave its tail unread and
-            # desynchronize every later request — fail loudly instead.
-            raise ProtocolError(
-                f"reply exceeds {MAX_LINE_BYTES} bytes (truncated); "
-                "close this connection"
-            )
-        return decode_message(line)
+        with self._lock:
+            if self._broken is not None:
+                raise TransportError(
+                    f"connection is broken ({self._broken}); call reconnect()"
+                )
+            assert self._file is not None
+            request_id = self._next_id
+            self._next_id += 1
+            try:
+                self._file.write(encode_message(message, request_id=request_id))
+                self._file.flush()
+                line = self._file.readline(MAX_LINE_BYTES)
+            except (socket.timeout, TimeoutError) as exc:
+                # The reply (or its tail) is still in flight: this
+                # stream can never be trusted again.
+                self._mark_broken("request timed out mid-frame")
+                raise TransportError(
+                    f"request timed out after {self._timeout}s; the stream is "
+                    "desynchronised — reconnect() to continue"
+                ) from exc
+            except OSError as exc:
+                self._mark_broken(f"socket error: {exc}")
+                raise TransportError(f"socket error mid-request: {exc}") from exc
+            if not line:
+                self._mark_broken("server closed the connection mid-request")
+                raise TransportError("server closed the connection mid-request")
+            if not line.endswith(b"\n"):
+                # A reply longer than the cap would leave its tail unread
+                # and desynchronize every later request — fail loudly.
+                self._mark_broken("oversized reply truncated mid-frame")
+                raise ProtocolError(
+                    f"reply exceeds {MAX_LINE_BYTES} bytes (truncated); "
+                    "the connection is broken — reconnect() to continue"
+                )
+            reply_id, reply = decode_frame(line)
+            # An untagged reply is a v1 server that ignored the (unknown
+            # to it) id key; with exactly one request outstanding the
+            # FIFO contract still pairs it correctly.  Only a *wrong*
+            # tag proves the stream is desynchronised.
+            if reply_id is not None and reply_id != request_id:
+                self._mark_broken(
+                    f"reply id {reply_id!r} does not match request id "
+                    f"{request_id!r} (stream desynchronised)"
+                )
+                raise ProtocolError(
+                    f"reply id {reply_id!r} does not match request id "
+                    f"{request_id!r}; the connection is broken — "
+                    "reconnect() to continue"
+                )
+            return reply
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        with self._lock:
+            self._close_quietly()
+            self._broken = "client closed"
 
     def __enter__(self) -> "ServiceClient":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous client + multi-endpoint cluster
+# ---------------------------------------------------------------------------
+
+
+class AsyncServiceClient:
+    """Asyncio client: many requests in flight on one connection.
+
+    Each request is tagged with a connection-unique id; a background
+    reader task matches reply lines to pending futures by id, so replies
+    may arrive in any order.  Any transport fault (EOF, reset, oversized
+    line, timeout) fails *every* pending request with
+    :class:`~repro.errors.TransportError` and poisons the client — the
+    cluster layer treats that as "this endpoint is gone".
+    """
+
+    def __init__(self, endpoint: Endpoint, timeout: float = 120.0) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[RequestId, asyncio.Future] = {}
+        self._next_id = 0
+        self._broken: Optional[str] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        if self.endpoint.unix_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.endpoint.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.endpoint.host, self.endpoint.port, limit=MAX_LINE_BYTES
+            )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise TransportError(
+                        f"{self.endpoint.label()} closed the connection"
+                    )
+                if not line.endswith(b"\n"):
+                    raise TransportError(
+                        f"reply from {self.endpoint.label()} exceeds "
+                        f"{MAX_LINE_BYTES} bytes (truncated)"
+                    )
+                try:
+                    reply_id, message = decode_frame(line)
+                except ProtocolError as exc:
+                    reply_id = getattr(exc, "request_id", None)
+                    future = self._pending.pop(reply_id, None)
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+                    continue
+                if reply_id is None:
+                    # A pre-request-id server ignored the "id" key.  This
+                    # client always pipelines, so positional pairing is
+                    # unsafe — fail every pending request *now* rather
+                    # than letting each stall its full timeout.
+                    raise TransportError(
+                        f"{self.endpoint.label()} does not echo request ids "
+                        "(pre-request-id server?); use the synchronous "
+                        "ServiceClient for v1 endpoints"
+                    )
+                future = self._pending.pop(reply_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except TransportError as exc:
+            self._poison(str(exc), exc)
+        except Exception as exc:  # noqa: BLE001 - any fault poisons the link
+            self._poison(f"read loop failed: {exc}", exc)
+
+    def _poison(self, why: str, cause: Optional[Exception] = None) -> None:
+        if self._broken is None:
+            self._broken = why
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                exc = cause if isinstance(cause, TransportError) else TransportError(why)
+                future.set_exception(exc)
+        if self._writer is not None:
+            self._writer.close()
+
+    async def request(self, message: Message) -> Message:
+        """Send *message*; resolves to the reply (possibly an envelope)."""
+        if self._broken is not None:
+            raise TransportError(
+                f"connection to {self.endpoint.label()} is broken: {self._broken}"
+            )
+        assert self._writer is not None
+        request_id = self._next_id
+        self._next_id += 1
+        # Encode before registering the future: an unencodable message
+        # (e.g. a NaN coordinate, ProtocolError) must propagate to the
+        # caller without leaking a never-resolved pending entry.
+        payload = encode_message(message, request_id=request_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(payload)
+            await self._writer.drain()
+        except (OSError, ConnectionError) as exc:
+            self._pending.pop(request_id, None)
+            self._poison(f"write failed: {exc}", None)
+            raise TransportError(
+                f"write to {self.endpoint.label()} failed: {exc}"
+            ) from exc
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError as exc:
+            # The reply may still land on the shared stream later; the
+            # whole connection is no longer trustworthy.
+            self._poison(f"request timed out after {self.timeout}s", None)
+            raise TransportError(
+                f"request to {self.endpoint.label()} timed out after "
+                f"{self.timeout}s"
+            ) from exc
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        self._poison("client closed")
+
+
+class RemoteClusterClient:
+    """Shard-affine dispatch over a pool of service endpoints.
+
+    ``run()`` takes ``(shard, request)`` pairs and returns the replies
+    positionally.  Shard *s* is served by endpoint ``s % n`` — the same
+    content-addressed placement every run, every host — and up to
+    ``max_inflight`` requests ride each connection concurrently.  When
+    an endpoint fails (refused, reset, timed out, mid-frame EOF) it is
+    retired for the rest of the run and the affected requests fail over
+    to the surviving endpoints in deterministic order; only when every
+    endpoint is gone does the failure propagate.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Any],
+        timeout: float = 120.0,
+        max_inflight: int = 4,
+    ) -> None:
+        self.endpoints = [parse_endpoint(e) for e in endpoints]
+        if not self.endpoints:
+            raise ConfigurationError("RemoteClusterClient needs >= 1 endpoint")
+        if int(max_inflight) < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.timeout = float(timeout)
+        self.max_inflight = int(max_inflight)
+        n = len(self.endpoints)
+        self._clients: List[Optional[AsyncServiceClient]] = [None] * n
+        self._alive = [True] * n
+        self._conn_locks: Optional[List[asyncio.Lock]] = None
+        self._slots: Optional[List[asyncio.Semaphore]] = None
+
+    def _lazy_sync(self) -> None:
+        # asyncio primitives must be created inside the running loop's
+        # context; run() is the first point we are guaranteed to have one.
+        if self._conn_locks is None:
+            n = len(self.endpoints)
+            self._conn_locks = [asyncio.Lock() for _ in range(n)]
+            self._slots = [
+                asyncio.Semaphore(self.max_inflight) for _ in range(n)
+            ]
+
+    async def _client(self, index: int) -> AsyncServiceClient:
+        assert self._conn_locks is not None
+        async with self._conn_locks[index]:
+            client = self._clients[index]
+            if client is None or client._broken is not None:
+                if client is not None:
+                    raise TransportError(
+                        f"endpoint {self.endpoints[index].label()} is retired: "
+                        f"{client._broken}"
+                    )
+                client = AsyncServiceClient(
+                    self.endpoints[index], timeout=self.timeout
+                )
+                await client.connect()
+                self._clients[index] = client
+            return client
+
+    def _retire(self, index: int) -> None:
+        self._alive[index] = False
+
+    async def _request_with_failover(
+        self, shard: int, message: Message
+    ) -> Message:
+        n = len(self.endpoints)
+        last: Optional[Exception] = None
+        # Deterministic endpoint order for this shard: primary first,
+        # then the others in ring order; dead endpoints are skipped.
+        for offset in range(n):
+            index = (shard + offset) % n
+            if not self._alive[index]:
+                continue
+            assert self._slots is not None
+            try:
+                client = await self._client(index)
+                async with self._slots[index]:
+                    return await client.request(message)
+            except (TransportError, ConnectionError, OSError) as exc:
+                self._retire(index)
+                last = exc
+        raise TransportError(
+            f"all {n} endpoints failed; last error: {last}"
+        )
+
+    async def run(
+        self, requests: Sequence[Tuple[int, Message]]
+    ) -> List[Message]:
+        """Dispatch every ``(shard, request)``; replies positionally."""
+        self._lazy_sync()
+        return list(
+            await asyncio.gather(
+                *(
+                    self._request_with_failover(shard, message)
+                    for shard, message in requests
+                )
+            )
+        )
+
+    async def close(self) -> None:
+        for client in self._clients:
+            if client is not None:
+                await client.close()
+        self._clients = [None] * len(self.endpoints)

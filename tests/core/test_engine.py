@@ -175,6 +175,63 @@ class TestExecutorDeterminism:
         assert all(0 <= s < 4 for s in first)
         assert len(set(first)) > 1  # users actually spread across shards
 
+    def test_partition_ignores_worker_budget_and_host(self):
+        """Satellite regression: the logical partition is a pure function
+        of item content and the shard modulus — never of cpu_count."""
+        from repro.core.engine import _partition_items, _shard_of
+
+        traces = [_trace(f"user{i}") for i in range(20)]
+        buckets = _partition_items(traces, 8)
+        assert buckets == _partition_items(traces, 8)
+        for shard, bucket in buckets.items():
+            for idx, item in bucket:
+                assert _shard_of(item.user_id, 8) == shard
+                assert traces[idx] is item
+        assert sum(len(b) for b in buckets.values()) == len(traces)
+
+    def test_sharded_placement_does_not_depend_on_jobs(self, monkeypatch):
+        """Satellite regression: `shards` used to be clamped by the worker
+        budget (`os.cpu_count()` when jobs is unset), so the shard a user
+        landed on silently varied across hosts.  Now `shards` is pure
+        placement: every mod-`shards` bucket stays intact on one pool,
+        whatever the budget."""
+        import multiprocessing
+
+        from repro.core.engine import ShardedExecutor, _shard_of
+
+        captured = []
+        original_pool = multiprocessing.Pool
+
+        def tracking_pool(processes, *args, **kwargs):
+            pool = original_pool(processes, *args, **kwargs)
+            original_map_async = pool.map_async
+
+            def capturing_map_async(fn, items, *a, **kw):
+                captured.append(list(items))
+                return original_map_async(fn, items, *a, **kw)
+
+            pool.map_async = capturing_map_async
+            return pool
+
+        monkeypatch.setattr(multiprocessing, "Pool", tracking_pool)
+        engine = ProtectionEngine([_Shift("strong", 0.3)], [_ThresholdAttack(0.2)])
+        ds = MobilityDataset("toy")
+        for i in range(12):
+            ds.add(_trace(f"u{i}"))
+        # jobs=3 does not divide shards=8: under the old clamp the
+        # partition modulus silently became 3 and mod-8 buckets split.
+        ShardedExecutor(jobs=3, shards=8).map(engine, "protect", ds.traces(), {})
+        assert len(captured) == 3
+        pool_of_shard = {}
+        for pool_index, items in enumerate(captured):
+            for item in items:
+                shard = _shard_of(item.user_id, 8)
+                # Every mod-8 bucket lives wholly on one pool.
+                assert pool_of_shard.setdefault(shard, pool_index) == pool_index
+        # The corpus actually spans more shards than pools, so the test
+        # would catch a modulus clamped to the pool count.
+        assert len(pool_of_shard) > 3
+
     def test_invalid_executor_params_rejected(self):
         from repro.core.engine import AsyncExecutor, ShardedExecutor
 

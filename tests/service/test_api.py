@@ -22,8 +22,10 @@ from repro.service.api import (
     StatsResponse,
     UploadRequest,
     UploadResponse,
+    decode_frame,
     decode_message,
     encode_message,
+    encode_reply,
     trace_from_wire,
     trace_to_wire,
 )
@@ -173,6 +175,106 @@ class TestCodec:
     def test_malformed_body_rejected(self):
         with pytest.raises(ProtocolError, match="malformed"):
             decode_message(b'{"v":1,"type":"upload_response","body":{"user_id":"u"}}')
+
+    def test_non_finite_floats_rejected_not_emitted(self):
+        """Regression: json.dumps used to emit NaN/Infinity tokens that no
+        conforming JSON peer can parse; now the codec fails loudly."""
+        nan_trace = Trace("u", [0.0, 1.0], [float("nan"), 45.0], [4.0, 4.0])
+        inf_trace = Trace("u", [0.0, 1.0], [45.0, 45.0], [float("inf"), 4.0])
+        for trace in (nan_trace, inf_trace):
+            with pytest.raises(ProtocolError, match="non-finite"):
+                encode_message(ProtectRequest(trace=trace))
+        with pytest.raises(ProtocolError, match="non-finite"):
+            encode_message(QueryRequest(kind="count", lat=float("nan"), lng=4.0))
+        # Sane frames still contain no NaN/Infinity tokens at all.
+        line = encode_message(ProtectRequest(trace=day_trace()))
+        assert b"NaN" not in line and b"Infinity" not in line
+
+    def test_unencodable_reply_becomes_error_envelope(self):
+        """A reply the engine poisoned with NaN must not kill the stream."""
+        line = encode_reply(
+            QueryRequest(kind="count", lat=float("nan"), lng=4.0), request_id=7
+        )
+        reply_id, message = decode_frame(line)
+        assert reply_id == 7
+        assert isinstance(message, ErrorEnvelope)
+        assert message.code == "internal"
+
+    def test_piece_original_records_rides_the_wire(self):
+        piece = PublishedPiece(
+            pseudonym="u#0",
+            mechanism="noop",
+            distortion_m=1.0,
+            trace=day_trace("u#0"),
+            original_records=17,
+        )
+        back = PublishedPiece.from_body(piece.to_body())
+        assert back.records_protected == 17
+        # Unset counts default to the published trace's length — the old
+        # wire form (no key) must stay decodable.
+        body = PublishedPiece(
+            pseudonym="u#0", mechanism="noop", distortion_m=1.0, trace=day_trace()
+        ).to_body()
+        del body["original_records"]
+        assert PublishedPiece.from_body(body).records_protected == len(day_trace())
+
+
+class TestRequestIds:
+    def test_tagged_frame_round_trips(self):
+        for request_id in (0, 17, "req-42"):
+            line = encode_message(StatsRequest(), request_id=request_id)
+            decoded_id, message = decode_frame(line)
+            assert decoded_id == request_id
+            assert isinstance(message, StatsRequest)
+
+    def test_untagged_frame_has_no_id(self):
+        line = encode_message(StatsRequest())
+        assert b'"id"' not in line
+        assert decode_frame(line)[0] is None
+
+    def test_invalid_request_id_rejected(self):
+        with pytest.raises(ProtocolError, match="request id"):
+            encode_message(StatsRequest(), request_id=1.5)
+        with pytest.raises(ProtocolError, match="request id"):
+            encode_message(StatsRequest(), request_id=True)
+
+    def test_invalid_incoming_id_rejected_not_downgraded(self):
+        """A float/bool id must fail loudly: silently treating the frame
+        as untagged would reply without an id and leave the sender's
+        pending future hanging until timeout."""
+        import asyncio
+
+        bad = b'{"v":1,"id":7.5,"type":"stats_request","body":{}}\n'
+        with pytest.raises(ProtocolError, match="request id"):
+            decode_frame(bad)
+        service = ProtectionService(stub_engine())
+        reply_id, message = decode_frame(asyncio.run(service.handle_wire(bad)))
+        assert reply_id is None  # the bogus tag is not echoed
+        assert isinstance(message, ErrorEnvelope)
+        assert message.code == "protocol"
+
+    def test_handle_wire_echoes_the_id(self):
+        import asyncio
+
+        service = ProtectionService(stub_engine())
+        line = encode_message(StatsRequest(), request_id=11)
+        reply = asyncio.run(service.handle_wire(line))
+        reply_id, message = decode_frame(reply)
+        assert reply_id == 11
+        assert isinstance(message, StatsResponse)
+
+    def test_protocol_error_reply_keeps_the_id(self):
+        """A malformed tagged frame still answers with the tag, so the
+        pipelining client can fail the right pending request."""
+        import asyncio
+
+        service = ProtectionService(stub_engine())
+        bad = b'{"v":1,"id":23,"type":"upload_response","body":{"user_id":"u"}}\n'
+        reply = asyncio.run(service.handle_wire(bad))
+        reply_id, message = decode_frame(reply)
+        assert reply_id == 23
+        assert isinstance(message, ErrorEnvelope)
+        assert message.code == "protocol"
 
 
 class TestSessionPseudonyms:

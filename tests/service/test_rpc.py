@@ -11,16 +11,25 @@ import pytest
 
 from repro.core.engine import ProtectionEngine
 from repro.core.trace import Trace
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError, TransportError
 from repro.lppm.base import LPPM
 from repro.service.api import (
     ErrorEnvelope,
     LoopbackClient,
     ProtectionService,
+    QueryRequest,
+    QueryResponse,
     StatsRequest,
+    StatsResponse,
+    decode_frame,
     encode_message,
 )
-from repro.service.rpc import ServiceClient, ServiceServer
+from repro.service.rpc import (
+    Endpoint,
+    ServiceClient,
+    ServiceServer,
+    parse_endpoint,
+)
 
 DAY = 86_400.0
 
@@ -129,6 +138,294 @@ class TestTcpTransport:
     def test_client_requires_an_address(self):
         with pytest.raises(ConfigurationError):
             ServiceClient()
+
+
+class _SlowStats(ProtectionService):
+    """Service whose stats verb dawdles (off the state lock)."""
+
+    def __init__(self, engine, delay_s=0.5):
+        super().__init__(engine)
+        self._delay_s = delay_s
+
+    async def stats(self, request=None):
+        import asyncio
+
+        await asyncio.sleep(self._delay_s)
+        return await super().stats(request)
+
+
+class TestClientDesyncRecovery:
+    """Satellite regression: a timed-out/truncated exchange must never let
+    the next request read the stale tail of the previous reply."""
+
+    def test_timeout_breaks_client_until_reconnect(self):
+        with ServiceServer(_SlowStats(stub_engine(), delay_s=2.0), port=0) as server:
+            host, port = server.address
+            client = ServiceClient(host=host, port=port, timeout=0.2)
+            try:
+                with pytest.raises(TransportError, match="desynchronised"):
+                    client.stats()
+                # Reuse without reconnect: refused, not silently desynced.
+                with pytest.raises(TransportError, match="reconnect"):
+                    client.stats()
+                with pytest.raises(TransportError, match="reconnect"):
+                    client.query_count(45.0, 4.0)
+            finally:
+                client.close()
+
+    def test_reconnect_restores_service(self):
+        with ServiceServer(_SlowStats(stub_engine(), delay_s=0.6), port=0) as server:
+            host, port = server.address
+            client = ServiceClient(host=host, port=port, timeout=0.2)
+            try:
+                with pytest.raises(TransportError):
+                    client.stats()
+                client._timeout = 30.0  # only the first verb is slow
+                client.reconnect()
+                # The fresh stream answers the fresh request — not the
+                # stale reply of the timed-out one.
+                assert client.query_count(45.0, 4.0) == 0
+            finally:
+                client.close()
+
+    def test_untagged_reply_from_v1_server_is_accepted(self):
+        """A pre-request-id server ignores the unknown 'id' key and
+        replies untagged; with one request outstanding the FIFO pairing
+        is still correct and the client must not declare desync."""
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def v1_server():
+            conn, _ = listener.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                fh.write(encode_message(StatsResponse()))  # no id
+                fh.flush()
+                fh.readline()
+
+        thread = threading.Thread(target=v1_server, daemon=True)
+        thread.start()
+        client = ServiceClient(host=host, port=port, timeout=5.0)
+        try:
+            assert isinstance(client.request(StatsRequest()), StatsResponse)
+        finally:
+            client.close()
+            listener.close()
+
+    def test_mismatched_reply_id_breaks_client(self):
+        """A desynchronised stream (wrong id) is detected immediately."""
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def evil_server():
+            conn, _ = listener.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                # Reply tagged with an id the client never sent.
+                fh.write(encode_message(StatsResponse(), request_id=999))
+                fh.flush()
+                fh.readline()  # wait for the client to give up
+
+        thread = threading.Thread(target=evil_server, daemon=True)
+        thread.start()
+        client = ServiceClient(host=host, port=port, timeout=5.0)
+        try:
+            with pytest.raises(ProtocolError, match="does not match"):
+                client.stats()
+            with pytest.raises(TransportError, match="reconnect"):
+                client.stats()
+        finally:
+            client.close()
+            listener.close()
+
+
+class TestConcurrentRequests:
+    """Tentpole hardening: tagged requests are served concurrently and
+    replies are correlated by id, not by arrival order."""
+
+    def test_out_of_order_replies_keep_their_ids(self):
+        service = _SlowStats(stub_engine(), delay_s=0.5)
+        with ServiceServer(service, port=0) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                # Pipeline: slow stats first, fast query second.
+                fh.write(encode_message(StatsRequest(), request_id=0))
+                fh.write(
+                    encode_message(
+                        QueryRequest(kind="top_cells", k=1), request_id=1
+                    )
+                )
+                fh.flush()
+                first_id, first = decode_frame(fh.readline())
+                second_id, second = decode_frame(fh.readline())
+        # The fast request overtakes the slow one...
+        assert (first_id, second_id) == (1, 0)
+        # ...and each reply still carries the right payload for its id.
+        assert isinstance(first, QueryResponse)
+        assert isinstance(second, StatsResponse)
+
+    def test_pipelined_uploads_pair_request_to_response(self):
+        """Many tagged uploads on one connection: every receipt must match
+        the day_index/user of the request that carries its id."""
+        from repro.service.api import UploadRequest, UploadResponse
+
+        with ServiceServer(ProtectionService(stub_engine()), port=0) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                for i in range(6):
+                    fh.write(
+                        encode_message(
+                            UploadRequest(trace=day_trace(f"user{i}")),
+                            request_id=i,
+                        )
+                    )
+                fh.flush()
+                replies = {}
+                for _ in range(6):
+                    reply_id, message = decode_frame(fh.readline())
+                    replies[reply_id] = message
+        assert set(replies) == set(range(6))
+        for i, message in replies.items():
+            assert isinstance(message, UploadResponse)
+            assert message.user_id == f"user{i}"
+
+    def test_untagged_requests_stay_fifo(self):
+        """Legacy v1 clients (no ids) still get strictly-ordered replies."""
+        with ServiceServer(_SlowStats(stub_engine(), delay_s=0.3), port=0) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(encode_message(StatsRequest()))
+                fh.write(encode_message(QueryRequest(kind="top_cells", k=1)))
+                fh.flush()
+                first = decode_frame(fh.readline())
+                second = decode_frame(fh.readline())
+        assert first[0] is None and second[0] is None
+        assert isinstance(first[1], StatsResponse)
+        assert isinstance(second[1], QueryResponse)
+
+    def test_inflight_bound_still_serves_everything(self):
+        """max_inflight=1 serialises the work but loses no request."""
+        with ServiceServer(
+            ProtectionService(stub_engine()), port=0, max_inflight=1
+        ) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                for i in range(5):
+                    fh.write(encode_message(StatsRequest(), request_id=i))
+                fh.flush()
+                seen = {decode_frame(fh.readline())[0] for _ in range(5)}
+        assert seen == set(range(5))
+
+    def test_invalid_max_inflight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceServer(ProtectionService(stub_engine()), max_inflight=0)
+
+
+class TestAsyncClient:
+    def test_unencodable_request_leaves_no_pending_future(self):
+        """Regression: an encode-time ProtocolError (NaN coordinate) must
+        propagate without leaking a never-resolved pending entry."""
+        import asyncio
+
+        from repro.service.rpc import AsyncServiceClient, parse_endpoint
+
+        with ServiceServer(ProtectionService(stub_engine()), port=0) as server:
+            host, port = server.address
+
+            async def scenario():
+                client = AsyncServiceClient(parse_endpoint(f"{host}:{port}"))
+                await client.connect()
+                try:
+                    with pytest.raises(ProtocolError, match="non-finite"):
+                        await client.request(
+                            QueryRequest(kind="count", lat=float("nan"), lng=4.0)
+                        )
+                    assert client._pending == {}
+                    # The connection is still healthy and usable.
+                    reply = await client.request(StatsRequest())
+                    assert isinstance(reply, StatsResponse)
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_untagged_reply_fails_fast_not_by_timeout(self):
+        """A v1 server that ignores the id key must poison the pipelining
+        client immediately — not stall every request to its timeout."""
+        import asyncio
+        import threading
+
+        from repro.service.rpc import AsyncServiceClient, parse_endpoint
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def v1_server():
+            conn, _ = listener.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                fh.write(encode_message(StatsResponse()))  # no id
+                fh.flush()
+                fh.readline()
+
+        thread = threading.Thread(target=v1_server, daemon=True)
+        thread.start()
+
+        async def scenario():
+            client = AsyncServiceClient(
+                parse_endpoint(f"{host}:{port}"), timeout=60.0
+            )
+            await client.connect()
+            try:
+                with pytest.raises(TransportError, match="request ids"):
+                    await client.request(StatsRequest())
+            finally:
+                await client.close()
+
+        start = time.monotonic()
+        asyncio.run(scenario())
+        listener.close()
+        assert time.monotonic() - start < 10.0  # nowhere near the timeout
+
+
+class TestEndpointParsing:
+    def test_spellings(self):
+        assert parse_endpoint("10.0.0.1:7464") == Endpoint(host="10.0.0.1", port=7464)
+        assert parse_endpoint("unix:/tmp/mood.sock") == Endpoint(
+            unix_path="/tmp/mood.sock"
+        )
+        assert parse_endpoint({"host": "h", "port": 1}) == Endpoint(host="h", port=1)
+        assert parse_endpoint({"unix": "/s"}) == Endpoint(unix_path="/s")
+        assert parse_endpoint(("h", 2)) == Endpoint(host="h", port=2)
+        assert parse_endpoint(Endpoint(host="h", port=3)).label() == "h:3"
+
+    def test_rejects_garbage(self):
+        for bad in ("just-a-host", "h:not-a-port", {"port": 1}, 42, ("h",)):
+            with pytest.raises(ConfigurationError):
+                parse_endpoint(bad)
+
+    def test_endpoint_needs_exactly_one_address(self):
+        with pytest.raises(ConfigurationError):
+            Endpoint()
+        with pytest.raises(ConfigurationError):
+            Endpoint(host="h", port=1, unix_path="/s")
 
 
 class TestUnixTransport:

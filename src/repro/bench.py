@@ -26,8 +26,10 @@ Two entry points:
   spawned ``ServiceServer`` instances, with the published dataset
   asserted byte-identical to the serial backend — once with both
   endpoints alive, once with one endpoint killed (failover onto the
-  survivor).  ``smoke=True`` is the <60 s CI variant; the full run
-  emits ``BENCH_4.json``.
+  survivor), and once on the chaos leg: a flapping endpoint that is
+  down at dispatch and rejoins mid-batch (endpoint rehabilitation,
+  PR 5).  ``smoke=True`` is the <60 s CI variant; the full run emits
+  ``BENCH_5.json`` (``BENCH_4.json`` predates the flap leg).
 
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
@@ -354,14 +356,19 @@ def run_remote(
 ) -> Dict[str, Any]:
     """Remote-executor throughput over a loopback two-server cluster.
 
-    Byte-identity is asserted on the spot, twice: the remote backend
-    (blake2b shard placement, ``protect_request`` batches over the wire,
-    positional merge) must publish the serial bytes with both endpoints
-    alive, and again with one endpoint killed before dispatch so every
-    shard fails over to the survivor.  Each leg spawns **fresh** servers
-    — pseudonym counters are session-scoped, which is part of the
-    byte-identity contract (docs/SERVICE.md).
+    Byte-identity is asserted on the spot, three times: the remote
+    backend (blake2b shard placement, ``protect_request`` batches over
+    the wire, positional merge) must publish the serial bytes with both
+    endpoints alive; again with one endpoint killed before dispatch so
+    every shard fails over to the survivor; and again on the **chaos
+    leg** — a single-endpoint cluster whose endpoint is down when the
+    batch starts and comes up mid-batch, so the run only completes if
+    endpoint rehabilitation (probation + rejoin, PR 5) works.  Each leg
+    spawns **fresh** servers — pseudonym counters are session-scoped,
+    which is part of the byte-identity contract (docs/SERVICE.md).
     """
+    import threading
+
     from repro.datasets.io import to_csv_string
     from repro.experiments.harness import prepare_context
     from repro.service.api import ProtectionService
@@ -414,6 +421,92 @@ def run_remote(
             "users_per_s": report.users_per_second,
         }
 
+    def drive_flap(delay_s: float = 0.4) -> Dict[str, float]:
+        """Chaos leg: the only endpoint rejoins *mid-batch*.
+
+        The endpoint's port is reserved, nothing listens on it when
+        dispatch starts (every dial refused → probation), and a timer
+        brings a fresh server up on the same port ``delay_s`` later.
+        Completing at all requires rehabilitation; completing with the
+        serial bytes pins byte-identity across the rejoin path.
+        """
+        import socket as socket_mod
+
+        probe = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        probe.setsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        flap_service = ProtectionService(ctx.engine())
+        flap_server = ServiceServer(flap_service, host=host, port=port)
+        up_at: Dict[str, Any] = {}
+
+        def bring_up() -> None:
+            # The freed port could in principle be snatched between the
+            # placeholder's release and this rebind (TOCTOU): retry a
+            # few times and record any failure LOUDLY — a swallowed bind
+            # error would otherwise surface as a baffling
+            # "all 1 endpoints failed" from the dispatch side.
+            for attempt in range(10):
+                try:
+                    flap_server.start_background()
+                except OSError as exc:
+                    up_at["error"] = exc
+                    time.sleep(0.1)
+                    continue
+                up_at.pop("error", None)
+                up_at["t"] = time.perf_counter() - t0
+                return
+
+        timer = threading.Timer(delay_s, bring_up)
+        t0 = time.perf_counter()
+        timer.start()
+        try:
+            engine = ctx.engine(
+                executor={
+                    "name": "remote",
+                    "endpoints": [f"{host}:{port}"],
+                    "shards": 4,
+                    "retry_budget": 60,
+                    "backoff": {"base": 0.1, "factor": 1.5, "max": 0.5},
+                },
+                jobs=4,
+            )
+            report = engine.protect_dataset(ctx.test, daily=True)
+            chunks_served = flap_service.proxy.stats.chunks_processed
+        except BaseException:
+            if "error" in up_at:
+                raise AssertionError(
+                    f"flap leg could not re-bind {host}:{port}: {up_at['error']}"
+                ) from up_at["error"]
+            raise
+        finally:
+            timer.cancel()
+            flap_server.stop_background()
+        csv = to_csv_string(report.published_dataset())
+        if csv != reference_csv:
+            raise AssertionError(
+                "the flap run published a different dataset than serial"
+            )
+        if chunks_served < len(report.results):
+            raise AssertionError(
+                "the rejoined endpoint did not serve the batch "
+                f"({chunks_served} chunks for {len(report.results)} users)"
+            )
+        requests = float(len(report.results))
+        return {
+            "requests": requests,
+            "wall_s": report.wall_time_s,
+            "requests_per_s": (
+                requests / report.wall_time_s
+                if report.wall_time_s > 0
+                else float("inf")
+            ),
+            "users_per_s": report.users_per_second,
+            "endpoint_up_after_s": up_at.get("t", float("nan")),
+            "chunks_served_after_rejoin": float(chunks_served),
+        }
+
     snapshot = _snapshot_header()
     snapshot["mode"] = "remote"
     snapshot["corpus"] = {
@@ -426,6 +519,7 @@ def run_remote(
     }
     snapshot["remote"] = drive(kill_first=False)
     snapshot["failover"] = drive(kill_first=True)
+    snapshot["flap"] = drive_flap()
     snapshot["byte_identical"] = True
     if out_path:
         with open(out_path, "w") as f:
@@ -443,11 +537,19 @@ def format_remote_snapshot(snapshot: Dict[str, Any]) -> str:
         f"serial             : {snapshot['serial']['users_per_s']:.2f} users/s "
         f"({snapshot['serial']['wall_s']:.2f}s)",
     ]
-    for leg in ("remote", "failover"):
+    for leg in ("remote", "failover", "flap"):
+        if leg not in snapshot:
+            continue  # pre-PR-5 snapshots have no flap leg
         entry = snapshot[leg]
         lines.append(
             f"{leg:19s}: {entry['requests']:.0f} requests in "
             f"{entry['wall_s']:.2f}s ({entry['requests_per_s']:.1f} req/s)"
+        )
+    if "flap" in snapshot:
+        lines.append(
+            f"flap rejoin        : endpoint up after "
+            f"{snapshot['flap']['endpoint_up_after_s']:.2f}s, served "
+            f"{snapshot['flap']['chunks_served_after_rejoin']:.0f} chunks"
         )
     lines.append(f"byte identical     : {snapshot['byte_identical']}")
     return "\n".join(lines)

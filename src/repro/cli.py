@@ -13,15 +13,19 @@ Commands
     Regenerate a paper table/figure as an ASCII table.
 ``mood campaign --dataset privamov``
     Run the crowdsensing deployment simulation.
-``mood serve [--host H --port P | --unix PATH] [--workers N]``
+``mood serve [--host H --port P | --unix PATH] [--workers N] [--auth-key-file F]``
     Run the protection service as a real middleware: fit an engine on
     the dataset's background split, then serve the versioned JSON-lines
     protocol (see docs/SERVICE.md) over TCP or a unix socket.  Tagged
     requests are handled concurrently; ``--workers`` bounds how many are
-    in flight at once (backpressure).
+    in flight at once (backpressure).  With an auth key (``--auth-key``,
+    ``--auth-key-file``, or ``service.auth_key_file`` in the config)
+    every connection must complete the shared-secret handshake before
+    any other request is served.
 ``mood request <protect|upload|query|stats> [--csv FILE] [--lat --lng]``
     One-shot client against a running ``serve`` instance; prints the
-    response body as JSON.
+    response body as JSON.  ``--auth-key`` / ``--auth-key-file`` match
+    the server's key.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
 ``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
@@ -34,7 +38,8 @@ Commands
     loopback and TCP transports plus executor-backend throughput;
     ``remote`` drives the remote executor against a loopback 2-server
     cluster (byte-identity to serial asserted, with and without killing
-    an endpoint mid-run).
+    an endpoint mid-run, plus a chaos leg where a flapping endpoint
+    rejoins mid-batch — writes ``BENCH_5.json``).
 """
 
 from __future__ import annotations
@@ -54,6 +59,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--users", type=int, default=None, help="override the user count"
     )
     parser.add_argument("--days", type=int, default=30, help="campaign days")
+
+
+def _add_auth(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--auth-key",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for the HMAC-blake2b handshake (prefer "
+        "--auth-key-file: argv leaks into process listings)",
+    )
+    parser.add_argument(
+        "--auth-key-file",
+        default=None,
+        metavar="FILE",
+        help="file whose (stripped) bytes are the shared auth secret",
+    )
+
+
+def _resolve_auth_key(args: argparse.Namespace, cfg: Optional[object] = None):
+    """The handshake key from CLI flags, falling back to config.service."""
+    from repro.service.api import resolve_auth_key
+
+    key = resolve_auth_key(args.auth_key, args.auth_key_file)
+    if key is not None:
+        return key
+    service = getattr(cfg, "service", None)
+    if service:
+        return resolve_auth_key(service.get("auth_key"), service.get("auth_key_file"))
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently-served requests (backpressure bound; "
         "default 32)",
     )
+    _add_auth(serve)
     _add_common(serve)
 
     req = sub.add_parser(
@@ -143,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--lat", type=float, default=None, help="query latitude")
     req.add_argument("--lng", type=float, default=None, help="query longitude")
     req.add_argument("--k", type=int, default=None, help="query: top-k busiest cells")
+    _add_auth(req)
 
     conf = sub.add_parser("config", help="work with declarative protection configs")
     conf_sub = conf.add_subparsers(dest="config_command", required=True)
@@ -315,8 +351,8 @@ def _build_served_engine(args: argparse.Namespace):
     ctx = prepare_context(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
     if args.config:
         cfg = ProtectionConfig.from_file(args.config)
-        return ctx, ProtectionEngine.from_config(cfg).fit(ctx.train)
-    return ctx, ctx.engine()
+        return ctx, ProtectionEngine.from_config(cfg).fit(ctx.train), cfg
+    return ctx, ctx.engine(), None
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -325,11 +361,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.api import ProtectionService
     from repro.service.rpc import ServiceServer
 
-    ctx, engine = _build_served_engine(args)
+    ctx, engine, cfg = _build_served_engine(args)
     service = ProtectionService(engine)
     kwargs = {} if args.workers is None else {"max_inflight": args.workers}
     server = ServiceServer(
-        service, host=args.host, port=args.port, unix_path=args.unix, **kwargs
+        service,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        auth_key=_resolve_auth_key(args, cfg),
+        **kwargs,
     )
 
     async def _serve() -> None:
@@ -339,7 +380,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if server.unix_path is not None
             else f"{server.host}:{server.port}"
         )
-        print(f"serving {ctx.name} protection service on {where}", flush=True)
+        auth = "on (shared-secret handshake)" if server.auth_key else "off"
+        print(
+            f"serving {ctx.name} protection service on {where} (auth {auth})",
+            flush=True,
+        )
         await server.serve_forever()
 
     try:
@@ -364,10 +409,11 @@ def _cmd_request(args: argparse.Namespace) -> int:
         user = args.user or dataset.user_ids()[0]
         return dataset[user]
 
+    auth_key = _resolve_auth_key(args)
     if args.unix:
-        client = ServiceClient(unix_path=args.unix)
+        client = ServiceClient(unix_path=args.unix, auth_key=auth_key)
     else:
-        client = ServiceClient(host=args.host, port=args.port)
+        client = ServiceClient(host=args.host, port=args.port, auth_key=auth_key)
     with client:
         if args.what == "protect":
             reply = client.protect(pick_trace(), daily=args.daily)

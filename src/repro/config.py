@@ -84,6 +84,12 @@ class ProtectionConfig:
     jobs: Optional[int] = 1
     #: Base seed; all per-user randomness derives stable children.
     seed: int = 0
+    #: Service-layer settings, or ``None``: ``{"auth_key_file": PATH}``
+    #: (preferred — the file's stripped bytes are the shared secret) or
+    #: ``{"auth_key": SECRET}``.  Used by ``repro serve`` to require the
+    #: HMAC-blake2b handshake, and inherited by a ``remote`` executor
+    #: spec that does not carry its own key.
+    service: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.lppms = _normalized_specs(self.lppms, "lppms")
@@ -95,6 +101,8 @@ class ProtectionConfig:
             self.executor = normalize_spec(self.executor)
         if self.seed is not None:
             self.seed = int(self.seed)
+        if self.service is not None:
+            self.service = dict(self.service)
 
     # -- validation ------------------------------------------------------
 
@@ -134,6 +142,26 @@ class ProtectionConfig:
             raise ConfigurationError(f"jobs must be >= 1 or null, got {self.jobs!r}")
         if not isinstance(self.seed, int):
             raise ConfigurationError(f"seed must be an integer, got {self.seed!r}")
+        if self.service is not None:
+            if not isinstance(self.service, dict):
+                raise ConfigurationError(
+                    f"service must be a dict or null, got {self.service!r}"
+                )
+            known = {"auth_key_file", "auth_key"}
+            unknown = sorted(set(self.service) - known)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown service keys {unknown}; known keys: {sorted(known)}"
+                )
+            if "auth_key_file" in self.service and "auth_key" in self.service:
+                raise ConfigurationError(
+                    "service config takes auth_key_file or auth_key, not both"
+                )
+            for key, value in self.service.items():
+                if not isinstance(value, str) or not value:
+                    raise ConfigurationError(
+                        f"service.{key} must be a non-empty string, got {value!r}"
+                    )
         return self
 
     # -- dict / JSON round-trip ------------------------------------------
@@ -173,6 +201,7 @@ class ProtectionConfig:
             ),
             "jobs": self.jobs,
             "seed": self.seed,
+            "service": dict(self.service) if self.service is not None else None,
         }
 
     @classmethod
@@ -220,5 +249,7 @@ class ProtectionConfig:
                 f"search strategy: {strategy}",
                 f"executor       : {executor} × jobs={self.jobs}",
                 f"seed           : {self.seed}",
+                "service auth   : "
+                + ("shared-secret handshake" if self.service else "off"),
             ]
         )

@@ -579,14 +579,23 @@ class RemoteExecutor:
     Declaratively::
 
         {"name": "remote", "endpoints": ["10.0.0.1:7464", "10.0.0.2:7464"],
-         "shards": 8}
+         "shards": 8, "retry_budget": 3, "backoff": {"base": 0.05, "max": 2.0},
+         "auth_key_file": "/etc/mood/cluster.key"}
 
     Endpoints accept ``"host:port"``, ``"unix:/path"``, or
-    ``{"host": ..., "port": ...}`` dicts.  Only ``protect`` and
-    ``protect_daily`` travel the wire (the protocol's ``ProtectRequest``
-    vocabulary); other batch methods must run on a local backend.  The
-    engine's ``evaluations`` counter is **not** reconciled — the
-    evaluations happen on the serving hosts, which own their counters.
+    ``{"host": ..., "port": ...}`` dicts.  ``retry_budget`` and
+    ``backoff`` tune endpoint rehabilitation (a flapping endpoint sits
+    out an exponential-backoff probation and rejoins; one that exhausts
+    the budget is retired — see
+    :class:`repro.service.rpc.RemoteClusterClient`); ``backoff`` is
+    either a number (the base delay in seconds) or a ``{"base", "factor",
+    "max"}`` dict.  ``auth_key_file`` (a path; or ``auth_key``, the
+    literal secret) authenticates every connection with the endpoints'
+    shared-secret handshake.  Only ``protect`` and ``protect_daily``
+    travel the wire (the protocol's ``ProtectRequest`` vocabulary);
+    other batch methods must run on a local backend.  The engine's
+    ``evaluations`` counter is **not** reconciled — the evaluations
+    happen on the serving hosts, which own their counters.
     """
 
     def __init__(
@@ -595,6 +604,10 @@ class RemoteExecutor:
         shards: Optional[int] = None,
         jobs: Optional[int] = None,
         timeout: float = 120.0,
+        retry_budget: int = 3,
+        backoff: Union[None, float, int, Dict[str, Any]] = None,
+        auth_key: Optional[str] = None,
+        auth_key_file: Optional[str] = None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError(
@@ -610,6 +623,56 @@ class RemoteExecutor:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.timeout = float(timeout)
+        self.retry_budget = int(retry_budget)
+        if self.retry_budget < 0:
+            raise ConfigurationError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        self.backoff = self._parse_backoff(backoff)
+        if self.backoff["base"] <= 0 or self.backoff["max"] <= 0:
+            raise ConfigurationError(
+                f"backoff times must be positive, got {self.backoff}"
+            )
+        if self.backoff["factor"] < 1.0:
+            raise ConfigurationError(
+                f"backoff factor must be >= 1, got {self.backoff['factor']}"
+            )
+        if auth_key is not None and auth_key_file is not None:
+            raise ConfigurationError(
+                "give auth_key or auth_key_file, not both"
+            )
+        self.auth_key = auth_key
+        self.auth_key_file = auth_key_file
+
+    @staticmethod
+    def _parse_backoff(spec: Any) -> Dict[str, float]:
+        """``backoff`` spec → RemoteClusterClient kwargs (validated there)."""
+        out = {"base": 0.05, "factor": 2.0, "max": 2.0}
+        if spec is None:
+            return out
+        if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+            out["base"] = float(spec)
+            return out
+        if isinstance(spec, dict):
+            unknown = sorted(set(spec) - set(out))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown backoff keys {unknown}; known: {sorted(out)}"
+                )
+            for key in out:
+                if key in spec:
+                    out[key] = float(spec[key])
+            return out
+        raise ConfigurationError(
+            f"backoff must be a number or a base/factor/max dict, got {spec!r}"
+        )
+
+    def _resolve_auth_key(self) -> Optional[bytes]:
+        # Resolved at dispatch time, not construction: the key file only
+        # needs to exist where the batch actually runs.
+        from repro.service.api import resolve_auth_key
+
+        return resolve_auth_key(self.auth_key, self.auth_key_file)
 
     #: Per-endpoint in-flight default when ``jobs`` is unset.
     DEFAULT_INFLIGHT = 4
@@ -655,9 +718,18 @@ class RemoteExecutor:
         ]
         inflight = int(self.jobs or self.DEFAULT_INFLIGHT)
 
+        auth_key = self._resolve_auth_key()
+
         async def dispatch() -> List[Any]:
             cluster = RemoteClusterClient(
-                self.endpoints, timeout=self.timeout, max_inflight=inflight
+                self.endpoints,
+                timeout=self.timeout,
+                max_inflight=inflight,
+                retry_budget=self.retry_budget,
+                backoff_base=self.backoff["base"],
+                backoff_factor=self.backoff["factor"],
+                backoff_max=self.backoff["max"],
+                auth_key=auth_key,
             )
             try:
                 return await cluster.run(requests)
@@ -1032,7 +1104,25 @@ class ProtectionEngine:
 
         The returned engine is **unfitted**: call :meth:`fit` with the
         attacker's background knowledge before protecting.
+
+        A ``remote`` executor spec that carries no auth key of its own
+        inherits ``config.service``'s ``auth_key_file``/``auth_key``, so
+        one config block keys both ``repro serve`` and the cluster
+        clients that dial it.
         """
+        executor = config.executor
+        service = getattr(config, "service", None)
+        if (
+            service
+            and isinstance(executor, dict)
+            and executor.get("name") == "remote"
+            and "auth_key" not in executor
+            and "auth_key_file" not in executor
+        ):
+            executor = dict(executor)
+            for key in ("auth_key_file", "auth_key"):
+                if key in service:
+                    executor[key] = service[key]
         return cls(
             lppms=[build("lppm", spec) for spec in config.lppms],
             attacks=[build("attack", spec) for spec in config.attacks],
@@ -1041,7 +1131,7 @@ class ProtectionEngine:
             seed=config.seed,
             split_policy=config.split_policy,
             search_strategy=config.search_strategy,
-            executor=config.executor,
+            executor=executor,
             jobs=config.jobs,
         )
 

@@ -65,3 +65,14 @@ class TransportError(ServiceError):
 
     def __init__(self, message: str) -> None:
         super().__init__("transport", message)
+
+
+class AuthenticationError(ServiceError):
+    """The service rejected the peer's credentials (or their absence).
+
+    Deliberately **not** a :class:`TransportError`: a misconfigured key
+    fails the same way on every endpoint and every retry, so cluster
+    clients treat it as fatal instead of burning their retry budget."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("auth", message)

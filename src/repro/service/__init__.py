@@ -16,6 +16,9 @@ Layers (bottom up):
 """
 
 from repro.service.api import (
+    AuthChallenge,
+    AuthRequest,
+    AuthResponse,
     ErrorEnvelope,
     LoopbackClient,
     ProtectionService,
@@ -29,8 +32,11 @@ from repro.service.api import (
     UploadRequest,
     UploadResponse,
     WIRE_VERSION,
+    auth_proof,
     decode_message,
     encode_message,
+    load_auth_key,
+    resolve_auth_key,
 )
 from repro.service.campaign import CampaignReport, CrowdsensingCampaign
 from repro.service.client import MobileClient, UploadChunk
@@ -74,10 +80,16 @@ __all__ = [
     "QueryResponse",
     "StatsRequest",
     "StatsResponse",
+    "AuthRequest",
+    "AuthChallenge",
+    "AuthResponse",
     "ErrorEnvelope",
     "PublishedPiece",
     "encode_message",
     "decode_message",
+    "auth_proof",
+    "load_auth_key",
+    "resolve_auth_key",
     "ProtectionService",
     "LoopbackClient",
     "ServiceClient",

@@ -34,7 +34,9 @@ explicit, transport-agnostic protocol:
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
+import secrets
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Type, Union
@@ -42,7 +44,13 @@ from typing import Any, Dict, List, Optional, Tuple, Type, Union
 from repro.core.engine import DEFAULT_CHUNK_S, ProtectionEngine
 from repro.core.split import split_fixed_time
 from repro.core.trace import Trace
-from repro.errors import ConfigurationError, ProtocolError, ReproError, ServiceError
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
 from repro.service.client import UploadChunk
 from repro.service.proxy import MoodProxy, PseudonymProvider
 from repro.service.server import CollectionServer
@@ -55,6 +63,79 @@ WIRE_VERSION = 1
 
 #: A request/response correlation tag: JSON-representable scalar only.
 RequestId = Union[int, str]
+
+
+# ---------------------------------------------------------------------------
+# Shared-secret auth (HMAC-blake2b challenge/response)
+# ---------------------------------------------------------------------------
+
+
+def new_auth_nonce() -> str:
+    """A fresh unpredictable challenge nonce (hex)."""
+    return secrets.token_hex(16)
+
+
+def auth_proof(key: bytes, nonce: str) -> str:
+    """The handshake proof: ``HMAC-blake2b(key, nonce)`` as hex.
+
+    The nonce is unpredictable per connection, so a captured proof is
+    useless for replay; the key itself never crosses the wire.
+    """
+    if not isinstance(key, (bytes, bytearray)) or not key:
+        raise ConfigurationError("auth key must be non-empty bytes")
+    return hmac.new(bytes(key), nonce.encode("utf-8"), "blake2b").hexdigest()
+
+
+def verify_auth_proof(key: bytes, nonce: str, proof: Any) -> bool:
+    """Constant-time check of a peer's *proof* for *nonce*."""
+    if not isinstance(proof, str):
+        return False
+    return hmac.compare_digest(auth_proof(key, nonce), proof)
+
+
+def load_auth_key(path: Any) -> bytes:
+    """The shared secret from a key file (surrounding whitespace stripped).
+
+    The file's bytes **are** the key — generate one with e.g.
+    ``python -c "import secrets; print(secrets.token_hex(32))" > mood.key``
+    and distribute it to the server (``repro serve --auth-key-file``) and
+    every client (``service.auth_key_file`` in the config).
+    """
+    try:
+        with open(path, "rb") as f:
+            key = f.read().strip()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read auth key file {path!r}: {exc}") from exc
+    if not key:
+        raise ConfigurationError(f"auth key file {path!r} is empty")
+    return key
+
+
+def resolve_auth_key(
+    auth_key: Any = None, auth_key_file: Any = None
+) -> Optional[bytes]:
+    """The one resolution rule for the two key spellings.
+
+    ``auth_key`` is the literal secret (str, utf-8-encoded, or bytes);
+    ``auth_key_file`` is a path whose stripped bytes are the secret.
+    Exactly one may be given; both ``None`` means "no auth".  Every
+    consumer (CLI flags, ``ProtectionConfig.service``, the remote
+    executor spec) funnels through here so the semantics cannot drift.
+    """
+    if auth_key is not None and auth_key_file is not None:
+        raise ConfigurationError("give auth_key or auth_key_file, not both")
+    if auth_key_file is not None:
+        return load_auth_key(auth_key_file)
+    if auth_key is None:
+        return None
+    key = (
+        bytes(auth_key)
+        if isinstance(auth_key, (bytes, bytearray))
+        else str(auth_key).encode("utf-8")
+    )
+    if not key:
+        raise ConfigurationError("auth_key must be non-empty")
+    return key
 
 
 # ---------------------------------------------------------------------------
@@ -328,11 +409,111 @@ class StatsResponse:
 
 
 @dataclass(frozen=True)
+class AuthRequest:
+    """One leg of the shared-secret handshake (client → server).
+
+    Without ``proof`` it asks for a challenge; with ``proof`` (the
+    HMAC-blake2b of the server's nonce under the shared key, hex) it
+    completes the handshake.  A v1-compatible vocabulary addition: the
+    frame format is unchanged, servers without a key answer
+    :class:`AuthResponse` immediately, so mixed deployments interoperate.
+    """
+
+    proof: Optional[str] = None
+
+    def to_body(self) -> Dict[str, Any]:
+        return {} if self.proof is None else {"proof": self.proof}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "AuthRequest":
+        proof = body.get("proof")
+        return cls(proof=None if proof is None else str(proof))
+
+
+@dataclass(frozen=True)
+class AuthChallenge:
+    """Server → client: prove knowledge of the key over this nonce."""
+
+    nonce: str
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"nonce": self.nonce}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "AuthChallenge":
+        return cls(nonce=str(body["nonce"]))
+
+
+@dataclass(frozen=True)
+class AuthResponse:
+    """Server → client: the handshake is complete; the connection is
+    authenticated (or the server never required auth)."""
+
+    ok: bool = True
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"ok": bool(self.ok)}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "AuthResponse":
+        return cls(ok=bool(body.get("ok", True)))
+
+
+class AuthHandshakeRefused(ReproError):
+    """Internal: the peer answered a handshake leg with a non-``auth``
+    error envelope (e.g. a pre-auth server's ``protocol: unknown message
+    type``).  Never escapes the client SDKs — each transport converts it
+    to its own failure class (sync: ``ServiceError``; async/cluster:
+    ``TransportError``, so the cluster fails over)."""
+
+    def __init__(self, reply: "ErrorEnvelope") -> None:
+        super().__init__(f"[{reply.code}] {reply.message}")
+        self.reply = reply
+
+
+def client_auth_handshake(key: bytes):
+    """Sans-IO driver for the client side of the auth handshake.
+
+    A generator: yields the next :class:`AuthRequest` to send, receives
+    the peer's reply via ``send()``, and returns when the connection is
+    authenticated (or the server turns out to be keyless).  Raises
+    :class:`~repro.errors.AuthenticationError` on a credential failure,
+    :class:`AuthHandshakeRefused` on any other envelope, and
+    :class:`~repro.errors.ProtocolError` on a vocabulary violation.
+    Both socket clients drive this one state machine, so the protocol
+    cannot drift between transports.
+    """
+
+    def refuse(reply: ErrorEnvelope) -> None:
+        if reply.code == "auth":
+            raise AuthenticationError(reply.message)
+        raise AuthHandshakeRefused(reply)
+
+    reply = yield AuthRequest()
+    if isinstance(reply, AuthResponse):
+        return  # keyless server: auth not required, nothing to prove
+    if isinstance(reply, ErrorEnvelope):
+        refuse(reply)
+    if not isinstance(reply, AuthChallenge):
+        raise ProtocolError(
+            f"expected auth_challenge, got {type(reply).__name__}"
+        )
+    reply = yield AuthRequest(proof=auth_proof(key, reply.nonce))
+    if isinstance(reply, ErrorEnvelope):
+        refuse(reply)
+    if not isinstance(reply, AuthResponse) or not reply.ok:
+        raise ProtocolError(
+            f"expected auth_response ok, got {type(reply).__name__}"
+        )
+
+
+@dataclass(frozen=True)
 class ErrorEnvelope:
     """The one shape every service-side fault travels in.
 
     ``code`` is machine-readable (``"protocol"``, ``"bad_request"``,
-    ``"unsupported"``, ``"internal"``); ``message`` is for humans.
+    ``"unsupported"``, ``"auth"``, ``"internal"``); ``message`` is for
+    humans.
     """
 
     code: str
@@ -360,6 +541,9 @@ MESSAGE_TYPES: Dict[str, Type[Any]] = {
     "query_response": QueryResponse,
     "stats_request": StatsRequest,
     "stats_response": StatsResponse,
+    "auth_request": AuthRequest,
+    "auth_challenge": AuthChallenge,
+    "auth_response": AuthResponse,
     "error": ErrorEnvelope,
 }
 
@@ -375,8 +559,18 @@ Message = Union[
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    AuthRequest,
+    AuthChallenge,
+    AuthResponse,
     ErrorEnvelope,
 ]
+
+
+class MessageEncodeError(ProtocolError):
+    """*This side's own* message could not be encoded (non-finite float,
+    unregistered type, bad id).  A deterministic caller error raised
+    before any frame is sent: retrying on another endpoint cannot help,
+    so cluster clients propagate it instead of blaming the endpoint."""
 
 
 def encode_message(
@@ -387,16 +581,17 @@ def encode_message(
     With *request_id*, the frame carries an ``"id"`` key so the peer can
     correlate the reply to this request even when replies come back out
     of order (concurrent per-connection handling).  Non-finite floats
-    are a :class:`~repro.errors.ProtocolError`: ``json.dumps`` would
-    otherwise emit ``NaN``/``Infinity`` tokens, which are not JSON.
+    are a :class:`MessageEncodeError` (a :class:`~repro.errors.ProtocolError`):
+    ``json.dumps`` would otherwise emit ``NaN``/``Infinity`` tokens,
+    which are not JSON.
     """
     slug = _SLUG_OF.get(type(message))
     if slug is None:
-        raise ProtocolError(f"{type(message).__name__} is not a wire message")
+        raise MessageEncodeError(f"{type(message).__name__} is not a wire message")
     frame: Dict[str, Any] = {"v": WIRE_VERSION, "type": slug}
     if request_id is not None:
         if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
-            raise ProtocolError(
+            raise MessageEncodeError(
                 f"request id must be an int or str, got {type(request_id).__name__}"
             )
         frame["id"] = request_id
@@ -404,22 +599,23 @@ def encode_message(
     try:
         text = json.dumps(frame, separators=(",", ":"), allow_nan=False)
     except ValueError as exc:
-        raise ProtocolError(
+        raise MessageEncodeError(
             f"{slug} contains a non-finite float (NaN/Infinity), which has "
             f"no JSON encoding: {exc}"
         ) from exc
     return (text + "\n").encode("utf-8")
 
 
-def decode_frame(
+def parse_frame_envelope(
     line: Union[str, bytes]
-) -> Tuple[Optional[RequestId], Message]:
-    """Parse one wire line into ``(request_id, message)``.
+) -> Tuple[Optional[RequestId], str, Type[Any], Dict[str, Any]]:
+    """Validate a frame's envelope — version, type, id, body *shape* —
+    without materialising the body.
 
-    ``request_id`` is ``None`` for untagged (legacy FIFO) frames.  On a
-    malformed frame the raised :class:`~repro.errors.ProtocolError`
-    carries a ``request_id`` attribute when the tag itself was readable,
-    so error envelopes can still be correlated.
+    The cheap first stage of :func:`decode_frame`: it never builds
+    message dataclasses (no :class:`Trace`, no numpy arrays), so a
+    server can inspect a frame's type — e.g. to reject unauthenticated
+    requests — before paying for its payload.
     """
     if isinstance(line, bytes):
         try:
@@ -463,13 +659,36 @@ def decode_frame(
     body = frame.get("body")
     if not isinstance(body, dict):
         raise fail(f"message body must be an object, got {type(body).__name__}")
+    return request_id, slug, cls, body
+
+
+def materialize_frame(
+    request_id: Optional[RequestId], slug: str, cls: Type[Any], body: Dict[str, Any]
+) -> Message:
+    """Second stage of :func:`decode_frame`: body dict → message."""
     try:
-        return request_id, cls.from_body(body)
+        return cls.from_body(body)
     except ProtocolError as exc:
         exc.request_id = request_id
         raise
     except (KeyError, TypeError, ValueError) as exc:
-        raise fail(f"malformed {slug} body: {exc}") from exc
+        fail = ProtocolError(f"malformed {slug} body: {exc}")
+        fail.request_id = request_id
+        raise fail from exc
+
+
+def decode_frame(
+    line: Union[str, bytes]
+) -> Tuple[Optional[RequestId], Message]:
+    """Parse one wire line into ``(request_id, message)``.
+
+    ``request_id`` is ``None`` for untagged (legacy FIFO) frames.  On a
+    malformed frame the raised :class:`~repro.errors.ProtocolError`
+    carries a ``request_id`` attribute when the tag itself was readable,
+    so error envelopes can still be correlated.
+    """
+    request_id, slug, cls, body = parse_frame_envelope(line)
+    return request_id, materialize_frame(request_id, slug, cls, body)
 
 
 def decode_message(line: Union[str, bytes]) -> Message:
@@ -699,6 +918,8 @@ class ServiceClientBase:
     def _ask(self, message: Message, expected: Type[Any]) -> Any:
         reply = self.request(message)
         if isinstance(reply, ErrorEnvelope):
+            if reply.code == "auth":
+                raise AuthenticationError(reply.message)
             raise ServiceError(reply.code, reply.message)
         if not isinstance(reply, expected):
             raise ProtocolError(

@@ -24,8 +24,16 @@ Three clients share the verb vocabulary:
 * :class:`AsyncServiceClient` — asyncio, many requests in flight on one
   connection, replies matched to futures by id.
 * :class:`RemoteClusterClient` — a pool of endpoints with shard-affine
-  dispatch and failover: a request whose endpoint dies is retried on a
-  surviving endpoint; the failed endpoint is retired for the run.
+  dispatch, failover, and rehabilitation: a request whose endpoint dies
+  is retried on another endpoint; the failed endpoint sits out an
+  exponential-backoff probation and rejoins on its next successful
+  probe, or is retired for good once it exhausts its retry budget.
+
+Servers and clients optionally authenticate with a shared-secret
+HMAC-blake2b challenge/response handshake (``ServiceServer(auth_key=...)``,
+``repro serve --auth-key`` / ``--auth-key-file``); unauthenticated
+requests are rejected with an ``error`` envelope of code ``auth``
+before any engine work.
 
 ::
 
@@ -46,19 +54,37 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError, ProtocolError, TransportError
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ProtocolError,
+    ServiceError,
+    TransportError,
+)
 from repro.service.api import (
+    AuthChallenge,
+    AuthHandshakeRefused,
+    AuthRequest,
+    AuthResponse,
     ErrorEnvelope,
     Message,
     ProtectionService,
     RequestId,
     ServiceClientBase,
+    client_auth_handshake,
     decode_frame,
     encode_message,
     encode_reply,
+    load_auth_key,
+    materialize_frame,
+    MessageEncodeError,
+    new_auth_nonce,
+    parse_frame_envelope,
+    verify_auth_proof,
 )
 
 #: Generous per-line cap: a month-long trace at 1 Hz is ~10 MB of JSON.
@@ -76,6 +102,16 @@ class ServiceServer:
     available as :attr:`address` once started.  ``max_inflight`` bounds
     the number of tagged requests being served at once across all
     connections — the backpressure knob (``repro serve --workers``).
+
+    With ``auth_key`` set, every connection must complete the
+    HMAC-blake2b challenge/response handshake (``auth_request`` →
+    ``auth_challenge`` → ``auth_request`` with proof → ``auth_response``)
+    before any other verb is served: an unauthenticated request is
+    answered with an ``error`` envelope of code ``auth`` **before any
+    engine work** — it never reaches :meth:`ProtectionService.handle`,
+    never takes an in-flight slot.  Without a key the handshake is a
+    no-op (an ``auth_request`` is answered ``ok`` immediately), so keyed
+    clients interoperate with keyless servers and vice versa.
     """
 
     def __init__(
@@ -85,16 +121,20 @@ class ServiceServer:
         port: int = 0,
         unix_path: Optional[str] = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         if int(max_inflight) < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if auth_key is not None and not auth_key:
+            raise ConfigurationError("auth_key must be non-empty bytes (or None)")
         self.service = service
         self.host = host
         self.port = int(port)
         self.unix_path = unix_path
         self.max_inflight = int(max_inflight)
+        self.auth_key = None if auth_key is None else bytes(auth_key)
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._thread: Optional[threading.Thread] = None
@@ -139,6 +179,31 @@ class ServiceServer:
         finally:
             self._inflight.release()
 
+    def _auth_reply(self, message: AuthRequest, conn_auth: Dict[str, Any]) -> Message:
+        """One handshake leg; mutates the connection's auth state.
+
+        The nonce is single-use: a failed proof (or a proof without a
+        preceding challenge) must restart the handshake, so an attacker
+        cannot grind one challenge offline while the connection idles.
+        """
+        if self.auth_key is None:
+            return AuthResponse(ok=True)
+        if message.proof is None:
+            conn_auth["nonce"] = new_auth_nonce()
+            return AuthChallenge(nonce=conn_auth["nonce"])
+        nonce = conn_auth.pop("nonce", None)
+        if nonce is None:
+            return ErrorEnvelope(
+                code="auth",
+                message="no challenge outstanding; send auth_request without proof first",
+            )
+        if not verify_auth_proof(self.auth_key, nonce, message.proof):
+            return ErrorEnvelope(
+                code="auth", message="bad credentials: proof does not match"
+            )
+        conn_auth["ok"] = True
+        return AuthResponse(ok=True)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -148,6 +213,7 @@ class ServiceServer:
         assert self._inflight is not None
         write_lock = asyncio.Lock()
         tasks: set = set()
+        conn_auth: Dict[str, Any] = {"ok": self.auth_key is None}
         try:
             while True:
                 try:
@@ -169,7 +235,27 @@ class ServiceServer:
                 if not line.strip():
                     continue
                 try:
-                    request_id, message = decode_frame(line)
+                    # Envelope first, body second: an unauthenticated
+                    # frame is rejected on its *type* alone, before its
+                    # payload is materialised into traces/arrays — a
+                    # keyless peer cannot make the server build objects.
+                    request_id, slug, cls, body = parse_frame_envelope(line)
+                    if not conn_auth["ok"] and cls is not AuthRequest:
+                        # Rejected before any engine work: no body
+                        # build, no service.handle, no in-flight slot.
+                        payload = encode_reply(
+                            ErrorEnvelope(
+                                code="auth",
+                                message="authentication required: complete "
+                                "the auth handshake before any other request",
+                            ),
+                            request_id=request_id,
+                        )
+                        async with write_lock:
+                            writer.write(payload)
+                            await writer.drain()
+                        continue
+                    message = materialize_frame(request_id, slug, cls, body)
                 except ProtocolError as exc:
                     async with write_lock:
                         writer.write(
@@ -179,6 +265,21 @@ class ServiceServer:
                             )
                         )
                         await writer.drain()
+                    continue
+                if isinstance(message, AuthRequest):
+                    # Transport-level: handled inline (tagged or not),
+                    # never reaches the service facade.
+                    reply = self._auth_reply(message, conn_auth)
+                    payload = encode_reply(reply, request_id=request_id)
+                    async with write_lock:
+                        writer.write(payload)
+                        await writer.drain()
+                    if isinstance(reply, ErrorEnvelope):
+                        # Failed proof (or proof without challenge):
+                        # drop the connection, so every further guess
+                        # costs a fresh TCP dial + challenge — an online
+                        # brute force cannot grind one socket.
+                        break
                     continue
                 if request_id is None:
                     # Untagged = legacy FIFO: handled inline, replies in
@@ -414,12 +515,16 @@ class ServiceClient(ServiceClientBase):
     ``stats``) come from :class:`~repro.service.api.ServiceClientBase`.
 
     Every request is tagged with a connection-unique id and the reply's
-    id is verified.  A transport failure (timeout, reset, truncated or
-    mismatched reply) leaves the stream mid-frame, so the client closes
-    the socket and marks itself **broken**: every later call raises
-    :class:`~repro.errors.TransportError` until :meth:`reconnect` — the
-    one thing it must never do is read the stale tail of the aborted
-    exchange as the answer to a fresh request.
+    id is verified.  A transport failure (timeout, reset, truncated,
+    corrupted, or mismatched reply) leaves the stream mid-frame, so the
+    client closes the socket and marks itself **broken**: every later
+    call raises :class:`~repro.errors.TransportError` until
+    :meth:`reconnect` — the one thing it must never do is read the stale
+    tail of the aborted exchange as the answer to a fresh request.
+
+    With ``auth_key`` set, the HMAC-blake2b handshake runs as part of
+    every (re)connect, before any verb; a rejected key raises
+    :class:`~repro.errors.AuthenticationError`.
     """
 
     def __init__(
@@ -428,6 +533,7 @@ class ServiceClient(ServiceClientBase):
         port: Optional[int] = None,
         unix_path: Optional[str] = None,
         timeout: float = 60.0,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         if unix_path is None and (host is None or port is None):
             raise ConfigurationError(
@@ -437,6 +543,7 @@ class ServiceClient(ServiceClientBase):
         self._port = None if port is None else int(port)
         self._unix_path = unix_path
         self._timeout = timeout
+        self._auth_key = None if auth_key is None else bytes(auth_key)
         self._lock = threading.Lock()
         self._next_id = 0
         self._sock: Optional[socket.socket] = None
@@ -456,6 +563,36 @@ class ServiceClient(ServiceClientBase):
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._broken = None
+        if self._auth_key is not None:
+            self._handshake()
+
+    def _handshake(self) -> None:
+        """Authenticate the fresh connection (runs before any verb).
+
+        Drives the shared sans-IO state machine
+        (:func:`~repro.service.api.client_auth_handshake`); only the
+        failure classification is transport-specific: a non-``auth``
+        envelope (e.g. a pre-auth server) surfaces as ``ServiceError``
+        — the server's limitation, not a credential failure.
+        """
+        steps = client_auth_handshake(self._auth_key)
+        try:
+            request = next(steps)
+            while True:
+                request = steps.send(self._request_unlocked(request))
+        except StopIteration:
+            return  # authenticated (or the server never required auth)
+        except AuthenticationError:
+            self._mark_broken("handshake failed")
+            raise
+        except AuthHandshakeRefused as exc:
+            self._mark_broken("handshake failed")
+            raise ServiceError(
+                exc.reply.code, f"handshake failed: {exc.reply.message}"
+            ) from None
+        except ProtocolError:
+            self._mark_broken("handshake violated the protocol")
+            raise
 
     def _mark_broken(self, why: str) -> None:
         self._broken = why
@@ -490,51 +627,64 @@ class ServiceClient(ServiceClientBase):
                 raise TransportError(
                     f"connection is broken ({self._broken}); call reconnect()"
                 )
-            assert self._file is not None
-            request_id = self._next_id
-            self._next_id += 1
-            try:
-                self._file.write(encode_message(message, request_id=request_id))
-                self._file.flush()
-                line = self._file.readline(MAX_LINE_BYTES)
-            except (socket.timeout, TimeoutError) as exc:
-                # The reply (or its tail) is still in flight: this
-                # stream can never be trusted again.
-                self._mark_broken("request timed out mid-frame")
-                raise TransportError(
-                    f"request timed out after {self._timeout}s; the stream is "
-                    "desynchronised — reconnect() to continue"
-                ) from exc
-            except OSError as exc:
-                self._mark_broken(f"socket error: {exc}")
-                raise TransportError(f"socket error mid-request: {exc}") from exc
-            if not line:
-                self._mark_broken("server closed the connection mid-request")
-                raise TransportError("server closed the connection mid-request")
-            if not line.endswith(b"\n"):
-                # A reply longer than the cap would leave its tail unread
-                # and desynchronize every later request — fail loudly.
-                self._mark_broken("oversized reply truncated mid-frame")
-                raise ProtocolError(
-                    f"reply exceeds {MAX_LINE_BYTES} bytes (truncated); "
-                    "the connection is broken — reconnect() to continue"
-                )
+            return self._request_unlocked(message)
+
+    def _request_unlocked(self, message: Message) -> Message:
+        assert self._file is not None
+        request_id = self._next_id
+        self._next_id += 1
+        try:
+            self._file.write(encode_message(message, request_id=request_id))
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES)
+        except (socket.timeout, TimeoutError) as exc:
+            # The reply (or its tail) is still in flight: this
+            # stream can never be trusted again.
+            self._mark_broken("request timed out mid-frame")
+            raise TransportError(
+                f"request timed out after {self._timeout}s; the stream is "
+                "desynchronised — reconnect() to continue"
+            ) from exc
+        except OSError as exc:
+            self._mark_broken(f"socket error: {exc}")
+            raise TransportError(f"socket error mid-request: {exc}") from exc
+        if not line:
+            self._mark_broken("server closed the connection mid-request")
+            raise TransportError("server closed the connection mid-request")
+        if not line.endswith(b"\n"):
+            # A reply longer than the cap would leave its tail unread
+            # and desynchronize every later request — fail loudly.
+            self._mark_broken("oversized reply truncated mid-frame")
+            raise ProtocolError(
+                f"reply exceeds {MAX_LINE_BYTES} bytes (truncated); "
+                "the connection is broken — reconnect() to continue"
+            )
+        try:
             reply_id, reply = decode_frame(line)
-            # An untagged reply is a v1 server that ignored the (unknown
-            # to it) id key; with exactly one request outstanding the
-            # FIFO contract still pairs it correctly.  Only a *wrong*
-            # tag proves the stream is desynchronised.
-            if reply_id is not None and reply_id != request_id:
-                self._mark_broken(
-                    f"reply id {reply_id!r} does not match request id "
-                    f"{request_id!r} (stream desynchronised)"
-                )
-                raise ProtocolError(
-                    f"reply id {reply_id!r} does not match request id "
-                    f"{request_id!r}; the connection is broken — "
-                    "reconnect() to continue"
-                )
-            return reply
+        except ProtocolError as exc:
+            # A reply this side cannot parse (corrupted bytes, invalid
+            # JSON) proves the stream is compromised: frame boundaries
+            # can no longer be trusted, so the connection is done.
+            self._mark_broken(f"unparseable reply: {exc}")
+            raise ProtocolError(
+                f"unparseable reply ({exc}); the connection is broken — "
+                "reconnect() to continue"
+            ) from exc
+        # An untagged reply is a v1 server that ignored the (unknown
+        # to it) id key; with exactly one request outstanding the
+        # FIFO contract still pairs it correctly.  Only a *wrong*
+        # tag proves the stream is desynchronised.
+        if reply_id is not None and reply_id != request_id:
+            self._mark_broken(
+                f"reply id {reply_id!r} does not match request id "
+                f"{request_id!r} (stream desynchronised)"
+            )
+            raise ProtocolError(
+                f"reply id {reply_id!r} does not match request id "
+                f"{request_id!r}; the connection is broken — "
+                "reconnect() to continue"
+            )
+        return reply
 
     def close(self) -> None:
         with self._lock:
@@ -564,9 +714,15 @@ class AsyncServiceClient:
     cluster layer treats that as "this endpoint is gone".
     """
 
-    def __init__(self, endpoint: Endpoint, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        timeout: float = 120.0,
+        auth_key: Optional[bytes] = None,
+    ) -> None:
         self.endpoint = endpoint
         self.timeout = timeout
+        self._auth_key = None if auth_key is None else bytes(auth_key)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -584,7 +740,37 @@ class AsyncServiceClient:
                 self.endpoint.host, self.endpoint.port, limit=MAX_LINE_BYTES
             )
         self._reader_task = asyncio.ensure_future(self._read_loop())
+        if self._auth_key is not None:
+            await self._handshake()
         return self
+
+    async def _handshake(self) -> None:
+        """Authenticate before the connection carries any verb.
+
+        Same sans-IO state machine as the sync client; here a
+        non-``auth`` envelope (e.g. a pre-auth server) surfaces as
+        :class:`TransportError` so the cluster layer fails over to the
+        other endpoints instead of treating it as a credential failure.
+        """
+        steps = client_auth_handshake(self._auth_key)
+        try:
+            request = next(steps)
+            while True:
+                request = steps.send(await self.request(request))
+        except StopIteration:
+            return  # authenticated (or the server never required auth)
+        except AuthenticationError:
+            self._poison("handshake failed")
+            raise
+        except AuthHandshakeRefused as exc:
+            self._poison("handshake failed")
+            raise TransportError(
+                f"handshake with {self.endpoint.label()} failed: "
+                f"[{exc.reply.code}] {exc.reply.message}"
+            ) from None
+        except ProtocolError:
+            self._poison("handshake violated the protocol")
+            raise
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
@@ -606,8 +792,17 @@ class AsyncServiceClient:
                     reply_id = getattr(exc, "request_id", None)
                     future = self._pending.pop(reply_id, None)
                     if future is not None and not future.done():
+                        # The frame was readable enough to carry a known
+                        # id: fail that one request, keep the stream.
                         future.set_exception(exc)
-                    continue
+                        continue
+                    # Unattributable garbage (corrupted bytes, invalid
+                    # JSON): frame boundaries can no longer be trusted —
+                    # fail everything now instead of stalling every
+                    # pending request to its timeout.
+                    raise TransportError(
+                        f"unparseable reply from {self.endpoint.label()}: {exc}"
+                    ) from exc
                 if reply_id is None:
                     # A pre-request-id server ignored the "id" key.  This
                     # client always pipelines, so positional pairing is
@@ -685,17 +880,73 @@ class AsyncServiceClient:
         self._poison("client closed")
 
 
+class _EndpointUnavailable(Exception):
+    """Internal: the endpoint went on probation / got retired while this
+    coroutine was queued for its connection lock — re-evaluate, nothing
+    new to record."""
+
+
+class _DialFailed(Exception):
+    """Internal: connecting (or handshaking) failed before any request
+    frame was sent.  The failure is already recorded against the
+    endpoint; the request itself remains retryable there later."""
+
+
+@dataclass
+class EndpointHealth:
+    """Rehabilitation state for one endpoint (healthy → probation → retired).
+
+    * **healthy** — ``failures == 0``: serves requests normally.
+    * **probation** — after a fault the endpoint sits out until
+      ``available_at`` (exponential backoff per consecutive failure);
+      the next request whose ring order reaches it after the deadline
+      probes it with a fresh connection.  A served request resets the
+      state to healthy — a *flapping* endpoint rejoins.
+    * **retired** — more than ``retry_budget`` consecutive failures:
+      permanently out for this client's lifetime — a *dead* endpoint
+      still fails over for good.
+    """
+
+    failures: int = 0
+    retired: bool = False
+    #: Monotonic deadline while on probation (0.0 = available now).
+    available_at: float = 0.0
+    #: Connections already blamed, so one poisoned connection that kills
+    #: many in-flight requests counts as ONE failure, not many.
+    blamed: List[Any] = field(default_factory=list)
+
+
 class RemoteClusterClient:
     """Shard-affine dispatch over a pool of service endpoints.
 
     ``run()`` takes ``(shard, request)`` pairs and returns the replies
     positionally.  Shard *s* is served by endpoint ``s % n`` — the same
     content-addressed placement every run, every host — and up to
-    ``max_inflight`` requests ride each connection concurrently.  When
-    an endpoint fails (refused, reset, timed out, mid-frame EOF) it is
-    retired for the rest of the run and the affected requests fail over
-    to the surviving endpoints in deterministic order; only when every
-    endpoint is gone does the failure propagate.
+    ``max_inflight`` requests ride each connection concurrently.
+
+    **Fault handling** is a per-endpoint state machine
+    (:class:`EndpointHealth`): a transport fault (refused, reset, timed
+    out, mid-frame EOF, corrupted reply) puts the endpoint on
+    exponential-backoff probation and the affected requests fail over to
+    the other endpoints in deterministic ring order; once an endpoint
+    accumulates more than ``retry_budget`` consecutive failures it is
+    retired for good.  A flapping endpoint therefore rejoins mid-batch
+    (its next probe succeeds and resets the state), while a dead one
+    stops being probed after the budget is spent.
+
+    **Byte-identity across rehabilitation**: a request that failed on an
+    endpoint *after its frame may have been sent* is never retried on
+    that endpoint — the serving side's pseudonym counters could have
+    advanced for its user, and a replay there would publish different
+    ``user#k`` ids.  Failed-over requests go only to endpoints that have
+    never seen them (dial-phase failures, where no frame was sent, are
+    exempt), so the published bytes match serial on every path.
+
+    **Auth**: with ``auth_key`` set every connection authenticates
+    before dispatch.  An :class:`~repro.errors.AuthenticationError` is
+    *fatal* and propagates immediately — a misconfigured key fails
+    identically on every endpoint and every retry, so burning the retry
+    budget on it would only hide the real problem.
     """
 
     def __init__(
@@ -703,6 +954,11 @@ class RemoteClusterClient:
         endpoints: Sequence[Any],
         timeout: float = 120.0,
         max_inflight: int = 4,
+        retry_budget: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         self.endpoints = [parse_endpoint(e) for e in endpoints]
         if not self.endpoints:
@@ -711,11 +967,29 @@ class RemoteClusterClient:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if int(retry_budget) < 0:
+            raise ConfigurationError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        if float(backoff_base) <= 0 or float(backoff_max) <= 0:
+            raise ConfigurationError(
+                f"backoff times must be positive, got base={backoff_base}, "
+                f"max={backoff_max}"
+            )
+        if float(backoff_factor) < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
         self.timeout = float(timeout)
         self.max_inflight = int(max_inflight)
+        self.retry_budget = int(retry_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
+        self.auth_key = None if auth_key is None else bytes(auth_key)
         n = len(self.endpoints)
         self._clients: List[Optional[AsyncServiceClient]] = [None] * n
-        self._alive = [True] * n
+        self._health = [EndpointHealth() for _ in range(n)]
         self._conn_locks: Optional[List[asyncio.Lock]] = None
         self._slots: Optional[List[asyncio.Semaphore]] = None
 
@@ -729,48 +1003,145 @@ class RemoteClusterClient:
                 asyncio.Semaphore(self.max_inflight) for _ in range(n)
             ]
 
+    def health(self) -> List[EndpointHealth]:
+        """Per-endpoint rehabilitation state (introspection for tests)."""
+        return list(self._health)
+
     async def _client(self, index: int) -> AsyncServiceClient:
         assert self._conn_locks is not None
         async with self._conn_locks[index]:
             client = self._clients[index]
-            if client is None or client._broken is not None:
-                if client is not None:
-                    raise TransportError(
-                        f"endpoint {self.endpoints[index].label()} is retired: "
-                        f"{client._broken}"
-                    )
-                client = AsyncServiceClient(
-                    self.endpoints[index], timeout=self.timeout
-                )
+            if client is not None and client._broken is None:
+                return client
+            self._clients[index] = None
+            health = self._health[index]
+            if health.retired or health.available_at > time.monotonic():
+                # The endpoint's state moved while we queued for the
+                # lock (another request's dial failed first).
+                raise _EndpointUnavailable()
+            client = AsyncServiceClient(
+                self.endpoints[index], timeout=self.timeout, auth_key=self.auth_key
+            )
+            try:
                 await client.connect()
-                self._clients[index] = client
+            except AuthenticationError:
+                await client.close()
+                raise
+            except (TransportError, ProtocolError, ConnectionError, OSError) as exc:
+                await client.close()
+                # Recorded here, under the connection lock, so one down
+                # endpoint costs one budget point per actual dial — not
+                # one per request queued behind the dial.
+                self._record_failure(index, None)
+                raise _DialFailed() from exc
+            self._clients[index] = client
             return client
 
-    def _retire(self, index: int) -> None:
-        self._alive[index] = False
+    def _record_failure(self, index: int, client: Optional[Any]) -> None:
+        health = self._health[index]
+        if client is not None:
+            if any(blamed is client for blamed in health.blamed):
+                return  # this connection's death was already counted
+            health.blamed.append(client)
+        health.failures += 1
+        if health.failures > self.retry_budget:
+            health.retired = True
+            return
+        backoff = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (health.failures - 1),
+        )
+        health.available_at = time.monotonic() + backoff
+
+    def _record_success(self, index: int) -> None:
+        health = self._health[index]
+        health.failures = 0
+        health.available_at = 0.0
+        health.blamed.clear()
 
     async def _request_with_failover(
         self, shard: int, message: Message
     ) -> Message:
         n = len(self.endpoints)
         last: Optional[Exception] = None
-        # Deterministic endpoint order for this shard: primary first,
-        # then the others in ring order; dead endpoints are skipped.
-        for offset in range(n):
-            index = (shard + offset) % n
-            if not self._alive[index]:
+        # Endpoints this request's frame may have reached: never retried
+        # there (see the byte-identity note in the class docstring).
+        attempted: set = set()
+        while True:
+            # Deterministic candidate order for this shard: primary
+            # first, then the others in ring order.
+            now = time.monotonic()
+            index: Optional[int] = None
+            wait_until: Optional[float] = None
+            for offset in range(n):
+                i = (shard + offset) % n
+                health = self._health[i]
+                if health.retired or i in attempted:
+                    continue
+                if health.available_at > now:
+                    # On probation: usable later, note the deadline.
+                    wait_until = (
+                        health.available_at
+                        if wait_until is None
+                        else min(wait_until, health.available_at)
+                    )
+                    continue
+                index = i
+                break
+            if index is None:
+                if wait_until is None:
+                    raise TransportError(
+                        f"all {n} endpoints failed; last error: {last}"
+                    )
+                await asyncio.sleep(max(0.0, wait_until - now) + 1e-3)
                 continue
             assert self._slots is not None
             try:
                 client = await self._client(index)
+            except _EndpointUnavailable:
+                continue  # state advanced under us; re-evaluate
+            except AuthenticationError:
+                raise  # fatal everywhere: do not burn the budget on it
+            except _DialFailed as exc:
+                # No frame was sent, so this endpoint stays retryable
+                # for THIS request once its probation expires.
+                last = exc.__cause__
+                continue
+            try:
                 async with self._slots[index]:
-                    return await client.request(message)
-            except (TransportError, ConnectionError, OSError) as exc:
-                self._retire(index)
+                    if client._broken is not None:
+                        # The connection died while this request queued
+                        # for its in-flight slot: provably no frame of
+                        # OURS was sent, so the endpoint stays retryable
+                        # for this request (unlike the except branch
+                        # below, where the frame may have gone out).
+                        self._record_failure(index, client)  # dedup by blame
+                        last = TransportError(
+                            f"connection to {self.endpoints[index].label()} "
+                            f"broke while queued: {client._broken}"
+                        )
+                        continue
+                    reply = await client.request(message)
+            except AuthenticationError:
+                raise
+            except MessageEncodeError:
+                # Our own message is unencodable (e.g. a NaN coordinate),
+                # raised before any frame left this process: the caller's
+                # problem, deterministic on every endpoint — propagate
+                # without blaming the endpoint.
+                raise
+            except (TransportError, ProtocolError, ConnectionError, OSError) as exc:
+                self._record_failure(index, client)
+                attempted.add(index)
                 last = exc
-        raise TransportError(
-            f"all {n} endpoints failed; last error: {last}"
-        )
+                continue
+            if isinstance(reply, ErrorEnvelope) and reply.code == "auth":
+                # A keyless client against a keyed server: every verb on
+                # every endpoint gets this envelope — fatal-fast, like a
+                # wrong key, instead of round-tripping the whole batch.
+                raise AuthenticationError(reply.message)
+            self._record_success(index)
+            return reply
 
     async def run(
         self, requests: Sequence[Tuple[int, Message]]

@@ -392,3 +392,4 @@ class TestProtectionService:
         with LoopbackClient(service) as client:
             client.upload(day_trace("gina"))
         assert server.stats.uploads == 1
+

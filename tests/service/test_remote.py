@@ -249,3 +249,149 @@ class TestRemoteConfiguration:
         executor = RemoteExecutor(endpoints=["127.0.0.1:1"])
         with pytest.raises(ConfigurationError, match="local backend"):
             executor.map(mk_engine(), "_evaluate_mood_one", [], {})
+
+    def test_rehabilitation_spec_round_trips(self):
+        """PR 5: retry_budget/backoff/auth keys are declarative."""
+        from repro.config import ProtectionConfig
+
+        cfg = ProtectionConfig(
+            executor={
+                "name": "remote",
+                "endpoints": ["10.0.0.1:7464"],
+                "retry_budget": 5,
+                "backoff": {"base": 0.1, "factor": 3.0, "max": 10.0},
+                "auth_key_file": "/etc/mood/cluster.key",
+            }
+        )
+        assert cfg.validate() is cfg
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+
+    def test_backoff_spellings(self):
+        executor = RemoteExecutor(endpoints=["h:1"], backoff=0.2)
+        assert executor.backoff == {"base": 0.2, "factor": 2.0, "max": 2.0}
+        executor = RemoteExecutor(endpoints=["h:1"], backoff={"max": 9.0})
+        assert executor.backoff["max"] == 9.0
+        assert RemoteExecutor(endpoints=["h:1"]).retry_budget == 3
+
+    def test_invalid_backoff_and_auth_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backoff keys"):
+            RemoteExecutor(endpoints=["h:1"], backoff={"pause": 1})
+        with pytest.raises(ConfigurationError, match="number or a"):
+            RemoteExecutor(endpoints=["h:1"], backoff="fast")
+        with pytest.raises(ConfigurationError, match="not both"):
+            RemoteExecutor(endpoints=["h:1"], auth_key="a", auth_key_file="b")
+
+    def test_from_config_inherits_service_auth(self):
+        """A remote spec without its own key inherits config.service."""
+        from repro.config import ProtectionConfig
+        from repro.core.engine import ProtectionEngine
+
+        cfg = ProtectionConfig(
+            executor={"name": "remote", "endpoints": ["10.0.0.1:7464"]},
+            service={"auth_key": "cluster-secret"},
+        )
+        engine = ProtectionEngine.from_config(cfg)
+        assert engine.executor["auth_key"] == "cluster-secret"
+        # An explicit executor key wins over the service block.
+        cfg = ProtectionConfig(
+            executor={
+                "name": "remote",
+                "endpoints": ["10.0.0.1:7464"],
+                "auth_key": "own-key",
+            },
+            service={"auth_key": "cluster-secret"},
+        )
+        assert ProtectionEngine.from_config(cfg).executor["auth_key"] == "own-key"
+        # Local executors are untouched by the service block.
+        cfg = ProtectionConfig(service={"auth_key": "cluster-secret"})
+        assert ProtectionEngine.from_config(cfg).executor == "serial"
+
+
+class TestRemoteAuth:
+    def test_keyed_cluster_byte_identity(self, cluster, tmp_path):
+        """End-to-end: auth_key_file on the spec, keyed servers, and the
+        published bytes still match serial."""
+        from repro.service.rpc import ServiceServer
+
+        key_path = tmp_path / "cluster.key"
+        key_path.write_text("remote-auth-secret\n")
+        ds = corpus()
+        reference_csv = to_csv_string(
+            mk_engine().protect_dataset(ds, daily=True).published_dataset()
+        )
+        servers = [
+            ServiceServer(
+                ProtectionService(mk_engine()),
+                port=0,
+                auth_key=b"remote-auth-secret",
+            )
+            for _ in range(2)
+        ]
+        endpoints = []
+        try:
+            for server in servers:
+                host, port = server.start_background()
+                endpoints.append(f"{host}:{port}")
+            engine = mk_engine(
+                executor={
+                    "name": "remote",
+                    "endpoints": endpoints,
+                    "shards": 4,
+                    "auth_key_file": str(key_path),
+                },
+                jobs=2,
+            )
+            report = engine.protect_dataset(ds, daily=True)
+        finally:
+            for server in servers:
+                server.stop_background()
+        assert to_csv_string(report.published_dataset()) == reference_csv
+
+    def test_missing_key_is_a_typed_error(self, cluster):
+        """A keyless executor against keyed servers fails with the auth
+        ServiceError, not a hang or a transport retry storm."""
+        from repro.errors import AuthenticationError, ServiceError
+        from repro.service.rpc import ServiceServer
+
+        server = ServiceServer(
+            ProtectionService(mk_engine()), port=0, auth_key=b"k"
+        )
+        host, port = server.start_background()
+        try:
+            engine = mk_engine(
+                executor={"name": "remote", "endpoints": [f"{host}:{port}"]}
+            )
+            with pytest.raises((ServiceError, AuthenticationError), match="auth"):
+                engine.protect_dataset(corpus(n_users=2))
+        finally:
+            server.stop_background()
+
+    def test_wrong_key_fails_fast(self, cluster):
+        """Satellite: a wrong key must raise AuthenticationError straight
+        away instead of burning the retry budget endpoint by endpoint."""
+        import time as _time
+
+        from repro.errors import AuthenticationError
+        from repro.service.rpc import ServiceServer
+
+        server = ServiceServer(
+            ProtectionService(mk_engine()), port=0, auth_key=b"right"
+        )
+        host, port = server.start_background()
+        try:
+            engine = mk_engine(
+                executor={
+                    "name": "remote",
+                    "endpoints": [f"{host}:{port}"],
+                    "auth_key": "wrong",
+                    "retry_budget": 50,
+                    "backoff": 0.5,
+                }
+            )
+            start = _time.monotonic()
+            with pytest.raises(AuthenticationError):
+                engine.protect_dataset(corpus(n_users=2))
+            # 50 budget x 0.5s backoff would take ~25s; fatal means fast.
+            assert _time.monotonic() - start < 5.0
+        finally:
+            server.stop_background()

@@ -217,6 +217,38 @@ class TestClientDesyncRecovery:
             client.close()
             listener.close()
 
+    def test_corrupted_reply_breaks_client(self):
+        """Chaos-harness regression: a garbage reply line must mark the
+        client broken (frame boundaries are untrustworthy), not leak a
+        bare decode error while leaving the stream 'usable'."""
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def corrupting_server():
+            conn, _ = listener.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                fh.write(b'{"v":1,"ty\x00\x9f garbage bytes\n')
+                fh.flush()
+                fh.readline()  # wait for the client to give up
+
+        thread = threading.Thread(target=corrupting_server, daemon=True)
+        thread.start()
+        client = ServiceClient(host=host, port=port, timeout=5.0)
+        try:
+            with pytest.raises(ProtocolError, match="unparseable reply"):
+                client.stats()
+            with pytest.raises(TransportError, match="reconnect"):
+                client.stats()
+        finally:
+            client.close()
+            listener.close()
+
     def test_mismatched_reply_id_breaks_client(self):
         """A desynchronised stream (wrong id) is detected immediately."""
         import threading
@@ -363,6 +395,48 @@ class TestAsyncClient:
 
             asyncio.run(scenario())
 
+    def test_unattributable_garbage_poisons_fast_not_by_timeout(self):
+        """A corrupted reply whose id is unreadable must poison the
+        pipelining client immediately — frame boundaries are shot, so
+        stalling every pending request to its timeout would be a hang."""
+        import asyncio
+        import threading
+
+        from repro.service.rpc import AsyncServiceClient, parse_endpoint
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def corrupting_server():
+            conn, _ = listener.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                fh.write(b"\x9f\x00 corrupted frame\n")
+                fh.flush()
+                fh.readline()
+
+        thread = threading.Thread(target=corrupting_server, daemon=True)
+        thread.start()
+
+        async def scenario():
+            client = AsyncServiceClient(
+                parse_endpoint(f"{host}:{port}"), timeout=60.0
+            )
+            await client.connect()
+            try:
+                with pytest.raises(TransportError, match="unparseable reply"):
+                    await client.request(StatsRequest())
+            finally:
+                await client.close()
+
+        start = time.monotonic()
+        asyncio.run(scenario())
+        listener.close()
+        assert time.monotonic() - start < 10.0  # nowhere near the timeout
+
     def test_untagged_reply_fails_fast_not_by_timeout(self):
         """A v1 server that ignores the id key must poison the pipelining
         client immediately — not stall every request to its timeout."""
@@ -501,6 +575,49 @@ class TestServeCommand:
             # The engine is real: whatever was published is queryable.
             assert stats.server["records"] == receipt.published_records
             assert stats.proxy["chunks_processed"] == 2
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    def test_python_m_repro_serve_with_auth_key(self, tmp_path):
+        """Acceptance: `repro serve --auth-key-file` requires the
+        handshake; a keyless client is rejected, a keyed one served."""
+        from repro.errors import AuthenticationError
+
+        sock_path = str(tmp_path / "auth-serve.sock")
+        key_path = tmp_path / "mood.key"
+        key_path.write_text("cli-secret\n")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--unix", sock_path, "--users", "2", "--days", "2", "--seed", "3",
+                "--auth-key-file", str(key_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.time() + 120.0
+            while not os.path.exists(sock_path):
+                if proc.poll() is not None:
+                    out = proc.stdout.read().decode(errors="replace")
+                    raise AssertionError(f"serve exited early:\n{out}")
+                if time.time() > deadline:
+                    raise AssertionError("serve did not come up in time")
+                time.sleep(0.2)
+            with ServiceClient(unix_path=sock_path, timeout=120.0) as keyless:
+                with pytest.raises(AuthenticationError):
+                    keyless.stats()
+            with ServiceClient(
+                unix_path=sock_path, timeout=120.0, auth_key=b"cli-secret"
+            ) as keyed:
+                assert keyed.stats().server["uploads"] == 0
         finally:
             proc.terminate()
             proc.wait(timeout=30)

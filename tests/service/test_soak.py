@@ -1,0 +1,415 @@
+"""Chaos soak matrix: executors × injected wire faults (PR 5 tentpole).
+
+Acceptance: for every fault class (drop, delay, truncate, corrupt,
+mid-reply disconnect, flap-and-rejoin) the remote executor either
+completes **byte-identical to serial** or raises a typed error — no
+hangs, no silent data divergence.  Local executors (serial / async /
+sharded) are the control row of the matrix: no wire, same bytes.
+
+The faults are injected by :class:`tests.service.chaos.ChaosProxy`, a
+TCP relay between the cluster client and one of the two endpoints; the
+other endpoint stays healthy so failed-over requests have somewhere to
+go (except in the flap-and-rejoin leg, which deliberately runs a
+single-endpoint cluster so the batch *must* wait for the endpoint to
+come back).
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MobilityDataset
+from repro.core.engine import ProtectionEngine
+from repro.core.trace import Trace
+from repro.errors import TransportError
+from repro.lppm.base import LPPM
+from repro.service.api import ProtectionService, StatsRequest
+from repro.service.rpc import RemoteClusterClient, ServiceServer
+from repro.datasets.io import to_csv_string
+
+from tests.service.chaos import FAULTS, ChaosProxy
+
+DAY = 86_400.0
+AUTH_KEY = "chaos-cluster-key"
+
+
+class _Shift(LPPM):
+    name = "shift"
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + 0.3, trace.lngs)
+
+
+class _ThresholdAttack:
+    name = "atk"
+
+    def reidentify(self, trace):
+        if len(trace) and float(np.mean(trace.lats)) - 45.0 >= 0.2:
+            return "<confused>"
+        return trace.user_id
+
+
+def mk_engine(**kwargs):
+    return ProtectionEngine([_Shift()], [_ThresholdAttack()], **kwargs)
+
+
+def corpus(n_users=8, days=2, period=3600.0):
+    ds = MobilityDataset("chaos-soak")
+    n = int(days * DAY / period)
+    for i in range(n_users):
+        ds.add(
+            Trace(
+                f"user{i}",
+                np.arange(n) * period,
+                np.full(n, 45.0) + i * 1e-4,
+                np.full(n, 4.0),
+            )
+        )
+    return ds
+
+
+@pytest.fixture(scope="module")
+def soak_corpus():
+    return corpus()
+
+
+@pytest.fixture(scope="module")
+def reference_csv(soak_corpus):
+    report = mk_engine().protect_dataset(soak_corpus, daily=True)
+    return to_csv_string(report.published_dataset())
+
+
+@pytest.fixture
+def servers():
+    spawned = []
+
+    def spawn(service, **kwargs):
+        server = ServiceServer(service, port=0, **kwargs)
+        host, port = server.start_background()
+        spawned.append(server)
+        return host, port
+
+    yield spawn
+    for server in spawned:
+        server.stop_background()
+
+
+def remote_spec(endpoints, **overrides):
+    spec = {
+        "name": "remote",
+        "endpoints": list(endpoints),
+        "shards": 4,
+        "retry_budget": 5,
+        "backoff": {"base": 0.03, "factor": 2.0, "max": 0.5},
+        "timeout": 1.5,
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestChaosMatrix:
+    """The parametrized fault matrix of the tentpole."""
+
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "async", {"name": "sharded", "shards": 3}],
+        ids=lambda e: e if isinstance(e, str) else e["name"],
+    )
+    def test_local_executors_byte_identical(
+        self, soak_corpus, reference_csv, executor
+    ):
+        """Control row: no wire to disturb, identical bytes."""
+        engine = mk_engine(executor=executor, jobs=2)
+        report = engine.protect_dataset(soak_corpus, daily=True)
+        assert to_csv_string(report.published_dataset()) == reference_csv
+
+    @pytest.mark.parametrize("fault", [f for f in FAULTS if f != "none"] + ["none"])
+    def test_remote_byte_identical_under_fault(
+        self, soak_corpus, reference_csv, servers, fault
+    ):
+        """Each fault class hits mid-batch; the published bytes must not."""
+        host, port = servers(ProtectionService(mk_engine()))
+        direct_host, direct_port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(
+            host, port, fault=fault, after_replies=3, n_faults=2, delay_s=0.2
+        ) as proxy:
+            engine = mk_engine(
+                executor=remote_spec(
+                    [proxy.endpoint, f"{direct_host}:{direct_port}"]
+                ),
+                jobs=4,
+            )
+            report = engine.protect_dataset(soak_corpus, daily=True)
+            assert to_csv_string(report.published_dataset()) == reference_csv
+            if fault != "none":
+                assert proxy.faults_injected >= 1, "the fault never fired"
+
+    @pytest.mark.parametrize("fault", ["corrupt", "disconnect"])
+    def test_persistently_faulty_endpoint_fails_over(
+        self, soak_corpus, reference_csv, servers, fault
+    ):
+        """An endpoint that faults on *every* reply is eventually retired
+        (budget exhausted) and the batch completes on the survivor."""
+        host, port = servers(ProtectionService(mk_engine()))
+        direct_host, direct_port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(host, port, fault=fault, after_replies=0, n_faults=10_000) as proxy:
+            engine = mk_engine(
+                executor=remote_spec(
+                    [proxy.endpoint, f"{direct_host}:{direct_port}"],
+                    retry_budget=2,
+                ),
+                jobs=4,
+            )
+            report = engine.protect_dataset(soak_corpus, daily=True)
+            assert to_csv_string(report.published_dataset()) == reference_csv
+
+    def test_chaos_with_auth_enabled(self, soak_corpus, reference_csv, servers):
+        """The handshake relays through the chaos path, and a corrupted
+        reply after authentication still fails over byte-identically."""
+        key = AUTH_KEY.encode("utf-8")
+        host, port = servers(ProtectionService(mk_engine()), auth_key=key)
+        direct_host, direct_port = servers(
+            ProtectionService(mk_engine()), auth_key=key
+        )
+        with ChaosProxy(
+            host, port, fault="corrupt", after_replies=4, n_faults=1
+        ) as proxy:
+            engine = mk_engine(
+                executor=remote_spec(
+                    [proxy.endpoint, f"{direct_host}:{direct_port}"],
+                    auth_key=AUTH_KEY,
+                ),
+                jobs=4,
+            )
+            report = engine.protect_dataset(soak_corpus, daily=True)
+            assert to_csv_string(report.published_dataset()) == reference_csv
+
+
+class TestFlapAndRejoin:
+    def test_single_endpoint_flap_rejoins_mid_batch(
+        self, soak_corpus, reference_csv, servers
+    ):
+        """The rehabilitation acceptance leg: the only endpoint is down
+        when the batch starts and comes up mid-batch.  Under permanent
+        retirement (the PR-4 behaviour) this batch could never finish;
+        with probation it completes byte-identically."""
+        host, port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(host, port, start_down=True) as proxy:
+            assert not proxy.is_up
+            timer = threading.Timer(0.25, proxy.go_up)
+            timer.start()
+            try:
+                engine = mk_engine(
+                    executor=remote_spec(
+                        [proxy.endpoint],
+                        retry_budget=20,
+                        backoff={"base": 0.05, "factor": 1.5, "max": 0.3},
+                    ),
+                    jobs=4,
+                )
+                report = engine.protect_dataset(soak_corpus, daily=True)
+            finally:
+                timer.cancel()
+            assert to_csv_string(report.published_dataset()) == reference_csv
+            # The endpoint really was dialled only after it came back.
+            assert proxy.connections_accepted >= 1
+
+    def test_two_endpoint_flap_heals_without_divergence(
+        self, soak_corpus, reference_csv, servers
+    ):
+        """Flap one endpoint of a pair mid-batch: shards fail over to the
+        survivor, the flapper rejoins for later probes, bytes unchanged."""
+        host, port = servers(ProtectionService(mk_engine()))
+        direct_host, direct_port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(host, port) as proxy:
+            down = threading.Timer(0.05, proxy.go_down)
+            up = threading.Timer(0.35, proxy.go_up)
+            down.start()
+            up.start()
+            try:
+                engine = mk_engine(
+                    executor=remote_spec(
+                        [proxy.endpoint, f"{direct_host}:{direct_port}"]
+                    ),
+                    jobs=4,
+                )
+                report = engine.protect_dataset(soak_corpus, daily=True)
+            finally:
+                down.cancel()
+                up.cancel()
+            assert to_csv_string(report.published_dataset()) == reference_csv
+
+
+class TestRehabilitationStateMachine:
+    """healthy → probation → retired, pinned at the cluster-client level."""
+
+    def test_budget_exhaustion_retires_dead_endpoint(self):
+        async def scenario():
+            # Nothing listens on port 1: every dial fails instantly.
+            cluster = RemoteClusterClient(
+                ["127.0.0.1:1"], retry_budget=2, backoff_base=0.01, backoff_max=0.02
+            )
+            try:
+                with pytest.raises(TransportError, match="all 1 endpoints failed"):
+                    await cluster.run([(0, StatsRequest())])
+                (health,) = cluster.health()
+                assert health.retired
+                assert health.failures == 3  # budget 2 -> third strike retires
+            finally:
+                await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        cluster = RemoteClusterClient(
+            ["127.0.0.1:1"],
+            retry_budget=10,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=0.5,
+        )
+        (health,) = cluster.health()
+        delays = []
+        for _ in range(5):
+            cluster._record_failure(0, None)
+            delays.append(health.available_at - time.monotonic())
+        # ~0.1, 0.2, 0.4, then capped at 0.5.
+        assert 0.05 < delays[0] < 0.15
+        assert 0.15 < delays[1] < 0.25
+        assert 0.35 < delays[2] < 0.45
+        assert 0.45 < delays[3] <= 0.55
+        assert 0.45 < delays[4] <= 0.55
+        assert not health.retired
+
+    def test_success_rehabilitates(self):
+        cluster = RemoteClusterClient(
+            ["127.0.0.1:1"], retry_budget=10, backoff_base=0.1
+        )
+        cluster._record_failure(0, None)
+        cluster._record_failure(0, None)
+        (health,) = cluster.health()
+        assert health.failures == 2
+        cluster._record_success(0)
+        assert health.failures == 0
+        assert health.available_at == 0.0
+        assert not health.retired
+
+    def test_one_dead_connection_counts_one_failure(self, servers):
+        """Many in-flight requests on one poisoned connection must burn
+        ONE budget point, not one per request."""
+        host, port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(host, port, fault="disconnect", after_replies=0) as proxy:
+
+            async def scenario():
+                cluster = RemoteClusterClient(
+                    [proxy.endpoint], retry_budget=3, backoff_base=0.01
+                )
+                try:
+                    with pytest.raises(TransportError):
+                        await cluster.run([(0, StatsRequest()) for _ in range(4)])
+                    (health,) = cluster.health()
+                    assert health.failures == 1
+                    assert not health.retired
+                finally:
+                    await cluster.close()
+
+            asyncio.run(scenario())
+
+    def test_unencodable_message_does_not_blame_the_endpoint(self, servers):
+        """Regression (review finding): a NaN-tainted trace fails at
+        encode time, before any frame leaves the process — it must
+        propagate as ProtocolError and leave the endpoint's budget and
+        health untouched."""
+        from repro.errors import ProtocolError
+        from repro.service.api import ProtectRequest
+
+        host, port = servers(ProtectionService(mk_engine()))
+        poisoned = ProtectRequest(
+            trace=Trace("nan-user", [0.0], [float("nan")], [4.0])
+        )
+
+        async def scenario():
+            cluster = RemoteClusterClient([f"{host}:{port}"], retry_budget=3)
+            try:
+                with pytest.raises(ProtocolError, match="non-finite"):
+                    await cluster.run([(0, poisoned)])
+                (health,) = cluster.health()
+                assert health.failures == 0
+                assert not health.retired
+            finally:
+                await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_broken_while_queued_stays_retryable(self, servers):
+        """Regression (review finding): a request whose connection died
+        while it was queued behind the in-flight slot provably sent no
+        frame — it must retry the endpoint after probation, not mark it
+        attempted and abort with 'all endpoints failed'."""
+        from repro.service.api import ErrorEnvelope
+
+        host, port = servers(ProtectionService(mk_engine()))
+
+        async def scenario():
+            cluster = RemoteClusterClient(
+                [f"{host}:{port}"],
+                max_inflight=1,
+                retry_budget=5,
+                backoff_base=0.02,
+            )
+            try:
+                cluster._lazy_sync()
+                client = await cluster._client(0)
+                # Hold the only slot so the request queues behind it...
+                await cluster._slots[0].acquire()
+                task = asyncio.ensure_future(
+                    cluster._request_with_failover(0, StatsRequest())
+                )
+                await asyncio.sleep(0.05)
+                # ...kill the connection while it is queued, then let go.
+                client._poison("simulated mid-batch flap", None)
+                cluster._slots[0].release()
+                reply = await asyncio.wait_for(task, 10.0)
+                assert not isinstance(reply, ErrorEnvelope)
+                (health,) = cluster.health()
+                assert not health.retired
+                assert health.failures == 0  # rehabilitated by the retry
+            finally:
+                await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_rejoined_endpoint_serves_via_cluster_client(self, servers):
+        """Request-level flap: the first dial is refused (probation), the
+        endpoint comes up, the SAME request succeeds on the rejoined
+        endpoint — dial-phase failures stay retryable in place."""
+        host, port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(host, port, start_down=True) as proxy:
+            timer = threading.Timer(0.15, proxy.go_up)
+            timer.start()
+
+            async def scenario():
+                cluster = RemoteClusterClient(
+                    [proxy.endpoint],
+                    retry_budget=20,
+                    backoff_base=0.05,
+                    backoff_factor=1.5,
+                    backoff_max=0.2,
+                )
+                try:
+                    replies = await cluster.run([(0, StatsRequest())])
+                    assert len(replies) == 1
+                    (health,) = cluster.health()
+                    assert health.failures == 0  # success reset the state
+                    assert not health.retired
+                finally:
+                    await cluster.close()
+
+            try:
+                asyncio.run(scenario())
+            finally:
+                timer.cancel()
+            assert proxy.connections_accepted >= 1

@@ -65,6 +65,41 @@ class TestParser:
         assert args.bench_command == "service"
         assert args.smoke
 
+    def test_auth_flags(self):
+        args = build_parser().parse_args(["serve", "--auth-key", "s3cret"])
+        assert args.auth_key == "s3cret"
+        args = build_parser().parse_args(
+            ["request", "stats", "--auth-key-file", "/etc/mood.key"]
+        )
+        assert args.auth_key_file == "/etc/mood.key"
+
+    def test_resolve_auth_key(self, tmp_path):
+        from repro.cli import _resolve_auth_key
+        from repro.config import ProtectionConfig
+        from repro.errors import ConfigurationError
+
+        key_file = tmp_path / "mood.key"
+        key_file.write_text("from-file\n")
+
+        def ns(**kw):
+            base = {"auth_key": None, "auth_key_file": None}
+            base.update(kw)
+            import argparse
+
+            return argparse.Namespace(**base)
+
+        assert _resolve_auth_key(ns()) is None
+        assert _resolve_auth_key(ns(auth_key="literal")) == b"literal"
+        assert _resolve_auth_key(ns(auth_key_file=str(key_file))) == b"from-file"
+        with pytest.raises(ConfigurationError, match="not both"):
+            _resolve_auth_key(ns(auth_key="a", auth_key_file="b"))
+        # CLI flags win over the config's service block.
+        cfg = ProtectionConfig(service={"auth_key": "from-config"})
+        assert _resolve_auth_key(ns(), cfg) == b"from-config"
+        assert _resolve_auth_key(ns(auth_key="flag"), cfg) == b"flag"
+        cfg = ProtectionConfig(service={"auth_key_file": str(key_file)})
+        assert _resolve_auth_key(ns(), cfg) == b"from-file"
+
 
 class TestCommands:
     def test_generate_writes_csv(self, tmp_path, capsys):

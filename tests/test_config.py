@@ -111,3 +111,42 @@ class TestValidation:
     def test_describe_mentions_components(self):
         text = ProtectionConfig.paper_defaults().describe()
         assert "geoi" in text and "poi" in text and "serial" in text
+
+
+class TestServiceBlock:
+    """PR 5: the `service` config block (auth key management)."""
+
+    def test_defaults_to_none_and_round_trips(self):
+        cfg = ProtectionConfig()
+        assert cfg.service is None
+        assert cfg.to_dict()["service"] is None
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+
+    def test_auth_key_file_round_trips(self):
+        cfg = ProtectionConfig(service={"auth_key_file": "/etc/mood/cluster.key"})
+        assert cfg.validate() is cfg
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+        assert "shared-secret" in cfg.describe()
+
+    def test_literal_auth_key_accepted(self):
+        cfg = ProtectionConfig(service={"auth_key": "hunter2"})
+        assert cfg.validate() is cfg
+
+    def test_unknown_service_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown service keys"):
+            ProtectionConfig(service={"auth_keyfile": "x"}).validate()
+
+    def test_both_key_forms_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            ProtectionConfig(
+                service={"auth_key": "a", "auth_key_file": "b"}
+            ).validate()
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            ProtectionConfig(service={"auth_key": ""}).validate()
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            ProtectionConfig(service={"auth_key_file": 7}).validate()
+
+    def test_describe_off_without_service(self):
+        assert "auth   : off" in ProtectionConfig().describe()

@@ -30,6 +30,14 @@ Two entry points:
   down at dispatch and rejoins mid-batch (endpoint rehabilitation,
   PR 5).  ``smoke=True`` is the <60 s CI variant; the full run emits
   ``BENCH_5.json`` (``BENCH_4.json`` predates the flap leg).
+* :func:`run_scale` — the tiered load yardstick over the synthetic
+  corpus engine (:mod:`repro.synth`): stream a full tier (10k/100k/1M
+  users) one trace at a time recording users/s and peak RSS, assert the
+  corpus digest is reproducible (full regeneration **and** as the head
+  of the 10×-larger population — tier prefix-stability), then push a
+  CI-capped head of the corpus through ``protect_dataset`` per executor
+  with a fresh FeatureCache each.  The 10k tier is the <60 s CI job;
+  snapshots are committed as ``BENCH_6.json``.
 
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
@@ -526,6 +534,223 @@ def run_remote(
             json.dump(snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
     return snapshot
+
+
+#: Generation-throughput floor asserted by ``bench scale`` (users/s).
+#: Local runs stream ~1000 users/s; the floor only catches order-of-
+#: magnitude regressions (an accidental O(n²) or per-user re-build of
+#: the zone graph), not machine-speed wobble.
+SCALE_USERS_PER_S_FLOOR = 200.0
+
+
+def run_scale(
+    tier: str = "10k",
+    city: str = "lyon",
+    seed: int = 7,
+    out_path: Optional[str] = None,
+    protect_users: int = 8,
+) -> Dict[str, Any]:
+    """The tiered corpus load yardstick (``BENCH_6.json``).
+
+    Three legs, every guarantee asserted on the spot:
+
+    1. **Generation** — stream the full tier through
+       :meth:`~repro.synth.SynthCorpus.trace` one user at a time,
+       folding each trace's array fingerprint into one corpus digest;
+       records users/s (with a floor assertion) and the process peak RSS
+       (``resource.getrusage``) before and after, which is how the
+       constant-memory claim is checked at 10k/100k/1M.
+    2. **Determinism** — regenerate the tier from a fresh corpus object
+       (same digest required) and regenerate it again as the head of the
+       10×-larger population (prefix-stability: tier size must not leak
+       into any random stream).
+    3. **Protection** — feed the first *protect_users* users through
+       ``ProtectionEngine.protect_dataset`` on the serial, async, and
+       sharded executors with a fresh :class:`FeatureCache` per leg,
+       recording users/s and the cache hit rate; published datasets are
+       asserted byte-identical across executors.
+    """
+    import hashlib
+    import resource
+
+    from repro.attacks import ApAttack, PitAttack, PoiAttack
+    from repro.core.engine import ProtectionEngine
+    from repro.core.featurecache import FeatureCache
+    from repro.core.split import train_test_split
+    from repro.datasets.cities import CITIES
+    from repro.datasets.io import to_csv_string
+    from repro.lppm import GeoInd, HeatmapConfusion, Trilateration
+    from repro.synth import CorpusSpec, SynthCorpus
+
+    spec = CorpusSpec.for_tier(city, tier, seed=seed)
+    corpus = SynthCorpus.from_spec(spec)
+
+    def peak_rss_mib() -> float:
+        # Linux ru_maxrss is KiB; this is a monotone high-water mark.
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    def stream_pass(c: "SynthCorpus") -> Tuple[str, int, float]:
+        """Stream every user once; return (digest, records, wall_s)."""
+        digest = hashlib.blake2b(digest_size=16)
+        records = 0
+        t0 = time.perf_counter()
+        for i in range(spec.n_users):
+            trace = c.trace(i)
+            digest.update(trace.fingerprint)
+            records += len(trace)
+        return digest.hexdigest(), records, time.perf_counter() - t0
+
+    rss_before = peak_rss_mib()
+    fingerprint, records, gen_wall = stream_pass(corpus)
+    rss_after = peak_rss_mib()
+    users_per_s = spec.n_users / gen_wall if gen_wall > 0 else float("inf")
+    if users_per_s < SCALE_USERS_PER_S_FLOOR:
+        raise AssertionError(
+            f"generation throughput {users_per_s:.0f} users/s is below the "
+            f"{SCALE_USERS_PER_S_FLOOR:.0f} users/s floor"
+        )
+
+    regen_fp, _, regen_wall = stream_pass(SynthCorpus.from_spec(spec))
+    if regen_fp != fingerprint:
+        raise AssertionError("regenerating the corpus changed its fingerprint")
+    prefix_of = spec.n_users * 10
+    prefix_fp, _, prefix_wall = stream_pass(
+        SynthCorpus.from_spec(spec.with_users(prefix_of))
+    )
+    if prefix_fp != fingerprint:
+        raise AssertionError(
+            f"the first {spec.n_users} users of the {prefix_of}-user corpus "
+            "differ from the standalone tier — tier size leaked into a stream"
+        )
+
+    head = MobilityDataset(f"{spec.name}-head")
+    for i in range(min(protect_users, spec.n_users)):
+        head.add(corpus.trace(i))
+    train_days = max(1, spec.days // 2)
+    train, test = train_test_split(
+        head, train_days=train_days, test_days=spec.days - train_days
+    )
+    ref_lat = CITIES[city].center_lat
+    attacks = [
+        PoiAttack(diameter_m=200.0, min_dwell_s=3600.0),
+        PitAttack(diameter_m=200.0, min_dwell_s=3600.0),
+        ApAttack(cell_size_m=800.0, ref_lat=ref_lat),
+    ]
+    for attack in attacks:
+        attack.fit(train)
+    lppms = [
+        GeoInd(epsilon=0.01),
+        Trilateration(radius_m=1000.0),
+        HeatmapConfusion(cell_size_m=800.0, ref_lat=ref_lat).fit(train),
+    ]
+
+    executors: Dict[str, Dict[str, Any]] = {}
+    reference_csv: Optional[str] = None
+    backends = [
+        ("serial", "serial", 1),
+        ("async", "async", 2),
+        ("sharded", {"name": "sharded", "shards": 2}, 2),
+    ]
+    for label, exec_spec, jobs in backends:
+        # A fresh cache per leg isolates this executor's hit rate; the
+        # engine adopts the first cache already attached to an attack.
+        cache = FeatureCache()
+        for attack in attacks:
+            attack.use_feature_cache(cache)
+        engine = ProtectionEngine(
+            lppms, attacks, seed=seed, executor=exec_spec, jobs=jobs
+        )
+        report = engine.protect_dataset(test, daily=True)
+        csv = to_csv_string(report.published_dataset())
+        if reference_csv is None:
+            reference_csv = csv
+        elif csv != reference_csv:
+            raise AssertionError(
+                f"executor {label!r} published a different dataset than serial"
+            )
+        stats = cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        executors[label] = {
+            "wall_s": report.wall_time_s,
+            "users_per_s": report.users_per_second,
+            "evaluations": float(report.evaluations),
+            "feature_cache": stats,
+            # Process-pool backends pickle an empty cache into workers,
+            # so only in-process executors report a meaningful rate.
+            "cache_hit_rate": stats["hits"] / lookups if lookups else 0.0,
+        }
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "scale"
+    snapshot["corpus"] = {
+        "provider": "synth",
+        "city": city,
+        "tier": tier,
+        "users": float(spec.n_users),
+        "records": float(records),
+        "days": float(spec.days),
+        "sample_period_s": spec.sample_period_s,
+        "fingerprint": fingerprint,
+    }
+    snapshot["generation"] = {
+        "wall_s": gen_wall,
+        "users_per_s": users_per_s,
+        "records_per_s": records / gen_wall if gen_wall > 0 else float("inf"),
+        "peak_rss_mib_before": rss_before,
+        "peak_rss_mib_after": rss_after,
+    }
+    snapshot["determinism"] = {
+        "regenerate_identical": True,
+        "regenerate_wall_s": regen_wall,
+        "prefix_identical": True,
+        "prefix_of_users": float(prefix_of),
+        "prefix_wall_s": prefix_wall,
+    }
+    snapshot["protection"] = {
+        "users": float(len(test)),
+        "train_days": float(train_days),
+        "executors": executors,
+    }
+    snapshot["executors_identical"] = True
+    snapshot["peak_rss_mib"] = peak_rss_mib()
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def format_scale_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_scale` dict."""
+    corpus = snapshot["corpus"]
+    gen = snapshot["generation"]
+    det = snapshot["determinism"]
+    lines = [
+        f"bench mode         : {snapshot['mode']}",
+        f"corpus             : synth:{corpus['city']}:{corpus['tier']} — "
+        f"{corpus['users']:.0f} users, {corpus['records']:.0f} records "
+        f"over {corpus['days']:.0f} days",
+        f"generation         : {gen['users_per_s']:.0f} users/s "
+        f"({gen['wall_s']:.2f}s, {gen['records_per_s']:.0f} records/s)",
+        f"peak RSS           : {gen['peak_rss_mib_after']:.1f} MiB after "
+        f"streaming (was {gen['peak_rss_mib_before']:.1f} MiB; "
+        f"final {snapshot['peak_rss_mib']:.1f} MiB)",
+        f"corpus fingerprint : {corpus['fingerprint']}",
+        f"regen identical    : {det['regenerate_identical']} "
+        f"({det['regenerate_wall_s']:.2f}s)",
+        f"prefix identical   : {det['prefix_identical']} "
+        f"(head of {det['prefix_of_users']:.0f} users, {det['prefix_wall_s']:.2f}s)",
+    ]
+    for name, entry in snapshot["protection"]["executors"].items():
+        cache = entry["feature_cache"]
+        lines.append(
+            f"executor {name:10s}: {entry['users_per_s']:.2f} users/s "
+            f"({entry['wall_s']:.2f}s, cache hit rate "
+            f"{100.0 * entry['cache_hit_rate']:.0f}% — "
+            f"{cache['hits']}/{cache['hits'] + cache['misses']})"
+        )
+    lines.append(f"executors identical : {snapshot['executors_identical']}")
+    return "\n".join(lines)
 
 
 def format_remote_snapshot(snapshot: Dict[str, Any]) -> str:

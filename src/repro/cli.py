@@ -2,8 +2,15 @@
 
 Commands
 --------
-``mood generate <dataset> --out file.csv``
-    Generate a synthetic corpus and save it as CSV.
+``mood generate <dataset> --out file.csv`` /
+``mood generate --corpus synth:<city>:<tier> --out file.csv``
+    Generate a corpus and save it as CSV.  ``--corpus`` routes through
+    the corpus registry: ``synth:<city>:<tier>`` streams the city-scale
+    activity-based corpus (tiers ``10k``/``100k``/``1m``, constant
+    memory — users are generated and written one at a time), while
+    ``classic:<dataset>`` (or a bare dataset name) uses the paper's four
+    hand-tuned generators.  ``--config`` takes the spec from a
+    ProtectionConfig's ``corpus`` field instead.
 ``mood protect --dataset privamov [--config run.json] [--jobs N]``
     Run the full MooD pipeline on one corpus and print the summary.
     With ``--config`` the engine (LPPMs, attacks, δ, split policy,
@@ -30,7 +37,8 @@ Commands
     Lint a protection config file / print a template to adapt.
 ``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
 ``mood bench service [--out BENCH.json] [--smoke]`` /
-``mood bench remote [--out BENCH.json] [--smoke]``
+``mood bench remote [--out BENCH.json] [--smoke]`` /
+``mood bench scale [--tier 10k] [--city lyon] [--out BENCH.json]``
     Perf gate: ``smoke`` runs the tier-1 test suite plus a sub-minute
     kernel bench (the CI job); ``micro`` runs the full micro suite at
     N ∈ {100, 1000} profiled users and writes a ``BENCH_*.json``
@@ -39,7 +47,10 @@ Commands
     ``remote`` drives the remote executor against a loopback 2-server
     cluster (byte-identity to serial asserted, with and without killing
     an endpoint mid-run, plus a chaos leg where a flapping endpoint
-    rejoins mid-batch — writes ``BENCH_5.json``).
+    rejoins mid-batch — writes ``BENCH_5.json``); ``scale`` streams a
+    full synth tier recording users/s + peak RSS, asserts the corpus
+    digest survives regeneration and tier-prefix extraction, and runs
+    CI-capped protection legs per executor (writes ``BENCH_6.json``).
 """
 
 from __future__ import annotations
@@ -49,8 +60,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.datasets.generators import DATASET_NAMES, generate_dataset
-from repro.datasets.io import save_csv
+from repro.datasets.generators import DATASET_NAMES
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -98,9 +108,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic corpus as CSV")
-    gen.add_argument("dataset", choices=DATASET_NAMES)
+    gen.add_argument(
+        "dataset",
+        nargs="?",
+        choices=DATASET_NAMES,
+        default=None,
+        help="classic corpus name (or use --corpus)",
+    )
+    gen.add_argument(
+        "--corpus",
+        default=None,
+        metavar="SPEC",
+        help="corpus spec: 'synth:<city>:<tier>' (tiers 10k/100k/1m), "
+        "'synth:<city>', or 'classic:<dataset>'; streams users to --out "
+        "one at a time (constant memory at any tier)",
+    )
+    gen.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON ProtectionConfig file; its 'corpus' spec names the input",
+    )
     gen.add_argument("--out", required=True, help="output CSV path")
-    _add_common(gen)
+    gen.add_argument("--seed", type=int, default=0, help="base random seed")
+    gen.add_argument("--users", type=int, default=None, help="override the user count")
+    gen.add_argument(
+        "--days", type=int, default=None, help="campaign days (default: corpus default)"
+    )
 
     prot = sub.add_parser("protect", help="run the full MooD pipeline on a corpus")
     prot.add_argument("--dataset", choices=DATASET_NAMES, default="privamov")
@@ -241,16 +275,101 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller corpus (the <60 s CI job)",
     )
-    for p in (smoke, micro, service, remote):
+    scale = bench_sub.add_parser(
+        "scale",
+        help="tiered corpus load yardstick: generation throughput, "
+        "determinism (regen + tier prefix), and executor protection legs",
+    )
+    scale.add_argument(
+        "--tier",
+        choices=["10k", "100k", "1m"],
+        default="10k",
+        help="corpus tier to stream (10k is the <60 s CI job)",
+    )
+    scale.add_argument("--city", default="lyon", help="synth corpus city")
+    scale.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    for p in (smoke, micro, service, remote, scale):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
 
 
+def _corpus_spec_from_arg(text: str) -> dict:
+    """Parse a ``--corpus`` argument into a registry spec dict.
+
+    Accepts ``synth:<city>:<tier>``, ``synth:<city>``, ``classic:<dataset>``,
+    or a bare classic dataset name.
+    """
+    from repro.errors import ConfigurationError
+
+    parts = text.split(":")
+    if parts[0] == "synth":
+        if len(parts) > 3:
+            raise ConfigurationError(
+                f"corpus spec {text!r} has too many parts; "
+                "expected synth:<city>[:<tier>]"
+            )
+        spec = {"name": "synth"}
+        if len(parts) > 1 and parts[1]:
+            spec["city"] = parts[1]
+        if len(parts) > 2 and parts[2]:
+            spec["tier"] = parts[2].lower()
+        return spec
+    if parts[0] == "classic":
+        if len(parts) > 2:
+            raise ConfigurationError(
+                f"corpus spec {text!r} has too many parts; "
+                "expected classic:<dataset>"
+            )
+        spec = {"name": "classic"}
+        if len(parts) > 1 and parts[1]:
+            spec["dataset"] = parts[1]
+        return spec
+    if text in DATASET_NAMES:
+        return {"name": "classic", "dataset": text}
+    raise ConfigurationError(
+        f"cannot parse corpus spec {text!r}; expected 'synth:<city>[:<tier>]', "
+        f"'classic:<dataset>', or one of {list(DATASET_NAMES)}"
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
-    dataset = generate_dataset(args.dataset, seed=args.seed, n_users=args.users, days=args.days)
-    rows = save_csv(dataset, args.out)
-    print(f"wrote {rows} records for {len(dataset)} users to {args.out}")
+    from repro import registry
+    from repro.datasets.io import write_csv_stream
+    from repro.errors import ConfigurationError
+
+    if args.corpus:
+        spec = _corpus_spec_from_arg(args.corpus)
+    elif args.config:
+        from repro.config import ProtectionConfig
+
+        cfg = ProtectionConfig.from_file(args.config)
+        if cfg.corpus is None:
+            raise ConfigurationError(
+                f"config {args.config} has no 'corpus' spec; add one or "
+                "pass --corpus / a dataset name"
+            )
+        spec = dict(cfg.corpus)
+    elif args.dataset:
+        spec = {"name": "classic", "dataset": args.dataset}
+    else:
+        raise ConfigurationError(
+            "generate needs a dataset name, --corpus SPEC, or --config FILE"
+        )
+    spec.setdefault("seed", args.seed)
+    if args.users is not None:
+        spec.pop("tier", None)  # an explicit count overrides the tier size
+        spec["n_users"] = args.users
+    if args.days is not None:
+        spec["days"] = args.days
+    corpus = registry.build("corpus", spec)
+    rows = write_csv_stream(corpus.iter_traces(), args.out)
+    print(f"wrote {rows} records for {corpus.n_users} users to {args.out}")
     return 0
 
 
@@ -461,14 +580,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import (
         format_remote_snapshot,
+        format_scale_snapshot,
         format_service_snapshot,
         format_snapshot,
         run_micro,
         run_remote,
+        run_scale,
         run_service,
         run_smoke,
     )
 
+    if args.bench_command == "scale":
+        snapshot = run_scale(
+            tier=args.tier, city=args.city, seed=args.seed, out_path=args.out
+        )
+        print(format_scale_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "remote":
         snapshot = run_remote(seed=args.seed, smoke=args.smoke, out_path=args.out)
         print(format_remote_snapshot(snapshot))

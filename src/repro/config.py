@@ -90,6 +90,11 @@ class ProtectionConfig:
     #: HMAC-blake2b handshake, and inherited by a ``remote`` executor
     #: spec that does not carry its own key.
     service: Optional[Dict[str, Any]] = None
+    #: Input corpus spec (registry kind ``corpus``), or ``None``.  A bare
+    #: name or a spec dict such as ``{"name": "synth", "city": "lyon",
+    #: "tier": "10k"}`` / ``{"name": "classic", "dataset": "privamov"}``;
+    #: consumed by ``repro generate --config`` and the scale benchmark.
+    corpus: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.lppms = _normalized_specs(self.lppms, "lppms")
@@ -103,6 +108,8 @@ class ProtectionConfig:
             self.seed = int(self.seed)
         if self.service is not None:
             self.service = dict(self.service)
+        if self.corpus is not None:
+            self.corpus = normalize_spec(self.corpus)
 
     # -- validation ------------------------------------------------------
 
@@ -162,6 +169,8 @@ class ProtectionConfig:
                     raise ConfigurationError(
                         f"service.{key} must be a non-empty string, got {value!r}"
                     )
+        if self.corpus is not None:
+            get("corpus", self.corpus["name"])
         return self
 
     # -- dict / JSON round-trip ------------------------------------------
@@ -202,6 +211,7 @@ class ProtectionConfig:
             "jobs": self.jobs,
             "seed": self.seed,
             "service": dict(self.service) if self.service is not None else None,
+            "corpus": dict(self.corpus) if self.corpus is not None else None,
         }
 
     @classmethod
@@ -251,5 +261,7 @@ class ProtectionConfig:
                 f"seed           : {self.seed}",
                 "service auth   : "
                 + ("shared-secret handshake" if self.service else "off"),
+                "corpus         : "
+                + (self.corpus["name"] if self.corpus else "(from CLI args)"),
             ]
         )

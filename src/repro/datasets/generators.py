@@ -19,9 +19,8 @@ the full benchmark suite runs in minutes; pass ``n_users`` to override.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.core.dataset import MobilityDataset
 from repro.datasets.cities import BEIJING, GENEVA, LYON, SAN_FRANCISCO, City
@@ -32,6 +31,7 @@ from repro.datasets.mobility import (
     ResidentSimulator,
 )
 from repro.errors import ConfigurationError
+from repro.registry import register_corpus
 from repro.rng import SeedLike, make_rng, spawn
 
 #: Campaign start: 2019-06-03 00:00 UTC (a Monday), matching the paper's
@@ -156,6 +156,63 @@ def generate_dataset(
             )
             dataset.add(trace)
     return dataset
+
+
+@register_corpus("classic")
+class ClassicCorpus:
+    """Corpus-provider façade over the four paper corpora.
+
+    Gives the hand-tuned generators the same interface as
+    :class:`repro.synth.corpus.SynthCorpus` (``name`` / ``n_users`` /
+    ``iter_traces()`` / ``generate()``), so the CLI and benchmarks can
+    treat ``--corpus classic:privamov`` and ``--corpus synth:lyon:10k``
+    uniformly.  Unlike the synth engine the classic generators are
+    whole-dataset (shared leisure/waypoint pools drawn from one parent
+    stream), so ``iter_traces`` materialises the dataset first — fine at
+    their tens-of-users scale.
+    """
+
+    def __init__(
+        self,
+        dataset: str = "privamov",
+        seed: int = 0,
+        n_users: Optional[int] = None,
+        days: int = DEFAULT_DAYS,
+        start_t: float = DEFAULT_START_T,
+    ) -> None:
+        if dataset not in SPECS:
+            raise ConfigurationError(
+                f"unknown dataset {dataset!r}; choose from {sorted(SPECS)}"
+            )
+        self.dataset = dataset
+        self.seed = seed
+        self.days = days
+        self.start_t = start_t
+        self._n_users = (
+            SPECS[dataset].default_users if n_users is None else int(n_users)
+        )
+        if self._n_users <= 0:
+            raise ConfigurationError(f"n_users must be positive, got {self._n_users}")
+
+    @property
+    def name(self) -> str:
+        return self.dataset
+
+    @property
+    def n_users(self) -> int:
+        return self._n_users
+
+    def generate(self) -> MobilityDataset:
+        return generate_dataset(
+            self.dataset,
+            seed=self.seed,
+            n_users=self._n_users,
+            days=self.days,
+            start_t=self.start_t,
+        )
+
+    def iter_traces(self):
+        return iter(self.generate().traces())
 
 
 def generate_all(

@@ -95,12 +95,21 @@ def sample_segments(
     idx = idx[covered]
     if times.size == 0:
         return Trace.empty(user_id)
-    lats = np.empty(times.size)
-    lngs = np.empty(times.size)
-    for k in range(times.size):
-        lat, lng = segments[int(idx[k])].position_at(float(times[k]))
-        lats[k] = lat
-        lngs[k] = lng
+    # Vectorized Segment.position_at over all samples: same float64
+    # operation order (w = clamp((t - t0) / span); start + w * (end -
+    # start)), so the result is bit-identical to the per-point loop it
+    # replaced — pinned by the golden-fingerprint tests.
+    seg_t0 = starts[idx]
+    span = ends[idx] - seg_t0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w = np.clip((times - seg_t0) / span, 0.0, 1.0)
+    w = np.where(span > 0.0, w, 0.0)
+    start_lat = np.array([s.start[0] for s in segments])[idx]
+    start_lng = np.array([s.start[1] for s in segments])[idx]
+    end_lat = np.array([s.end[0] for s in segments])[idx]
+    end_lng = np.array([s.end[1] for s in segments])[idx]
+    lats = start_lat + w * (end_lat - start_lat)
+    lngs = start_lng + w * (end_lng - start_lng)
     # GPS noise: metres to degrees at the segment latitude.
     m_per_deg = 111_320.0
     noise = rng.normal(0.0, gps_noise_m, size=(times.size, 2))

@@ -1,8 +1,9 @@
 """Plugin registries: the single catalog behind the protection API.
 
 Every pluggable component of the system — LPPMs, re-identification
-attacks, fine-grained split policies, composition-search strategies, and
-dataset executors — registers itself under a short, stable slug:
+attacks, fine-grained split policies, composition-search strategies,
+dataset executors, and corpus providers — registers itself under a
+short, stable slug:
 
     from repro.registry import register_lppm
 
@@ -50,7 +51,7 @@ from repro.errors import ConfigurationError
 Spec = Union[str, Mapping[str, Any]]
 
 #: The component kinds the system routes through registries.
-KINDS = ("lppm", "attack", "split_policy", "search_strategy", "executor")
+KINDS = ("lppm", "attack", "split_policy", "search_strategy", "executor", "corpus")
 
 _REGISTRIES: Dict[str, Dict[str, Any]] = {kind: {} for kind in KINDS}
 _BUILTINS_LOADED = False
@@ -77,7 +78,9 @@ def _ensure_builtins() -> None:
     import repro.attacks  # noqa: F401  (registers poi/pit/ap)
     import repro.core.engine  # noqa: F401  (registers split policies, executors)
     import repro.core.search  # noqa: F401  (registers search strategies)
+    import repro.datasets.generators  # noqa: F401  (registers the classic corpora)
     import repro.lppm  # noqa: F401  (registers the LPPM suite)
+    import repro.synth.corpus  # noqa: F401  (registers the synth corpus)
 
     _BUILTINS_LOADED = True
 
@@ -127,6 +130,15 @@ def register_search_strategy(name: str) -> Callable[[Any], Any]:
 def register_executor(name: str) -> Callable[[Any], Any]:
     """``@register_executor("process")`` — catalog an execution backend."""
     return register("executor", name)
+
+
+def register_corpus(name: str) -> Callable[[Any], Any]:
+    """``@register_corpus("synth")`` — catalog a corpus provider.
+
+    Corpus providers expose ``name``, ``n_users``, a lazy
+    ``iter_traces()`` iterator, and a materialising ``generate()``.
+    """
+    return register("corpus", name)
 
 
 def available(kind: str) -> List[str]:

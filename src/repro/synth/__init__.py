@@ -1,0 +1,39 @@
+"""City-scale synthetic corpus engine.
+
+Activity-based population generation at 10k / 100k / 1M users:
+a :class:`~repro.synth.graph.ZoneGraph` discretises a city into a
+transport graph, :class:`~repro.synth.population.PopulationModel`
+assigns homes and workplaces (radiation model), and
+:class:`~repro.synth.schedule.ActivityScheduler` turns each agent into
+graph-snapped daily segment timelines sampled into GPS traces.  The
+:class:`~repro.synth.corpus.SynthCorpus` facade streams users lazily
+with per-user substream seeding — deterministic, order-free, and
+prefix-stable across tiers.  See docs/SYNTH.md.
+"""
+
+from repro.synth.corpus import (
+    TIERS,
+    CorpusSpec,
+    SynthCorpus,
+    generate_corpus,
+    iter_corpus,
+)
+from repro.synth.graph import Zone, ZoneGraph
+from repro.synth.population import Agent, PopulationModel
+from repro.synth.schedule import ActivityScheduler
+from repro.synth.seeding import substream, substream_seed
+
+__all__ = [
+    "TIERS",
+    "CorpusSpec",
+    "SynthCorpus",
+    "generate_corpus",
+    "iter_corpus",
+    "Zone",
+    "ZoneGraph",
+    "Agent",
+    "PopulationModel",
+    "ActivityScheduler",
+    "substream",
+    "substream_seed",
+]

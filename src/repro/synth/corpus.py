@@ -1,0 +1,192 @@
+"""City-scale corpus specs and the lazy generation facade.
+
+:class:`CorpusSpec` pins every parameter that shapes a synthetic corpus;
+:class:`SynthCorpus` (registered as corpus ``"synth"``) turns a spec
+into traces **lazily** — one user at a time, never materialising the
+population — so the 1M tier streams through
+:func:`repro.datasets.io.write_csv_stream` or
+:meth:`repro.core.engine.ProtectionEngine.protect_dataset` in constant
+memory.
+
+Determinism contract (enforced by the property tests and
+``repro bench scale``):
+
+* ``trace(i)`` depends only on ``(spec.seed, corpus parameters, user
+  id)`` via :mod:`repro.synth.seeding` substreams — generation order and
+  population size never enter any stream, so any user can be regenerated
+  in isolation;
+* tiers are **prefix-stable**: the first 10k users of the ``100k``
+  corpus are byte-identical to the ``10k`` corpus, because user ids are
+  fixed-width and tier size appears in no substream path.
+
+Tier names (``TIERS``) are the load yardstick shared with
+``repro bench scale``: ``10k`` / ``100k`` / ``1m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, Optional
+
+from repro.core.dataset import MobilityDataset
+from repro.core.trace import Trace
+from repro.datasets.cities import CITIES
+from repro.datasets.generators import DEFAULT_START_T
+from repro.datasets.mobility import SECONDS_PER_DAY, sample_segments
+from repro.errors import ConfigurationError
+from repro.registry import register_corpus
+from repro.synth.graph import ZoneGraph
+from repro.synth.population import PopulationModel
+from repro.synth.schedule import ActivityScheduler
+from repro.synth.seeding import substream
+
+__all__ = ["TIERS", "CorpusSpec", "SynthCorpus", "generate_corpus", "iter_corpus"]
+
+#: The named load tiers of the scale benchmark.
+TIERS: Dict[str, int] = {"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Every knob that shapes a synthetic corpus (all deterministic)."""
+
+    city: str = "lyon"
+    n_users: int = 10_000
+    seed: int = 0
+    days: int = 7
+    start_t: float = DEFAULT_START_T
+    sample_period_s: float = 1200.0
+    gps_noise_m: float = 15.0
+    gap_probability_per_hour: float = 0.2
+    rings: int = 4
+    sectors: int = 9
+
+    def __post_init__(self) -> None:
+        if self.city not in CITIES:
+            raise ConfigurationError(
+                f"unknown city {self.city!r}; choose from {sorted(CITIES)}"
+            )
+        if self.n_users <= 0:
+            raise ConfigurationError(f"n_users must be positive, got {self.n_users}")
+        if self.days <= 0:
+            raise ConfigurationError(f"days must be positive, got {self.days}")
+        if self.sample_period_s <= 0:
+            raise ConfigurationError(
+                f"sample_period_s must be positive, got {self.sample_period_s}"
+            )
+
+    @classmethod
+    def for_tier(cls, city: str, tier: str, **overrides) -> "CorpusSpec":
+        """The spec for a named tier (``10k`` / ``100k`` / ``1m``)."""
+        key = tier.lower()
+        if key not in TIERS:
+            raise ConfigurationError(
+                f"unknown tier {tier!r}; choose from {sorted(TIERS)}"
+            )
+        return cls(city=city, n_users=TIERS[key], **overrides)
+
+    def with_users(self, n_users: int) -> "CorpusSpec":
+        """The same corpus at a different population size (prefix-stable)."""
+        return replace(self, n_users=n_users)
+
+    @property
+    def name(self) -> str:
+        """Dataset name: ``synth-<city>`` (tier-independent by design)."""
+        return f"synth-{self.city}"
+
+    def user_id(self, index: int) -> str:
+        """Fixed-width user id for *index* — identical across tiers."""
+        return f"synth-{self.city}-{index:07d}"
+
+
+class SynthCorpus:
+    """Lazy trace factory for a :class:`CorpusSpec`.
+
+    Constructible through the registry (``build("corpus", {"name":
+    "synth", "city": "lyon", "tier": "10k"})``) or directly from a spec.
+    The zone graph and radiation table are built once in the
+    constructor; each :meth:`trace` call is then independent.
+    """
+
+    def __init__(
+        self,
+        city: str = "lyon",
+        tier: Optional[str] = None,
+        n_users: Optional[int] = None,
+        **params,
+    ) -> None:
+        if tier is not None and n_users is not None:
+            raise ConfigurationError("give either tier or n_users, not both")
+        if tier is not None:
+            self.spec = CorpusSpec.for_tier(city, tier, **params)
+        elif n_users is not None:
+            self.spec = CorpusSpec(city=city, n_users=n_users, **params)
+        else:
+            self.spec = CorpusSpec(city=city, **params)
+        spec = self.spec
+        self.graph = ZoneGraph.build(
+            CITIES[spec.city], rings=spec.rings, sectors=spec.sectors, seed=spec.seed
+        )
+        self.population = PopulationModel(self.graph, spec.seed)
+        self.scheduler = ActivityScheduler(self.graph, spec.seed)
+
+    @classmethod
+    def from_spec(cls, spec: CorpusSpec) -> "SynthCorpus":
+        """The corpus for an already-validated :class:`CorpusSpec`."""
+        return cls(**asdict(spec))
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_users(self) -> int:
+        return self.spec.n_users
+
+    def trace(self, index: int) -> Trace:
+        """User *index*'s trace — order-free, any index in isolation."""
+        spec = self.spec
+        if not (0 <= index < spec.n_users):
+            raise ConfigurationError(
+                f"user index {index} out of range for {spec.n_users} users"
+            )
+        user_id = spec.user_id(index)
+        agent = self.population.agent(user_id)
+        segments = []
+        for day in range(spec.days):
+            day_start = spec.start_t + day * SECONDS_PER_DAY
+            segments.extend(self.scheduler.day_segments(agent, day, day_start))
+        rng = substream(spec.seed, "sample", user_id)
+        return sample_segments(
+            user_id,
+            segments,
+            spec.sample_period_s,
+            spec.gps_noise_m,
+            spec.gap_probability_per_hour,
+            rng,
+        )
+
+    def iter_traces(self) -> Iterator[Trace]:
+        """All users in id order, generated one at a time (constant memory)."""
+        for index in range(self.spec.n_users):
+            yield self.trace(index)
+
+    def generate(self) -> MobilityDataset:
+        """Materialise the corpus (small tiers / tests only)."""
+        dataset = MobilityDataset(self.spec.name)
+        for trace in self.iter_traces():
+            dataset.add(trace)
+        return dataset
+
+
+register_corpus("synth")(SynthCorpus)
+
+
+def iter_corpus(spec: CorpusSpec) -> Iterator[Trace]:
+    """Stream the corpus described by *spec* (constant memory)."""
+    return SynthCorpus.from_spec(spec).iter_traces()
+
+
+def generate_corpus(spec: CorpusSpec) -> MobilityDataset:
+    """Materialise the corpus described by *spec* (small tiers only)."""
+    return SynthCorpus.from_spec(spec).generate()

@@ -1,0 +1,168 @@
+"""Per-agent daily activity schedules snapped to the zone graph.
+
+The scheduler turns an :class:`~repro.synth.population.Agent` into the
+same :class:`~repro.datasets.mobility.Segment` timeline the hand-written
+simulators produce, one day at a time:
+
+    dwell(home) → travel(home→work, via graph route) → dwell(work)
+    → [travel(work→leisure) → dwell(leisure)] → travel(→home) → dwell(home)
+
+Travel legs are *snapped to the transport graph*: a commute from zone 3
+to zone 17 emits one segment per graph edge along the shortest path, so
+two agents who share a corridor produce genuinely overlapping movement —
+the spatial structure re-identification attacks exploit and protection
+mechanisms must blur.  Home and work endpoints are the agent's fixed
+anchor points (stable across the campaign, so they cluster into POIs);
+leisure spots and route waypoints are redrawn per (user, day).
+
+Everything is keyed off per-user substreams; a schedule depends only on
+``(seed, corpus params, user_id)``, never on other agents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.mobility import SECONDS_PER_DAY, Segment
+from repro.synth.graph import ZoneGraph, _distance_m
+from repro.synth.population import Agent
+from repro.synth.seeding import substream
+
+__all__ = ["ActivityScheduler"]
+
+
+class ActivityScheduler:
+    """Builds day-by-day :class:`Segment` timelines for agents."""
+
+    def __init__(self, graph: ZoneGraph, seed: int) -> None:
+        self.graph = graph
+        self.seed = seed
+
+    # -- leg helpers ------------------------------------------------------
+
+    def _travel(
+        self,
+        segments: List[Segment],
+        t: float,
+        origin: Tuple[float, float],
+        origin_zone: int,
+        dest: Tuple[float, float],
+        dest_zone: int,
+        agent: Agent,
+        rng: np.random.Generator,
+    ) -> Tuple[float, Tuple[float, float]]:
+        """Append the travel legs for one trip; return (arrival_t, dest)."""
+        path = self.graph.route(origin_zone, dest_zone)
+        # Waypoints: the exact origin point, each intermediate zone's
+        # centre (jittered so repeated trips don't retrace one polyline
+        # exactly), and the exact destination point.
+        points: List[Tuple[float, float]] = [origin]
+        for zone_id in path[1:-1]:
+            points.append(self.graph.point_in(zone_id, rng))
+        points.append(dest)
+        for a, b in zip(points[:-1], points[1:]):
+            hop_m = _distance_m(a, b)
+            duration = max(hop_m / agent.speed_mps, 60.0)
+            segments.append(Segment(t0=t, t1=t + duration, start=a, end=b))
+            t += duration
+        return t, dest
+
+    @staticmethod
+    def _dwell(
+        segments: List[Segment], t: float, until: float, point: Tuple[float, float]
+    ) -> float:
+        """Append a stationary segment from *t* to *until* (if non-empty)."""
+        if until > t:
+            segments.append(Segment(t0=t, t1=until, start=point, end=point))
+            return until
+        return t
+
+    # -- the day plan -----------------------------------------------------
+
+    def day_segments(self, agent: Agent, day: int, day_start_t: float) -> List[Segment]:
+        """The segment timeline for *agent* on *day* (absolute seconds).
+
+        Weekends (day index 5 and 6 of each week) skip the commute: the
+        agent stays home with an optional leisure outing, which gives the
+        POI attack the home-anchored weekend signal real traces have.
+
+        The timeline is clamped to the day window so consecutive days
+        never overlap: a leisure trip that would run past midnight is
+        truncated mid-leg at the day boundary.
+        """
+        day_end = day_start_t + SECONDS_PER_DAY
+        return _clamp_day(self._build_day(agent, day, day_start_t), day_end)
+
+    def _build_day(self, agent: Agent, day: int, day_start_t: float) -> List[Segment]:
+        rng = substream(self.seed, "schedule", agent.user_id, "day", day)
+        day_end = day_start_t + SECONDS_PER_DAY
+        # Home and work are the agent's fixed anchor points — repeated
+        # dwells at the same spot are what make them extractable POIs.
+        home = agent.home_point
+        segments: List[Segment] = []
+        t = day_start_t
+        weekend = day % 7 in (5, 6)
+
+        if weekend:
+            if rng.random() < agent.leisure_probability:
+                out_t = day_start_t + float(rng.uniform(10.0, 15.0)) * 3_600.0
+                t = self._dwell(segments, t, out_t, home)
+                spot = self.graph.point_in(agent.leisure_zone, rng)
+                t, _ = self._travel(
+                    segments, t, home, agent.home_zone, spot, agent.leisure_zone, agent, rng
+                )
+                t = self._dwell(segments, t, t + float(rng.uniform(1.5, 4.0)) * 3_600.0, spot)
+                t, _ = self._travel(
+                    segments, t, spot, agent.leisure_zone, home, agent.home_zone, agent, rng
+                )
+            self._dwell(segments, t, day_end, home)
+            return segments
+
+        work = agent.work_point
+        start_jitter = float(rng.normal(0.0, 600.0))
+        commute_m = self.graph.route_length_m(agent.home_zone, agent.work_zone)
+        leave_t = (
+            day_start_t
+            + agent.work_start_s
+            + start_jitter
+            - max(commute_m / agent.speed_mps, 60.0)
+        )
+        t = self._dwell(segments, t, max(leave_t, t), home)
+        t, _ = self._travel(
+            segments, t, home, agent.home_zone, work, agent.work_zone, agent, rng
+        )
+        work_end = t + agent.work_duration_s + float(rng.normal(0.0, 900.0))
+        t = self._dwell(segments, t, work_end, work)
+
+        if rng.random() < agent.leisure_probability:
+            spot = self.graph.point_in(agent.leisure_zone, rng)
+            t, _ = self._travel(
+                segments, t, work, agent.work_zone, spot, agent.leisure_zone, agent, rng
+            )
+            t = self._dwell(segments, t, t + float(rng.uniform(1.0, 3.0)) * 3_600.0, spot)
+            t, _ = self._travel(
+                segments, t, spot, agent.leisure_zone, home, agent.home_zone, agent, rng
+            )
+        else:
+            t, _ = self._travel(
+                segments, t, work, agent.work_zone, home, agent.home_zone, agent, rng
+            )
+        self._dwell(segments, t, day_end, home)
+        return segments
+
+
+def _clamp_day(segments: List[Segment], day_end: float) -> List[Segment]:
+    """Truncate a day's timeline at *day_end* (drop / cut crossing legs)."""
+    clamped: List[Segment] = []
+    for seg in segments:
+        if seg.t0 >= day_end:
+            break
+        if seg.t1 > day_end:
+            clamped.append(
+                Segment(t0=seg.t0, t1=day_end, start=seg.start, end=seg.position_at(day_end))
+            )
+            break
+        clamped.append(seg)
+    return clamped

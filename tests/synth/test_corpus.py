@@ -1,0 +1,133 @@
+"""Corpus facade: determinism, prefix-stability, streaming IO, wiring."""
+
+import pytest
+
+from repro import registry
+from repro.config import ProtectionConfig
+from repro.datasets.io import save_csv, to_csv_string, write_csv_stream
+from repro.errors import ConfigurationError
+from repro.synth import TIERS, CorpusSpec, SynthCorpus, generate_corpus, iter_corpus
+
+SPEC = CorpusSpec(city="lyon", n_users=12, seed=7)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SynthCorpus.from_spec(SPEC)
+
+
+def test_tier_table():
+    assert TIERS == {"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        CorpusSpec(city="atlantis")
+    with pytest.raises(ConfigurationError):
+        CorpusSpec(n_users=0)
+    with pytest.raises(ConfigurationError):
+        CorpusSpec(days=0)
+    with pytest.raises(ConfigurationError):
+        CorpusSpec.for_tier("lyon", "11k")
+    assert CorpusSpec.for_tier("lyon", "10K").n_users == 10_000
+
+
+def test_user_ids_are_fixed_width_and_tier_free(corpus):
+    assert SPEC.user_id(0) == "synth-lyon-0000000"
+    assert SPEC.user_id(42) == "synth-lyon-0000042"
+    assert SPEC.with_users(100_000).user_id(42) == SPEC.user_id(42)
+
+
+def test_traces_are_reproducible(corpus):
+    fresh = SynthCorpus.from_spec(SPEC)
+    for i in (0, 5, 11):
+        assert corpus.trace(i) == fresh.trace(i)
+
+
+def test_traces_are_order_independent(corpus):
+    late = corpus.trace(9)
+    fresh = SynthCorpus.from_spec(SPEC)
+    assert fresh.trace(9) == late  # no earlier users generated first
+
+
+def test_tier_prefix_is_byte_stable(corpus):
+    bigger = SynthCorpus.from_spec(SPEC.with_users(40))
+    for i in range(SPEC.n_users):
+        assert corpus.trace(i).fingerprint == bigger.trace(i).fingerprint
+
+
+def test_iter_matches_random_access(corpus):
+    streamed = list(iter_corpus(SPEC))
+    assert len(streamed) == SPEC.n_users
+    assert streamed[3] == corpus.trace(3)
+
+
+def test_generate_corpus_materialises(corpus):
+    dataset = generate_corpus(SPEC)
+    assert dataset.name == "synth-lyon"
+    assert len(dataset) == SPEC.n_users
+    assert dataset.user_ids()[0] == "synth-lyon-0000000"
+
+
+def test_out_of_range_index_rejected(corpus):
+    with pytest.raises(ConfigurationError):
+        corpus.trace(SPEC.n_users)
+    with pytest.raises(ConfigurationError):
+        corpus.trace(-1)
+
+
+def test_tier_and_n_users_conflict():
+    with pytest.raises(ConfigurationError):
+        SynthCorpus(city="lyon", tier="10k", n_users=5)
+
+
+# -- streaming CSV writer ---------------------------------------------------
+
+
+def test_stream_writer_matches_materialized_path(corpus, tmp_path):
+    """The satellite regression test: streaming bytes == save_csv bytes."""
+    dataset = corpus.generate()
+    materialized = tmp_path / "materialized.csv"
+    streamed = tmp_path / "streamed.csv"
+    rows_a = save_csv(dataset, materialized)
+    rows_b = write_csv_stream(corpus.iter_traces(), streamed)
+    assert rows_a == rows_b
+    assert materialized.read_bytes() == streamed.read_bytes()
+    assert materialized.read_text() == to_csv_string(dataset)
+
+
+# -- registry / config wiring ----------------------------------------------
+
+
+def test_registry_builds_synth():
+    built = registry.build(
+        "corpus", {"name": "synth", "city": "lyon", "n_users": 3, "seed": 7}
+    )
+    assert isinstance(built, SynthCorpus)
+    assert built.trace(1) == SynthCorpus.from_spec(SPEC).trace(1)
+
+
+def test_registry_builds_classic():
+    built = registry.build(
+        "corpus", {"name": "classic", "dataset": "privamov", "n_users": 2, "days": 2}
+    )
+    assert built.name == "privamov"
+    traces = list(built.iter_traces())
+    assert len(traces) == 2
+
+
+def test_registry_lists_corpus_kind():
+    assert "corpus" in registry.KINDS
+    assert set(registry.available("corpus")) >= {"synth", "classic"}
+
+
+def test_config_corpus_field_round_trips():
+    cfg = ProtectionConfig(corpus={"name": "synth", "city": "lyon", "tier": "10k"})
+    again = ProtectionConfig.from_dict(cfg.to_dict())
+    assert again.corpus == {"name": "synth", "city": "lyon", "tier": "10k"}
+    assert "corpus" in cfg.describe()
+
+
+def test_config_rejects_unknown_corpus():
+    with pytest.raises(ConfigurationError):
+        ProtectionConfig.from_dict({"corpus": {"name": "no-such-corpus"}})

@@ -1,0 +1,88 @@
+"""Zone graph: layout, routing, and geometry invariants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cities import CITIES, LYON
+from repro.errors import ConfigurationError
+from repro.synth.graph import Zone, ZoneGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ZoneGraph.build(LYON, rings=3, sectors=6, seed=0)
+
+
+def test_zone_count(graph):
+    assert len(graph) == 1 + 3 * 6
+
+
+def test_build_is_deterministic():
+    a = ZoneGraph.build(LYON, rings=2, sectors=5, seed=3)
+    b = ZoneGraph.build(LYON, rings=2, sectors=5, seed=3)
+    assert [z.center for z in a.zones] == [z.center for z in b.zones]
+    assert [z.residential for z in a.zones] == [z.residential for z in b.zones]
+
+
+def test_zone_weights_keyed_per_zone():
+    # Growing the layout must not perturb the zones both layouts share
+    # in id space... but zone ids shift with sectors, so compare the
+    # centre zone (id 0 in every layout), which is the stable anchor.
+    small = ZoneGraph.build(LYON, rings=2, sectors=5, seed=3)
+    large = ZoneGraph.build(LYON, rings=4, sectors=5, seed=3)
+    assert small.zones[0].residential == large.zones[0].residential
+    assert small.zones[0].employment == large.zones[0].employment
+
+
+def test_routes_follow_edges(graph):
+    for a in range(len(graph)):
+        for b in range(len(graph)):
+            path = graph.route(a, b)
+            assert path[0] == a and path[-1] == b
+            for u, v in zip(path[:-1], path[1:]):
+                assert graph.is_edge(u, v), (u, v)
+
+
+def test_route_length_matches_path(graph):
+    a, b = 1, len(graph) - 1
+    path = graph.route(a, b)
+    total = sum(graph.zone_distance_m(u, v) for u, v in zip(path[:-1], path[1:]))
+    assert graph.route_length_m(a, b) == pytest.approx(total, rel=1e-9)
+
+
+def test_route_to_self_is_trivial(graph):
+    assert graph.route(4, 4) == [4]
+    assert graph.route_length_m(4, 4) == 0.0
+
+
+def test_every_city_builds():
+    for name, city in CITIES.items():
+        g = ZoneGraph.build(city, seed=1)
+        assert np.isfinite(g.route_length_m(0, len(g) - 1))
+
+
+def test_point_in_stays_near_zone(graph):
+    rng = np.random.default_rng(0)
+    zone = graph.zones[3]
+    for _ in range(50):
+        lat, lng = graph.point_in(3, rng)
+        assert abs(lat - zone.center[0]) * 111_320.0 <= zone.radius_m + 1.0
+
+
+def test_disconnected_graph_rejected():
+    zones = [
+        Zone(0, 0, (45.0, 4.0), 100.0, 1.0, 1.0, 1.0),
+        Zone(1, 1, (45.1, 4.0), 100.0, 1.0, 1.0, 1.0),
+        Zone(2, 1, (45.2, 4.0), 100.0, 1.0, 1.0, 1.0),
+    ]
+    with pytest.raises(ConfigurationError, match="not connected"):
+        ZoneGraph(LYON, zones, edges=[(0, 1)])
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        ZoneGraph.build(LYON, rings=0)
+    with pytest.raises(ConfigurationError):
+        ZoneGraph.build(LYON, sectors=2)
+    with pytest.raises(ConfigurationError):
+        ZoneGraph(LYON, [], [])

@@ -1,0 +1,67 @@
+"""Population model: radiation flows and agent determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cities import LYON
+from repro.synth.graph import ZoneGraph
+from repro.synth.population import PopulationModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PopulationModel(ZoneGraph.build(LYON, rings=3, sectors=6, seed=0), seed=0)
+
+
+def test_radiation_rows_are_distributions(model):
+    table = model._work_p
+    assert (table >= 0.0).all()
+    np.testing.assert_allclose(table.sum(axis=1), 1.0, rtol=1e-12)
+
+
+def test_radiation_prefers_absorbing_nearby_jobs(model):
+    # From the centre zone (where employment peaks), the top work
+    # destination should be close by — distant zones are screened by the
+    # employment in between (the radiation model's defining property).
+    graph = model.graph
+    p = model._work_p[0]
+    best = int(np.argmax(p))
+    far = max(range(len(graph)), key=lambda j: graph.zone_distance_m(0, j))
+    assert graph.zone_distance_m(0, best) < graph.zone_distance_m(0, far)
+    assert p[best] > p[far]
+
+
+def test_agent_is_deterministic(model):
+    a = model.agent("synth-lyon-0000042")
+    b = model.agent("synth-lyon-0000042")
+    assert a == b
+
+
+def test_agents_differ_across_users(model):
+    a = model.agent("synth-lyon-0000001")
+    b = model.agent("synth-lyon-0000002")
+    assert (a.home_zone, a.work_zone, a.home_point) != (
+        b.home_zone,
+        b.work_zone,
+        b.home_point,
+    )
+
+
+def test_agent_independent_of_query_order(model):
+    first = model.agent("synth-lyon-0000005")
+    # Querying other users in between must not perturb user 5.
+    for i in range(10):
+        model.agent(f"synth-lyon-{i:07d}")
+    assert model.agent("synth-lyon-0000005") == first
+
+
+def test_agent_fields_in_range(model):
+    agent = model.agent("synth-lyon-0000000")
+    n = len(model.graph)
+    assert 0 <= agent.home_zone < n
+    assert 0 <= agent.work_zone < n
+    assert 0 <= agent.leisure_zone < n
+    assert 7.0 * 3600.0 <= agent.work_start_s <= 10.0 * 3600.0
+    assert 7.0 * 3600.0 <= agent.work_duration_s <= 9.5 * 3600.0
+    assert 5.0 <= agent.speed_mps <= 14.0
+    assert 0.2 <= agent.leisure_probability <= 0.6

@@ -1,0 +1,75 @@
+"""Activity schedules: temporal and spatial continuity invariants."""
+
+import pytest
+
+from repro.datasets.cities import LYON
+from repro.datasets.mobility import SECONDS_PER_DAY
+from repro.synth.graph import ZoneGraph
+from repro.synth.population import PopulationModel
+from repro.synth.schedule import ActivityScheduler
+
+START_T = 1_559_520_000.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = ZoneGraph.build(LYON, rings=3, sectors=6, seed=0)
+    return graph, PopulationModel(graph, seed=0), ActivityScheduler(graph, seed=0)
+
+
+def _days(setup, user, n_days=7):
+    graph, pop, sched = setup
+    agent = pop.agent(user)
+    return [
+        sched.day_segments(agent, day, START_T + day * SECONDS_PER_DAY)
+        for day in range(n_days)
+    ]
+
+
+def test_days_are_temporally_monotone(setup):
+    for user in ("synth-lyon-0000000", "synth-lyon-0000003"):
+        flat = [seg for day in _days(setup, user) for seg in day]
+        assert flat, "schedule must not be empty"
+        for seg in flat:
+            assert seg.t1 > seg.t0
+        for a, b in zip(flat[:-1], flat[1:]):
+            assert b.t0 >= a.t1, "segments overlap in time"
+
+
+def test_days_stay_within_their_window(setup):
+    days = _days(setup, "synth-lyon-0000001")
+    for day, segments in enumerate(days):
+        lo = START_T + day * SECONDS_PER_DAY
+        hi = lo + SECONDS_PER_DAY
+        assert all(lo <= seg.t0 and seg.t1 <= hi for seg in segments)
+
+
+def test_segments_connect_spatially_within_a_day(setup):
+    for segments in _days(setup, "synth-lyon-0000002"):
+        for a, b in zip(segments[:-1], segments[1:]):
+            assert a.end == b.start, "consecutive segments must share endpoints"
+
+
+def test_weekdays_visit_home_and_work(setup):
+    graph, pop, sched = setup
+    agent = pop.agent("synth-lyon-0000004")
+    segments = sched.day_segments(agent, 0, START_T)  # day 0 is a weekday
+    points = {seg.start for seg in segments} | {seg.end for seg in segments}
+    assert agent.home_point in points
+    assert agent.work_point in points
+
+
+def test_schedule_is_deterministic(setup):
+    a = _days(setup, "synth-lyon-0000006")
+    b = _days(setup, "synth-lyon-0000006")
+    assert a == b
+
+
+def test_home_anchor_is_stable_across_days(setup):
+    graph, pop, sched = setup
+    agent = pop.agent("synth-lyon-0000007")
+    firsts = {
+        sched.day_segments(agent, d, START_T + d * SECONDS_PER_DAY)[0].start
+        for d in range(5)
+    }
+    assert firsts == {agent.home_point}

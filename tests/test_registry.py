@@ -24,6 +24,7 @@ BUILTINS = {
     "split_policy": {"gap", "half", "inter-poi"},
     "search_strategy": {"exhaustive", "greedy"},
     "executor": {"process", "serial"},
+    "corpus": {"classic", "synth"},
 }
 
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Line-coverage gate for the service layer (``src/repro/service/``).
+"""Line-coverage gate for the hardened subsystems.
 
 Runs the tier-1 pytest suite in-process under a line tracer scoped to
-the service modules and fails when the measured coverage drops below
-the committed baseline (``.github/service_coverage_baseline.json``,
-measured at the start of the hardening PR).  The tracer is stdlib-only
+the gated packages (``SCOPES`` below — currently the service layer and
+the synthetic corpus engine) and fails when any scope's measured
+coverage drops below the committed baseline
+(``.github/coverage_baseline.json``).  The tracer is stdlib-only
 (``sys.settrace`` + ``threading.settrace``) so the gate needs no
 dependency beyond pytest itself and produces the same numbers on a
 laptop and in CI.
@@ -34,8 +35,13 @@ import threading
 from typing import Dict, Set
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCOPE = os.path.join(REPO_ROOT, "src", "repro", "service") + os.sep
-BASELINE_PATH = os.path.join(REPO_ROOT, ".github", "service_coverage_baseline.json")
+#: Gated packages: scope name -> directory prefix.  Every scope is
+#: measured independently and gated against its own baseline entry.
+SCOPES = {
+    "service": os.path.join(REPO_ROOT, "src", "repro", "service") + os.sep,
+    "synth": os.path.join(REPO_ROOT, "src", "repro", "synth") + os.sep,
+}
+BASELINE_PATH = os.path.join(REPO_ROOT, ".github", "coverage_baseline.json")
 
 #: Points of slack under the baseline before the gate fails: absorbs
 #: run-to-run wobble (timing-dependent branches) without letting a real
@@ -60,11 +66,12 @@ def executable_lines(path: str) -> Set[int]:
     return lines
 
 
-class ServiceTracer:
-    """settrace hook recording line hits for files under ``SCOPE``."""
+class ScopeTracer:
+    """settrace hook recording line hits for files under any scope."""
 
     def __init__(self) -> None:
         self.hits: Dict[str, Set[int]] = {}
+        self._prefixes = tuple(SCOPES.values())
 
     def _local(self, frame, event, arg):
         if event == "line":
@@ -72,7 +79,7 @@ class ServiceTracer:
         return self._local
 
     def __call__(self, frame, event, arg):
-        if frame.f_code.co_filename.startswith(SCOPE):
+        if frame.f_code.co_filename.startswith(self._prefixes):
             return self._local(frame, event, arg) if event == "line" else self._local
         return None
 
@@ -92,38 +99,45 @@ def measure(pytest_args) -> Dict[str, object]:
         sys.path.insert(0, src)
     import pytest
 
-    tracer = ServiceTracer()
+    tracer = ScopeTracer()
     tracer.install()
     try:
         exit_code = int(pytest.main(list(pytest_args)))
     finally:
         tracer.uninstall()
 
-    files = {}
-    total_exec = total_hit = 0
-    for dirpath, _, names in os.walk(SCOPE):
-        for name in sorted(names):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            lines = executable_lines(path)
-            hit = tracer.hits.get(path, set()) & lines
-            total_exec += len(lines)
-            total_hit += len(hit)
-            files[os.path.relpath(path, REPO_ROOT)] = {
-                "executable": len(lines),
-                "covered": len(hit),
-                "percent": round(100.0 * len(hit) / len(lines), 2) if lines else 100.0,
-            }
-    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    scopes = {}
+    for scope_name, scope_dir in SCOPES.items():
+        files = {}
+        total_exec = total_hit = 0
+        for dirpath, _, names in os.walk(scope_dir):
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                lines = executable_lines(path)
+                hit = tracer.hits.get(path, set()) & lines
+                total_exec += len(lines)
+                total_hit += len(hit)
+                files[os.path.relpath(path, REPO_ROOT)] = {
+                    "executable": len(lines),
+                    "covered": len(hit),
+                    "percent": round(100.0 * len(hit) / len(lines), 2)
+                    if lines
+                    else 100.0,
+                }
+        percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+        scopes[scope_name] = {
+            "scope": os.path.relpath(scope_dir, REPO_ROOT),
+            "executable": total_exec,
+            "covered": total_hit,
+            "percent": round(percent, 2),
+            "files": files,
+        }
     return {
-        "schema": "service-coverage",
-        "scope": os.path.relpath(SCOPE, REPO_ROOT),
+        "schema": "coverage",
         "pytest_exit_code": exit_code,
-        "executable": total_exec,
-        "covered": total_hit,
-        "percent": round(percent, 2),
-        "files": files,
+        "scopes": scopes,
     }
 
 
@@ -151,25 +165,31 @@ def main(argv=None) -> int:
         with open(args.report, "w") as f:
             json.dump(report, f, indent=2, sort_keys=True)
             f.write("\n")
-    print(
-        f"service coverage: {report['covered']}/{report['executable']} "
-        f"executable lines = {report['percent']:.2f}%"
-    )
+    for name, scope in report["scopes"].items():
+        print(
+            f"{name} coverage: {scope['covered']}/{scope['executable']} "
+            f"executable lines = {scope['percent']:.2f}%"
+        )
     if report["pytest_exit_code"] != 0:
         print("coverage gate: test suite failed; coverage not gated", file=sys.stderr)
         return int(report["pytest_exit_code"])
 
     if args.write_baseline:
         baseline = {
-            "schema": "service-coverage-baseline",
-            "percent": report["percent"],
-            "executable": report["executable"],
-            "covered": report["covered"],
+            "schema": "coverage-baseline",
+            "scopes": {
+                name: {
+                    "percent": scope["percent"],
+                    "executable": scope["executable"],
+                    "covered": scope["covered"],
+                }
+                for name, scope in report["scopes"].items()
+            },
         }
         with open(BASELINE_PATH, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
             f.write("\n")
-        print(f"baseline written: {BASELINE_PATH} ({report['percent']:.2f}%)")
+        print(f"baseline written: {BASELINE_PATH}")
         return 0
 
     try:
@@ -178,14 +198,25 @@ def main(argv=None) -> int:
     except FileNotFoundError:
         print(f"coverage gate: no baseline at {BASELINE_PATH}", file=sys.stderr)
         return 1
-    floor = float(baseline["percent"]) - TOLERANCE
-    print(f"baseline: {baseline['percent']:.2f}% (gate floor {floor:.2f}%)")
-    if report["percent"] < floor:
-        print(
-            f"coverage gate FAILED: {report['percent']:.2f}% < {floor:.2f}% "
-            f"(baseline {baseline['percent']:.2f}% - {TOLERANCE} tolerance)",
-            file=sys.stderr,
-        )
+    failed = False
+    for name, scope in report["scopes"].items():
+        pinned = baseline["scopes"].get(name)
+        if pinned is None:
+            print(f"coverage gate: no baseline entry for scope {name!r}; "
+                  f"re-pin with --write-baseline", file=sys.stderr)
+            failed = True
+            continue
+        floor = float(pinned["percent"]) - TOLERANCE
+        print(f"{name} baseline: {pinned['percent']:.2f}% (gate floor {floor:.2f}%)")
+        if scope["percent"] < floor:
+            print(
+                f"coverage gate FAILED [{name}]: {scope['percent']:.2f}% < "
+                f"{floor:.2f}% (baseline {pinned['percent']:.2f}% - "
+                f"{TOLERANCE} tolerance)",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
         return 1
     print("coverage gate OK")
     return 0

@@ -32,6 +32,7 @@ inner loop needs one argmin, not a ranking.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -83,6 +84,66 @@ class ApAttack(Attack):
         self._plogp = np.where(
             matrix > 0.0, matrix * np.log(np.maximum(matrix, _EPS)), 0.0
         )
+
+    supports_refit = True
+
+    def refit(self, delta: MobilityDataset) -> "ApAttack":
+        """Replace the profiles of *delta*'s users in the fitted state.
+
+        The Topsoe kernel's fit-time artefacts update in place: new
+        cells append to the vocabulary (column order may differ from a
+        fresh fit, but the query kernel gathers columns by *cell*, in
+        the anonymous heatmap's iteration order, so every divergence is
+        bit-identical), affected rows are rewritten and their ``p·ln p``
+        terms recomputed with the fit-time formula, and users whose
+        delta trace is empty are dropped — exactly what a full
+        :meth:`fit` on the updated background would build.
+        """
+        self._require_fitted()
+        heatmaps: Dict[str, Optional[Heatmap]] = {}
+        for trace in delta.traces():
+            heatmaps[trace.user_id] = (
+                self._heatmap(trace) if len(trace) > 0 else None
+            )
+        vocabulary = self._cell_index
+        for hm in heatmaps.values():
+            if hm is None:
+                continue
+            for cell in hm.cells():
+                vocabulary.setdefault(cell, len(vocabulary))
+        matrix = self._matrix
+        plogp = self._plogp
+        grown = len(vocabulary) - matrix.shape[1]
+        if grown > 0:
+            matrix = np.pad(matrix, ((0, 0), (0, grown)))
+            plogp = np.pad(plogp, ((0, 0), (0, grown)))
+        users = list(self._users)
+        for user in sorted(heatmaps):
+            hm = heatmaps[user]
+            row = bisect.bisect_left(users, user)
+            present = row < len(users) and users[row] == user
+            if hm is None:
+                if present:
+                    users.pop(row)
+                    matrix = np.delete(matrix, row, axis=0)
+                    plogp = np.delete(plogp, row, axis=0)
+                continue
+            if not present:
+                users.insert(row, user)
+                matrix = np.insert(matrix, row, 0.0, axis=0)
+                plogp = np.insert(plogp, row, 0.0, axis=0)
+            else:
+                matrix[row, :] = 0.0
+            for cell, mass in hm.items():
+                matrix[row, vocabulary[cell]] = mass
+            values = matrix[row]
+            plogp[row] = np.where(
+                values > 0.0, values * np.log(np.maximum(values, _EPS)), 0.0
+            )
+        self._users = users
+        self._matrix = matrix
+        self._plogp = plogp
+        return self
 
     def _heatmap(self, trace: Trace) -> Heatmap:
         return self._cached(

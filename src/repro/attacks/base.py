@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional,
 
 from repro.core.dataset import MobilityDataset
 from repro.core.trace import Trace
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
 from repro.types import NO_GUESS, UNKNOWN_USER  # noqa: F401  (public home)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,6 +45,11 @@ class Attack(abc.ABC):
 
     #: Short, unique attack name used in reports.
     name: str = "attack"
+
+    #: Whether :meth:`refit` can fold a background delta into the fitted
+    #: state without a full re-fit.  Subclasses that override
+    #: :meth:`refit` set this ``True``.
+    supports_refit: bool = False
 
     def __init__(self) -> None:
         self._fitted = False
@@ -61,6 +66,26 @@ class Attack(abc.ABC):
     @abc.abstractmethod
     def _build_profiles(self, background: MobilityDataset) -> None:
         """Subclass hook: construct per-user profiles."""
+
+    def refit(self, delta: MobilityDataset) -> "Attack":
+        """Fold a per-user background *delta* into the fitted state.
+
+        Replace semantics: *delta* carries the **complete, updated**
+        background trace of each user it contains — that user's profile
+        is rebuilt from the delta trace; every other user is untouched.
+        An empty delta trace removes the user's profile (a fresh
+        :meth:`fit` would skip them too).  Implementations must be
+        bit-exact against a full :meth:`fit` on the updated background:
+        ``rank``/``top1`` verdicts may not differ, which the pin tests
+        in ``tests/attacks/test_refit.py`` enforce.
+
+        The base class does not support incremental refit; the streaming
+        path checks :attr:`supports_refit` before calling.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not support incremental refit; "
+            "re-fit from the full background instead"
+        )
 
     @property
     def is_fitted(self) -> bool:

@@ -143,6 +143,34 @@ class PoiAttack(Attack):
             pois = self._extract(trace)
             if pois:
                 self._profiles[trace.user_id] = pois
+        self._pack()
+
+    supports_refit = True
+
+    def refit(self, delta: MobilityDataset) -> "PoiAttack":
+        """Replace the POI profiles of *delta*'s users in place.
+
+        Each delta trace is re-extracted and swapped into
+        :attr:`_profiles` (removed when extraction finds no POI, exactly
+        like a fresh fit); the CSR pack and the spatial index are then
+        rebuilt by the *same* :meth:`_pack` the full fit uses, so the
+        refitted kernel arrays are bit-identical by construction.  (The
+        index geometry hangs off the mean profile latitude, so it cannot
+        be patched incrementally — but packing is O(total POIs), far
+        from the clustering cost a full re-fit would pay.)
+        """
+        self._require_fitted()
+        for trace in delta.traces():
+            pois = self._extract(trace) if len(trace) > 0 else []
+            if pois:
+                self._profiles[trace.user_id] = pois
+            else:
+                self._profiles.pop(trace.user_id, None)
+        self._pack()
+        return self
+
+    def _pack(self) -> None:
+        """Flatten :attr:`_profiles` into the CSR kernel arrays + index."""
         self._users = sorted(self._profiles)
         lats: List[float] = []
         lngs: List[float] = []

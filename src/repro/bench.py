@@ -38,6 +38,14 @@ Two entry points:
   CI-capped head of the corpus through ``protect_dataset`` per executor
   with a fresh FeatureCache each.  The 10k tier is the <60 s CI job;
   snapshots are committed as ``BENCH_6.json``.
+* :func:`run_stream` — the streaming-ingestion yardstick (PR 7): replay
+  a slice of the synthetic Saigon corpus through the ``stream_*`` verbs
+  recording records/s (floor asserted), assert the flushed output is
+  byte-identical to the batch ``protect`` path per user, then hit a
+  small bounded buffer with a sustained 2× overload burst and assert
+  shedding engages with visible reason codes while peak RSS growth
+  stays bounded.  ``smoke=True`` is the <60 s CI variant; the full run
+  emits ``BENCH_7.json``.
 
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
@@ -718,6 +726,257 @@ def run_scale(
             json.dump(snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
     return snapshot
+
+
+#: Floor for streaming-replay throughput (records ingested, windowed,
+#: protected and published per second) on the full MooD cascade.  The
+#: dev box does ~3k records/s; the floor leaves ~10x headroom for slow
+#: CI runners.
+STREAM_RECORDS_PER_S_FLOOR = 250.0
+
+#: Peak-RSS growth allowed across the 2x overload burst.  The buffer it
+#: hammers holds a few thousand records (~100 KiB), so anything near
+#: this bound means records are accumulating somewhere unbounded.
+STREAM_OVERLOAD_RSS_GROWTH_MIB = 256.0
+
+
+def run_stream(
+    seed: int = 7,
+    smoke: bool = False,
+    out_path: Optional[str] = None,
+    city: str = "saigon",
+    tier: str = "10k",
+) -> Dict[str, Any]:
+    """The streaming-ingestion yardstick (``BENCH_7.json``).
+
+    Three legs, every guarantee asserted on the spot:
+
+    1. **Replay** — stream the first users of the synth corpus through
+       the ``stream_*`` verbs of a loopback service (open → batched
+       records → flush/close), recording end-to-end records/s with a
+       floor assertion.
+    2. **Byte-identity** — the flushed pieces of every replayed user
+       are digest-compared against a fresh batch ``protect(daily=True)``
+       on an identically-built service: the streaming path must publish
+       the same bytes as the batch path.
+    3. **Overload** — a sustained 2x producer burst against a small
+       bounded buffer under the ``shed`` policy: the open-window buffer
+       must never exceed its declared bound, shedding must engage with
+       a visible reason code, peak RSS growth must stay bounded, and
+       after the burst the stream must ack ``ok`` again (recovery).
+    """
+    import hashlib
+    import resource
+
+    from repro.config import ProtectionConfig
+    from repro.core.engine import ProtectionEngine
+    from repro.service.api import LoopbackClient, ProtectionService
+    from repro.stream import REASON_SHED, StreamConfig
+    from repro.synth import CorpusSpec, SynthCorpus
+
+    def peak_rss_mib() -> float:
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    def pieces_digest(pieces: Sequence[Any]) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        for piece in pieces:
+            digest.update(piece.pseudonym.encode("utf-8"))
+            digest.update(piece.mechanism.encode("utf-8"))
+            digest.update(piece.trace.fingerprint)
+        return digest.hexdigest()
+
+    spec = CorpusSpec.for_tier(city, tier, seed=seed)
+    corpus = SynthCorpus.from_spec(spec)
+    n_users = 4 if smoke else 8
+    traces = [corpus.trace(i) for i in range(n_users)]
+    background = MobilityDataset(f"{spec.name}-bench")
+    for trace in traces:
+        background.add(trace)
+    engine = ProtectionEngine.from_config(ProtectionConfig()).fit(background)
+
+    # Leg 1 + 2: replay each user through the stream path, then check
+    # byte-identity against a batch service built on the same engine
+    # (separate services: each owns fresh per-user pseudonym counters).
+    stream_client = LoopbackClient(ProtectionService(engine))
+    batch_client = LoopbackClient(ProtectionService(engine))
+    records_total = 0
+    windows = 0
+    stream_digests: List[str] = []
+    batch_digests: List[str] = []
+    t0 = time.perf_counter()
+    for trace in traces:
+        user = trace.user_id
+        stream_client.stream_open(user)
+        n = len(trace)
+        ordinal = 0
+        while ordinal < n:
+            stop = min(ordinal + 256, n)
+            batch = [
+                (
+                    i,
+                    float(trace.timestamps[i]),
+                    float(trace.lats[i]),
+                    float(trace.lngs[i]),
+                )
+                for i in range(ordinal, stop)
+            ]
+            ack = stream_client.stream_record(user, batch)
+            ordinal = ack.next_ordinal
+        flushed = stream_client.stream_flush(user, close_window=True)
+        closed = stream_client.stream_close(user)
+        records_total += closed.records_in
+        windows += closed.windows_closed
+        stream_digests.append(pieces_digest(flushed.pieces))
+    replay_wall = time.perf_counter() - t0
+    records_per_s = (
+        records_total / replay_wall if replay_wall > 0 else float("inf")
+    )
+    if records_per_s < STREAM_RECORDS_PER_S_FLOOR:
+        raise AssertionError(
+            f"stream replay throughput {records_per_s:.0f} records/s is "
+            f"below the {STREAM_RECORDS_PER_S_FLOOR:.0f} records/s floor"
+        )
+    for trace in traces:
+        batch_digests.append(
+            pieces_digest(batch_client.protect(trace, daily=True).pieces)
+        )
+    if stream_digests != batch_digests:
+        diverged = [
+            traces[i].user_id
+            for i in range(n_users)
+            if stream_digests[i] != batch_digests[i]
+        ]
+        raise AssertionError(
+            f"stream output diverged from the batch path for {diverged}"
+        )
+
+    # Leg 3: sustained 2x overload against a small bounded buffer.
+    max_pending = 4096
+    overload_client = LoopbackClient(
+        ProtectionService(
+            engine,
+            stream=StreamConfig(
+                overflow="shed", max_pending_records=max_pending, window_s=1e9
+            ),
+        )
+    )
+    overload_client.stream_open("overload")
+    rss_before = peak_rss_mib()
+    bursts = 10 if smoke else 40
+    sent = 0
+    shed_acks = 0
+    max_pending_seen = 0
+    offered = 0
+    for _ in range(bursts):
+        burst = [
+            (sent + i, (sent + i) * 30.0, 10.7769, 106.7009)
+            for i in range(2 * max_pending)
+        ]
+        offered += len(burst)
+        ack = overload_client.stream_record("overload", burst)
+        sent = ack.next_ordinal
+        if ack.status == "shed":
+            shed_acks += 1
+        pending = overload_client.stats().stream["records_pending"]
+        max_pending_seen = max(max_pending_seen, pending)
+        if pending > max_pending:
+            raise AssertionError(
+                f"open-window buffer grew to {pending} records "
+                f"(declared bound {max_pending})"
+            )
+    rss_growth = peak_rss_mib() - rss_before
+    if shed_acks < 1:
+        raise AssertionError("2x overload never engaged the shed policy")
+    if rss_growth > STREAM_OVERLOAD_RSS_GROWTH_MIB:
+        raise AssertionError(
+            f"peak RSS grew {rss_growth:.1f} MiB across the overload burst "
+            f"(bound {STREAM_OVERLOAD_RSS_GROWTH_MIB:.0f} MiB)"
+        )
+    overload_stats = overload_client.stats().stream
+    overload_client.stream_flush("overload", close_window=True)
+    recovery_ack = overload_client.stream_record(
+        "overload", [(sent, sent * 30.0, 10.7769, 106.7009)]
+    )
+    if recovery_ack.status != "ok":
+        raise AssertionError(
+            f"stream did not recover after the burst: {recovery_ack.status}"
+        )
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "stream"
+    snapshot["smoke"] = smoke
+    snapshot["corpus"] = {
+        "provider": "synth",
+        "city": city,
+        "tier": tier,
+        "users_replayed": float(n_users),
+        "records": float(records_total),
+        "days": float(spec.days),
+    }
+    snapshot["replay"] = {
+        "wall_s": replay_wall,
+        "records_per_s": records_per_s,
+        "floor_records_per_s": STREAM_RECORDS_PER_S_FLOOR,
+        "windows_closed": float(windows),
+    }
+    snapshot["byte_identity"] = {
+        "users": float(n_users),
+        "identical": True,
+        "digest": hashlib.blake2b(
+            "".join(stream_digests).encode("ascii"), digest_size=16
+        ).hexdigest(),
+    }
+    snapshot["overload"] = {
+        "policy": "shed",
+        "max_pending_records": float(max_pending),
+        "bursts": float(bursts),
+        "records_offered": float(offered),
+        "shed_acks": float(shed_acks),
+        "shed_events": float(
+            overload_stats["overflow_events"].get(REASON_SHED, 0)
+        ),
+        "max_pending_seen": float(max_pending_seen),
+        "peak_rss_growth_mib": rss_growth,
+        "recovered_ok": True,
+    }
+    snapshot["peak_rss_mib"] = peak_rss_mib()
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def format_stream_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_stream` dict."""
+    corpus = snapshot["corpus"]
+    replay = snapshot["replay"]
+    ident = snapshot["byte_identity"]
+    over = snapshot["overload"]
+    return "\n".join(
+        [
+            f"bench mode         : {snapshot['mode']}"
+            + (" (smoke)" if snapshot.get("smoke") else ""),
+            f"corpus             : synth:{corpus['city']}:{corpus['tier']} — "
+            f"{corpus['users_replayed']:.0f} users, "
+            f"{corpus['records']:.0f} records over {corpus['days']:.0f} days",
+            f"replay             : {replay['records_per_s']:.0f} records/s "
+            f"({replay['wall_s']:.2f}s, {replay['windows_closed']:.0f} windows; "
+            f"floor {replay['floor_records_per_s']:.0f})",
+            f"byte identity      : {ident['identical']} "
+            f"({ident['users']:.0f} users vs batch protect; "
+            f"digest {ident['digest']})",
+            f"overload           : {over['records_offered']:.0f} records at 2x "
+            f"into a {over['max_pending_records']:.0f}-record buffer — "
+            f"{over['shed_acks']:.0f}/{over['bursts']:.0f} bursts shed "
+            f"({over['shed_events']:.0f} shed events), "
+            f"max pending {over['max_pending_seen']:.0f}",
+            f"overload RSS       : +{over['peak_rss_growth_mib']:.1f} MiB "
+            f"(bound {STREAM_OVERLOAD_RSS_GROWTH_MIB:.0f}), "
+            f"recovered ok: {over['recovered_ok']}",
+            f"peak RSS           : {snapshot['peak_rss_mib']:.1f} MiB",
+        ]
+    )
 
 
 def format_scale_snapshot(snapshot: Dict[str, Any]) -> str:

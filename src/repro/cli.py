@@ -25,20 +25,29 @@ Commands
     the dataset's background split, then serve the versioned JSON-lines
     protocol (see docs/SERVICE.md) over TCP or a unix socket.  Tagged
     requests are handled concurrently; ``--workers`` bounds how many are
-    in flight at once (backpressure).  With an auth key (``--auth-key``,
+    in flight at once and ``--max-inflight-mib`` bounds their summed
+    request bytes (backpressure).  With an auth key (``--auth-key``,
     ``--auth-key-file``, or ``service.auth_key_file`` in the config)
     every connection must complete the shared-secret handshake before
-    any other request is served.
+    any other request is served.  SIGTERM drains gracefully: stop
+    accepting, finish in-flight requests, flush open streaming windows
+    (see docs/STREAMING.md), then exit.
 ``mood request <protect|upload|query|stats> [--csv FILE] [--lat --lng]``
     One-shot client against a running ``serve`` instance; prints the
     response body as JSON.  ``--auth-key`` / ``--auth-key-file`` match
-    the server's key.
+    the server's key; ``--timeout`` bounds each request round-trip.
+``mood stream replay [--city saigon --tier 10k] [--users N] [--overflow P]``
+    Live-loop exemplar: replay a slice of the synthetic corpus through
+    the streaming ingestion path (``stream_open`` / ``stream_record`` /
+    ``stream_flush`` / ``stream_close``) record by record, in timestamp
+    order across users, and print watermark/overflow statistics.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
 ``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
 ``mood bench service [--out BENCH.json] [--smoke]`` /
 ``mood bench remote [--out BENCH.json] [--smoke]`` /
-``mood bench scale [--tier 10k] [--city lyon] [--out BENCH.json]``
+``mood bench scale [--tier 10k] [--city lyon] [--out BENCH.json]`` /
+``mood bench stream [--out BENCH.json] [--smoke]``
     Perf gate: ``smoke`` runs the tier-1 test suite plus a sub-minute
     kernel bench (the CI job); ``micro`` runs the full micro suite at
     N ∈ {100, 1000} profiled users and writes a ``BENCH_*.json``
@@ -50,7 +59,11 @@ Commands
     rejoins mid-batch — writes ``BENCH_5.json``); ``scale`` streams a
     full synth tier recording users/s + peak RSS, asserts the corpus
     digest survives regeneration and tier-prefix extraction, and runs
-    CI-capped protection legs per executor (writes ``BENCH_6.json``).
+    CI-capped protection legs per executor (writes ``BENCH_6.json``);
+    ``stream`` replays a synth slice through the streaming ingestion
+    path, asserts a records/s floor, bounded memory under a 2× overload
+    burst, and byte-identity of flushed output against the batch
+    protect path (writes ``BENCH_7.json``).
 """
 
 from __future__ import annotations
@@ -189,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently-served requests (backpressure bound; "
         "default 32)",
     )
+    serve.add_argument(
+        "--max-inflight-mib",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="bound on the summed size of in-flight request lines "
+        "(default 256 MiB)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="evict a client whose socket stays unwritable this long "
+        "(slow consumer; default 30 s)",
+    )
     _add_auth(serve)
     _add_common(serve)
 
@@ -212,7 +241,56 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--lat", type=float, default=None, help="query latitude")
     req.add_argument("--lng", type=float, default=None, help="query longitude")
     req.add_argument("--k", type=int, default=None, help="query: top-k busiest cells")
+    req.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request round-trip timeout in seconds (default 60)",
+    )
     _add_auth(req)
+
+    stream = sub.add_parser(
+        "stream", help="streaming-ingestion tools (see docs/STREAMING.md)"
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+    replay = stream_sub.add_parser(
+        "replay",
+        help="replay a synth corpus slice through the streaming path, live",
+    )
+    replay.add_argument("--city", default="saigon", help="synth corpus city")
+    replay.add_argument(
+        "--tier", choices=["10k", "100k", "1m"], default="10k", help="corpus tier"
+    )
+    replay.add_argument(
+        "--users", type=int, default=8, help="how many corpus users to replay"
+    )
+    replay.add_argument(
+        "--batch", type=int, default=32, help="records per stream_record frame"
+    )
+    replay.add_argument(
+        "--window",
+        choices=["tumbling", "session"],
+        default="tumbling",
+        help="window kind for every session",
+    )
+    replay.add_argument(
+        "--window-s", type=float, default=None, help="tumbling window length (s)"
+    )
+    replay.add_argument(
+        "--overflow",
+        choices=["block", "shed", "degrade"],
+        default="block",
+        help="per-session overflow policy",
+    )
+    replay.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-session open-window record bound (overflow trips above it)",
+    )
+    replay.add_argument("--seed", type=int, default=0, help="corpus seed")
 
     conf = sub.add_parser("config", help="work with declarative protection configs")
     conf_sub = conf.add_subparsers(dest="config_command", required=True)
@@ -293,7 +371,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="JSON snapshot path (default: print only)",
     )
-    for p in (smoke, micro, service, remote, scale):
+    bstream = bench_sub.add_parser(
+        "stream",
+        help="streaming-ingestion yardstick: records/s, overload-burst "
+        "memory bound, stream-vs-batch byte-identity",
+    )
+    bstream.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    bstream.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller corpus slice (the <60 s CI job)",
+    )
+    for p in (smoke, micro, service, remote, scale, bstream):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
@@ -476,13 +570,24 @@ def _build_served_engine(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.service.api import ProtectionService
+    from repro.stream import StreamConfig
     from repro.service.rpc import ServiceServer
 
     ctx, engine, cfg = _build_served_engine(args)
-    service = ProtectionService(engine)
-    kwargs = {} if args.workers is None else {"max_inflight": args.workers}
+    stream_cfg = None
+    if cfg is not None and getattr(cfg, "stream", None):
+        stream_cfg = StreamConfig.from_dict(cfg.stream)
+    service = ProtectionService(engine, stream=stream_cfg)
+    kwargs = {}
+    if args.workers is not None:
+        kwargs["max_inflight"] = args.workers
+    if args.max_inflight_mib is not None:
+        kwargs["max_inflight_bytes"] = int(args.max_inflight_mib * 1024 * 1024)
+    if args.drain_timeout is not None:
+        kwargs["drain_timeout_s"] = args.drain_timeout
     server = ServiceServer(
         service,
         host=args.host,
@@ -504,7 +609,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {ctx.name} protection service on {where} (auth {auth})",
             flush=True,
         )
-        await server.serve_forever()
+        # SIGTERM = graceful drain: stop accepting, let in-flight
+        # requests finish, flush open streaming windows, then exit 0 —
+        # an orchestrator's `kill` never loses an accepted record.
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stopping.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-unix event loops: ctrl-C still works
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            stop_task.cancel()
+            serve_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+        if stopping.is_set():
+            summary = await server.drain()
+            print(
+                "drained: {sessions} stream session(s), "
+                "{windows_flushed} window(s), "
+                "{records_flushed} record(s) flushed".format(**summary),
+                flush=True,
+            )
 
     try:
         asyncio.run(_serve())
@@ -530,9 +661,13 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
     auth_key = _resolve_auth_key(args)
     if args.unix:
-        client = ServiceClient(unix_path=args.unix, auth_key=auth_key)
+        client = ServiceClient(
+            unix_path=args.unix, timeout=args.timeout, auth_key=auth_key
+        )
     else:
-        client = ServiceClient(host=args.host, port=args.port, auth_key=auth_key)
+        client = ServiceClient(
+            host=args.host, port=args.port, timeout=args.timeout, auth_key=auth_key
+        )
     with client:
         if args.what == "protect":
             reply = client.protect(pick_trace(), daily=args.daily)
@@ -551,6 +686,102 @@ def _cmd_request(args: argparse.Namespace) -> int:
         else:
             reply = client.stats()
     print(json.dumps(reply.to_body(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """``mood stream replay``: the online path driven like a deployment.
+
+    Users' records arrive interleaved in timestamp order — the shape a
+    real gateway sees — not one user at a time.  Each user's session
+    batches records into ``stream_record`` frames; a ``blocked`` ack is
+    handled the way a well-behaved client should: flush the open window
+    to make room, then resend the rejected tail.
+    """
+    from repro.config import ProtectionConfig
+    from repro.core.dataset import MobilityDataset
+    from repro.core.engine import ProtectionEngine
+    from repro.service.api import LoopbackClient, ProtectionService
+    from repro.stream import StreamConfig
+    from repro.synth.corpus import CorpusSpec, SynthCorpus
+
+    assert args.stream_command == "replay"
+    t0 = time.time()
+    spec = CorpusSpec.for_tier(args.city, args.tier, seed=args.seed)
+    corpus = SynthCorpus.from_spec(spec)
+    n_users = min(args.users, corpus.n_users)
+    traces = [corpus.trace(i) for i in range(n_users)]
+    background = MobilityDataset(f"{spec.name}-replay", traces)
+    engine = ProtectionEngine.from_config(ProtectionConfig()).fit(background)
+    overrides = {"window": args.window, "overflow": args.overflow}
+    if args.window_s is not None:
+        overrides["window_s"] = args.window_s
+    if args.max_pending is not None:
+        overrides["max_pending_records"] = args.max_pending
+    service = ProtectionService(engine, stream=StreamConfig(**overrides))
+    client = LoopbackClient(service)
+    print(
+        f"replaying {n_users} users from synth:{args.city}:{args.tier} "
+        f"({args.window} windows, overflow={args.overflow})",
+        flush=True,
+    )
+    for trace in traces:
+        client.stream_open(trace.user_id)
+    # Global timestamp-ordered merge of every user's records.
+    rows = []
+    ordinals = {trace.user_id: 0 for trace in traces}
+    for trace in traces:
+        for i in range(len(trace)):
+            rows.append(
+                (
+                    float(trace.timestamps[i]),
+                    trace.user_id,
+                    float(trace.lats[i]),
+                    float(trace.lngs[i]),
+                )
+            )
+    rows.sort()
+    pending = {trace.user_id: [] for trace in traces}
+    sent = blocked_retries = 0
+
+    def _send(user: str) -> None:
+        nonlocal sent, blocked_retries
+        batch = pending[user]
+        pending[user] = []
+        while batch:
+            ack = client.stream_record(user, batch)
+            sent += ack.accepted
+            batch = batch[ack.accepted :]
+            if batch and ack.status == "blocked":
+                blocked_retries += 1
+                client.stream_flush(user, acked=ack.watermark, close_window=True)
+
+    for t, user, lat, lng in rows:
+        pending[user].append((ordinals[user], t, lat, lng))
+        ordinals[user] += 1
+        if len(pending[user]) >= args.batch:
+            _send(user)
+    pieces = erased = 0
+    for trace in traces:
+        _send(trace.user_id)
+        closed = client.stream_close(trace.user_id)
+        pieces += closed.pieces_published
+        erased += closed.erased_records
+    wall = time.time() - t0
+    stats = client.stats().stream
+    print(f"records streamed   : {sent}")
+    print(f"pieces published   : {pieces}")
+    print(f"records erased     : {erased}")
+    print(f"windows closed     : {stats['windows_closed']}")
+    print(f"windows shed       : {stats['windows_shed']}")
+    print(f"windows degraded   : {stats['windows_degraded']}")
+    print(f"blocked retries    : {blocked_retries}")
+    if stats["overflow_events"]:
+        print("overflow events    :")
+        for reason, count in sorted(stats["overflow_events"].items()):
+            print(f"  {reason:32s} {count}")
+    print(f"throughput         : {sent / max(wall, 1e-9):.0f} records/s")
+    print(f"wall time          : {wall:.1f}s")
     return 0
 
 
@@ -583,13 +814,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_scale_snapshot,
         format_service_snapshot,
         format_snapshot,
+        format_stream_snapshot,
         run_micro,
         run_remote,
         run_scale,
         run_service,
         run_smoke,
+        run_stream,
     )
 
+    if args.bench_command == "stream":
+        snapshot = run_stream(seed=args.seed, smoke=args.smoke, out_path=args.out)
+        print(format_stream_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "scale":
         snapshot = run_scale(
             tier=args.tier, city=args.city, seed=args.seed, out_path=args.out
@@ -659,6 +898,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "stream": _cmd_stream,
         "config": _cmd_config,
         "bench": _cmd_bench,
     }

@@ -95,6 +95,12 @@ class ProtectionConfig:
     #: "tier": "10k"}`` / ``{"name": "classic", "dataset": "privamov"}``;
     #: consumed by ``repro generate --config`` and the scale benchmark.
     corpus: Optional[Dict[str, Any]] = None
+    #: Streaming-ingestion settings, or ``None`` for the defaults:
+    #: :class:`repro.stream.StreamConfig` kwargs such as ``{"window":
+    #: "session", "gap_s": 1800, "overflow": "degrade",
+    #: "max_pending_records": 50000}``.  Used by ``repro serve`` for the
+    #: ``stream_*`` verbs (see docs/STREAMING.md).
+    stream: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.lppms = _normalized_specs(self.lppms, "lppms")
@@ -110,6 +116,8 @@ class ProtectionConfig:
             self.service = dict(self.service)
         if self.corpus is not None:
             self.corpus = normalize_spec(self.corpus)
+        if self.stream is not None:
+            self.stream = dict(self.stream)
 
     # -- validation ------------------------------------------------------
 
@@ -171,6 +179,15 @@ class ProtectionConfig:
                     )
         if self.corpus is not None:
             get("corpus", self.corpus["name"])
+        if self.stream is not None:
+            if not isinstance(self.stream, dict):
+                raise ConfigurationError(
+                    f"stream must be a dict or null, got {self.stream!r}"
+                )
+            # StreamConfig owns the field vocabulary and bounds checks.
+            from repro.stream import StreamConfig
+
+            StreamConfig.from_dict(self.stream)
         return self
 
     # -- dict / JSON round-trip ------------------------------------------
@@ -212,6 +229,7 @@ class ProtectionConfig:
             "seed": self.seed,
             "service": dict(self.service) if self.service is not None else None,
             "corpus": dict(self.corpus) if self.corpus is not None else None,
+            "stream": dict(self.stream) if self.stream is not None else None,
         }
 
     @classmethod
@@ -263,5 +281,11 @@ class ProtectionConfig:
                 + ("shared-secret handshake" if self.service else "off"),
                 "corpus         : "
                 + (self.corpus["name"] if self.corpus else "(from CLI args)"),
+                "stream         : "
+                + (
+                    ", ".join(f"{k}={v}" for k, v in sorted(self.stream.items()))
+                    if self.stream
+                    else "defaults"
+                ),
             ]
         )

@@ -1146,6 +1146,27 @@ class ProtectionEngine:
                 fit(background)
         return self
 
+    def refit(self, delta: MobilityDataset) -> List[str]:
+        """Fold a background *delta* into every attack that supports it.
+
+        Replace semantics (see :meth:`repro.attacks.base.Attack.refit`):
+        *delta* carries the complete, updated background trace per user.
+        Attacks without incremental refit keep their existing profiles —
+        an online deployment prefers a slightly stale profile over a
+        full re-fit stall on the ingest path.  Returns the names of the
+        attacks that were refitted.
+
+        Refitting changes attack verdicts, hence published bytes: the
+        streaming path only calls this when ``stream.refit`` is enabled,
+        never in the byte-identity-pinned default mode.
+        """
+        refitted: List[str] = []
+        for attack in self.attacks:
+            if getattr(attack, "supports_refit", False) and attack.is_fitted:
+                attack.refit(delta)
+                refitted.append(attack.name)
+        return refitted
+
     # -- Algorithm 1 -----------------------------------------------------
 
     def protect(self, trace: Trace) -> MoodResult:

@@ -1,6 +1,14 @@
 """Dataset substrate: synthetic corpora, city models, CSV I/O."""
 
-from repro.datasets.cities import BEIJING, CITIES, GENEVA, LYON, SAN_FRANCISCO, City
+from repro.datasets.cities import (
+    BEIJING,
+    CITIES,
+    GENEVA,
+    LYON,
+    SAIGON,
+    SAN_FRANCISCO,
+    City,
+)
 from repro.datasets.generators import (
     DATASET_NAMES,
     DEFAULT_DAYS,
@@ -27,6 +35,7 @@ __all__ = [
     "LYON",
     "BEIJING",
     "SAN_FRANCISCO",
+    "SAIGON",
     "DatasetSpec",
     "SPECS",
     "DATASET_NAMES",

@@ -61,9 +61,16 @@ BEIJING = City("beijing", 39.9042, 116.4074, radius_m=15_000.0)
 #: San Francisco — the Cabspotting taxi corpus.
 SAN_FRANCISCO = City("san_francisco", 37.7749, -122.4194, radius_m=7_000.0)
 
+#: Ho Chi Minh City (Saigon) — the streaming live-loop exemplar city
+#: (``mood stream replay``): dense monocentric sprawl across the Saigon
+#: river, no corpus of the paper's four — deliberately, so the online
+#: path is always exercised on data the batch experiments never fit on.
+SAIGON = City("saigon", 10.7769, 106.7009, radius_m=9_000.0)
+
 CITIES = {
     "geneva": GENEVA,
     "lyon": LYON,
     "beijing": BEIJING,
     "san_francisco": SAN_FRANCISCO,
+    "saigon": SAIGON,
 }

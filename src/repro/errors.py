@@ -67,6 +67,13 @@ class TransportError(ServiceError):
         super().__init__("transport", message)
 
 
+class StreamError(ReproError, ValueError):
+    """A streaming-ingestion request violates the session contract
+    (unknown session, ordinal gap, out-of-order timestamps, double
+    open).  Deterministic caller errors: the service answers them with a
+    ``bad_request`` envelope and the session state is left unchanged."""
+
+
 class AuthenticationError(ServiceError):
     """The service rejected the peer's credentials (or their absence).
 

@@ -29,6 +29,14 @@ from repro.service.api import (
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    StreamAck,
+    StreamClose,
+    StreamClosed,
+    StreamFlush,
+    StreamFlushed,
+    StreamOpen,
+    StreamOpened,
+    StreamRecord,
     UploadRequest,
     UploadResponse,
     WIRE_VERSION,
@@ -80,6 +88,14 @@ __all__ = [
     "QueryResponse",
     "StatsRequest",
     "StatsResponse",
+    "StreamOpen",
+    "StreamOpened",
+    "StreamRecord",
+    "StreamAck",
+    "StreamFlush",
+    "StreamFlushed",
+    "StreamClose",
+    "StreamClosed",
     "AuthRequest",
     "AuthChallenge",
     "AuthResponse",

@@ -54,6 +54,7 @@ from repro.errors import (
 from repro.service.client import UploadChunk
 from repro.service.proxy import MoodProxy, PseudonymProvider
 from repro.service.server import CollectionServer
+from repro.stream import StreamConfig, StreamHub
 
 #: Wire protocol version; bumped on any incompatible message change.
 #: (The optional request-id tag and the per-piece ``original_records``
@@ -399,13 +400,277 @@ class StatsResponse:
 
     proxy: Dict[str, Any] = field(default_factory=dict)
     server: Dict[str, Any] = field(default_factory=dict)
+    #: Streaming-ingestion counters, including per-reason overflow
+    #: events (a v1-compatible body addition: old peers ignore it).
+    stream: Dict[str, Any] = field(default_factory=dict)
 
     def to_body(self) -> Dict[str, Any]:
-        return {"proxy": dict(self.proxy), "server": dict(self.server)}
+        return {
+            "proxy": dict(self.proxy),
+            "server": dict(self.server),
+            "stream": dict(self.stream),
+        }
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "StatsResponse":
-        return cls(proxy=dict(body["proxy"]), server=dict(body["server"]))
+        return cls(
+            proxy=dict(body["proxy"]),
+            server=dict(body["server"]),
+            stream=dict(body.get("stream", {})),
+        )
+
+
+# -- streaming ingestion (v1-compatible vocabulary additions) --------------
+
+
+@dataclass(frozen=True)
+class StreamOpen:
+    """Open (or resume) one user's record stream.
+
+    ``resume=True`` re-attaches to a surviving session after a
+    reconnect: the reply's watermark tells the client the ordinal to
+    resend from.  Window parameters are server defaults unless given.
+    """
+
+    user_id: str
+    window: Optional[str] = None  # "tumbling" | "session" (None: server default)
+    window_s: Optional[float] = None
+    gap_s: Optional[float] = None
+    resume: bool = False
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "window": self.window,
+            "window_s": self.window_s,
+            "gap_s": self.gap_s,
+            "resume": bool(self.resume),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamOpen":
+        window = body.get("window")
+        window_s = body.get("window_s")
+        gap_s = body.get("gap_s")
+        return cls(
+            user_id=str(body["user_id"]),
+            window=None if window is None else str(window),
+            window_s=None if window_s is None else float(window_s),
+            gap_s=None if gap_s is None else float(gap_s),
+            resume=bool(body.get("resume", False)),
+        )
+
+
+@dataclass(frozen=True)
+class StreamOpened:
+    """Session attached.  ``watermark`` is the protected-and-durable
+    frontier (-1 for a fresh session); ``next_ordinal`` the first
+    ordinal the server has *not* buffered — resend from ``watermark+1``
+    after a reconnect (duplicates are deduplicated server-side)."""
+
+    user_id: str
+    watermark: int
+    next_ordinal: int
+    resumed: bool = False
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "watermark": int(self.watermark),
+            "next_ordinal": int(self.next_ordinal),
+            "resumed": bool(self.resumed),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamOpened":
+        return cls(
+            user_id=str(body["user_id"]),
+            watermark=int(body["watermark"]),
+            next_ordinal=int(body["next_ordinal"]),
+            resumed=bool(body.get("resumed", False)),
+        )
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One batch of records: ``(ordinal, t, lat, lng)`` rows, ordinal-
+    and time-ordered.  Ordinals are client-assigned, contiguous from 0
+    per session — they are the currency of the watermark contract."""
+
+    user_id: str
+    records: Tuple[Tuple[int, float, float, float], ...]
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "records": [[int(o), float(t), float(lat), float(lng)]
+                        for o, t, lat, lng in self.records],
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamRecord":
+        return cls(
+            user_id=str(body["user_id"]),
+            records=tuple(
+                (int(row[0]), float(row[1]), float(row[2]), float(row[3]))
+                for row in body["records"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StreamAck:
+    """Receipt for one record batch.
+
+    ``accepted`` counts records consumed (including deduplicated
+    resends); ``status`` is ``"ok"`` or the overflow action taken
+    (``"blocked"``/``"shed"``/``"degraded"``) with its machine-readable
+    ``reason`` code.  ``blocked`` means the batch tail was rejected:
+    resend from ``next_ordinal`` after backing off."""
+
+    user_id: str
+    accepted: int
+    next_ordinal: int
+    watermark: int
+    status: str = "ok"
+    reason: str = ""
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "accepted": int(self.accepted),
+            "next_ordinal": int(self.next_ordinal),
+            "watermark": int(self.watermark),
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamAck":
+        return cls(
+            user_id=str(body["user_id"]),
+            accepted=int(body["accepted"]),
+            next_ordinal=int(body["next_ordinal"]),
+            watermark=int(body["watermark"]),
+            status=str(body.get("status", "ok")),
+            reason=str(body.get("reason", "")),
+        )
+
+
+@dataclass(frozen=True)
+class StreamFlush:
+    """Ack the client's durable frontier and fetch retained pieces.
+
+    ``acked`` is the highest watermark the client has durably consumed
+    (piece-log entries at or below it are pruned server-side; -1 acks
+    nothing).  ``close_window=True`` force-closes and protects the open
+    window first — the end-of-stream flush, after which the returned
+    watermark covers every record sent."""
+
+    user_id: str
+    acked: int = -1
+    close_window: bool = False
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "acked": int(self.acked),
+            "close_window": bool(self.close_window),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamFlush":
+        return cls(
+            user_id=str(body["user_id"]),
+            acked=int(body.get("acked", -1)),
+            close_window=bool(body.get("close_window", False)),
+        )
+
+
+@dataclass(frozen=True)
+class StreamFlushed:
+    """The flush receipt: exactly which ordinals are protected-and-
+    durable (``watermark``), plus the published pieces the client has
+    not acknowledged yet.  Re-flushing after a lost reply returns the
+    same pieces — flush is idempotent until acked."""
+
+    user_id: str
+    watermark: int
+    pieces: Tuple[PublishedPiece, ...] = ()
+    erased_records: int = 0
+    #: Piece-log entries shed under ``overflow.piece_log_shed`` (their
+    #: pieces stayed durable server-side, only the wire copies are gone).
+    pieces_dropped: int = 0
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "watermark": int(self.watermark),
+            "pieces": [p.to_body() for p in self.pieces],
+            "erased_records": int(self.erased_records),
+            "pieces_dropped": int(self.pieces_dropped),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamFlushed":
+        return cls(
+            user_id=str(body["user_id"]),
+            watermark=int(body["watermark"]),
+            pieces=tuple(PublishedPiece.from_body(p) for p in body.get("pieces", [])),
+            erased_records=int(body.get("erased_records", 0)),
+            pieces_dropped=int(body.get("pieces_dropped", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class StreamClose:
+    """End one user's stream: flush the open window, retire the session."""
+
+    user_id: str
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"user_id": self.user_id}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamClose":
+        return cls(user_id=str(body["user_id"]))
+
+
+@dataclass(frozen=True)
+class StreamClosed:
+    """Final session tally (flush before closing to fetch the last
+    window's pieces — close returns counters, not payloads)."""
+
+    user_id: str
+    watermark: int
+    records_in: int = 0
+    records_shed: int = 0
+    erased_records: int = 0
+    pieces_published: int = 0
+    windows_closed: int = 0
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "watermark": int(self.watermark),
+            "records_in": int(self.records_in),
+            "records_shed": int(self.records_shed),
+            "erased_records": int(self.erased_records),
+            "pieces_published": int(self.pieces_published),
+            "windows_closed": int(self.windows_closed),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "StreamClosed":
+        return cls(
+            user_id=str(body["user_id"]),
+            watermark=int(body["watermark"]),
+            records_in=int(body.get("records_in", 0)),
+            records_shed=int(body.get("records_shed", 0)),
+            erased_records=int(body.get("erased_records", 0)),
+            pieces_published=int(body.get("pieces_published", 0)),
+            windows_closed=int(body.get("windows_closed", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -541,6 +806,14 @@ MESSAGE_TYPES: Dict[str, Type[Any]] = {
     "query_response": QueryResponse,
     "stats_request": StatsRequest,
     "stats_response": StatsResponse,
+    "stream_open": StreamOpen,
+    "stream_opened": StreamOpened,
+    "stream_record": StreamRecord,
+    "stream_ack": StreamAck,
+    "stream_flush": StreamFlush,
+    "stream_flushed": StreamFlushed,
+    "stream_close": StreamClose,
+    "stream_closed": StreamClosed,
     "auth_request": AuthRequest,
     "auth_challenge": AuthChallenge,
     "auth_response": AuthResponse,
@@ -559,6 +832,14 @@ Message = Union[
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    StreamOpen,
+    StreamOpened,
+    StreamRecord,
+    StreamAck,
+    StreamFlush,
+    StreamFlushed,
+    StreamClose,
+    StreamClosed,
     AuthRequest,
     AuthChallenge,
     AuthResponse,
@@ -745,15 +1026,21 @@ class ProtectionService:
         *,
         server: Optional[CollectionServer] = None,
         pseudonyms: Optional[PseudonymProvider] = None,
+        stream: Optional[StreamConfig] = None,
     ) -> None:
         self.proxy = MoodProxy(engine, pseudonyms=pseudonyms)
         self.server = server if server is not None else CollectionServer()
+        self.streams = StreamHub(self.proxy, sink=self.server.receive, config=stream)
         self._state_lock = threading.Lock()
         self._handlers = {
             ProtectRequest: self.protect,
             UploadRequest: self.upload,
             QueryRequest: self.query,
             StatsRequest: self.stats,
+            StreamOpen: self.stream_open,
+            StreamRecord: self.stream_record,
+            StreamFlush: self.stream_flush,
+            StreamClose: self.stream_close,
         }
 
     @property
@@ -792,6 +1079,28 @@ class ProtectionService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self._stats_sync)
 
+    # -- streaming verbs --------------------------------------------------
+
+    async def stream_open(self, request: StreamOpen) -> StreamOpened:
+        """Open (or resume) one user's ingestion session."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stream_open_sync, request)
+
+    async def stream_record(self, request: StreamRecord) -> StreamAck:
+        """Ingest one record batch; closed windows are protected inline."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stream_record_sync, request)
+
+    async def stream_flush(self, request: StreamFlush) -> StreamFlushed:
+        """Ack the durable frontier and return unacknowledged pieces."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stream_flush_sync, request)
+
+    async def stream_close(self, request: StreamClose) -> StreamClosed:
+        """Flush and retire one user's session."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stream_close_sync, request)
+
     # -- sync bodies (run on the pool, under the state lock) -------------
 
     def _query_sync(self, request: QueryRequest) -> QueryResponse:
@@ -810,8 +1119,82 @@ class ProtectionService:
 
         with self._state_lock:
             return StatsResponse(
-                proxy=asdict(self.proxy.stats), server=asdict(self.server.stats)
+                proxy=asdict(self.proxy.stats),
+                server=asdict(self.server.stats),
+                stream=self.streams.stats_dict(),
             )
+
+    def _stream_open_sync(self, request: StreamOpen) -> StreamOpened:
+        with self._state_lock:
+            session, resumed = self.streams.open(
+                request.user_id,
+                window=request.window,
+                window_s=request.window_s,
+                gap_s=request.gap_s,
+                resume=request.resume,
+            )
+            return StreamOpened(
+                user_id=request.user_id,
+                watermark=session.watermark,
+                next_ordinal=session.next_ordinal,
+                resumed=resumed,
+            )
+
+    def _stream_record_sync(self, request: StreamRecord) -> StreamAck:
+        with self._state_lock:
+            outcome = self.streams.ingest(request.user_id, request.records)
+        return StreamAck(
+            user_id=request.user_id,
+            accepted=outcome.accepted,
+            next_ordinal=outcome.next_ordinal,
+            watermark=outcome.watermark,
+            status=outcome.status,
+            reason=outcome.reason,
+        )
+
+    def _stream_flush_sync(self, request: StreamFlush) -> StreamFlushed:
+        with self._state_lock:
+            outcome = self.streams.flush(
+                request.user_id,
+                acked=request.acked,
+                close_window=request.close_window,
+            )
+        return StreamFlushed(
+            user_id=request.user_id,
+            watermark=outcome.watermark,
+            pieces=tuple(
+                PublishedPiece(
+                    pseudonym=p.pseudonym,
+                    mechanism=p.mechanism,
+                    distortion_m=p.distortion_m,
+                    trace=p.published,
+                    original_records=len(p.original),
+                )
+                for p in outcome.pieces
+            ),
+            erased_records=outcome.erased_records,
+            pieces_dropped=outcome.pieces_dropped,
+        )
+
+    def _stream_close_sync(self, request: StreamClose) -> StreamClosed:
+        with self._state_lock:
+            outcome = self.streams.close(request.user_id)
+        return StreamClosed(
+            user_id=request.user_id,
+            watermark=outcome.watermark,
+            records_in=outcome.records_in,
+            records_shed=outcome.records_shed,
+            erased_records=outcome.erased_records,
+            pieces_published=outcome.pieces_published,
+            windows_closed=outcome.windows_closed,
+        )
+
+    def drain_streams(self) -> Dict[str, int]:
+        """Graceful-shutdown hook: flush every open stream window so the
+        final watermarks cover everything clients sent (``repro serve``
+        calls this on SIGTERM before exiting)."""
+        with self._state_lock:
+            return self.streams.drain()
 
     def _protect_sync(self, request: ProtectRequest) -> ProtectResponse:
         # The engine, pseudonym counters, and stats are shared mutable
@@ -949,6 +1332,45 @@ class ServiceClientBase:
 
     def stats(self) -> StatsResponse:
         return self._ask(StatsRequest(), StatsResponse)
+
+    # -- streaming verbs ---------------------------------------------------
+
+    def stream_open(
+        self,
+        user_id: str,
+        window: Optional[str] = None,
+        window_s: Optional[float] = None,
+        gap_s: Optional[float] = None,
+        resume: bool = False,
+    ) -> StreamOpened:
+        return self._ask(
+            StreamOpen(
+                user_id=user_id,
+                window=window,
+                window_s=window_s,
+                gap_s=gap_s,
+                resume=resume,
+            ),
+            StreamOpened,
+        )
+
+    def stream_record(
+        self, user_id: str, records: Tuple[Tuple[int, float, float, float], ...]
+    ) -> StreamAck:
+        return self._ask(
+            StreamRecord(user_id=user_id, records=tuple(records)), StreamAck
+        )
+
+    def stream_flush(
+        self, user_id: str, acked: int = -1, close_window: bool = False
+    ) -> StreamFlushed:
+        return self._ask(
+            StreamFlush(user_id=user_id, acked=acked, close_window=close_window),
+            StreamFlushed,
+        )
+
+    def stream_close(self, user_id: str) -> StreamClosed:
+        return self._ask(StreamClose(user_id=user_id), StreamClosed)
 
 
 class LoopbackClient(ServiceClientBase):

@@ -93,6 +93,43 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: Default bound on concurrently-served requests (`repro serve --workers`).
 DEFAULT_MAX_INFLIGHT = 32
 
+#: Default bound on the summed size of tagged request lines being served
+#: at once, across all connections.  Complements ``max_inflight`` (a
+#: *count* bound): 32 small queries and 32 month-long traces cost very
+#: different amounts of memory.
+DEFAULT_MAX_INFLIGHT_BYTES = 256 * 1024 * 1024
+
+#: How long a reply write may sit in :meth:`StreamWriter.drain` before
+#: the connection is declared a slow consumer and evicted.
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+
+class _ByteBudget:
+    """Counting byte semaphore with an oversized-frame escape hatch.
+
+    ``acquire(n)`` blocks while admitting *n* more bytes would exceed
+    the budget **and** something else is already admitted; a frame
+    larger than the whole budget is therefore admitted alone (when
+    ``used == 0``) instead of deadlocking — the budget degrades to
+    serial service for pathological frames rather than wedging.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = int(limit)
+        self.used = 0
+        self._cond = asyncio.Condition()
+
+    async def acquire(self, n: int) -> None:
+        async with self._cond:
+            while self.used > 0 and self.used + n > self.limit:
+                await self._cond.wait()
+            self.used += n
+
+    async def release(self, n: int) -> None:
+        async with self._cond:
+            self.used = max(0, self.used - n)
+            self._cond.notify_all()
+
 
 class ServiceServer:
     """Serve a :class:`ProtectionService` over TCP or a unix socket.
@@ -122,10 +159,26 @@ class ServiceServer:
         unix_path: Optional[str] = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         auth_key: Optional[bytes] = None,
+        max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+        max_conn_inflight_bytes: Optional[int] = None,
+        drain_timeout_s: Optional[float] = DEFAULT_DRAIN_TIMEOUT_S,
     ) -> None:
         if int(max_inflight) < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if int(max_inflight_bytes) < 1:
+            raise ConfigurationError(
+                f"max_inflight_bytes must be >= 1, got {max_inflight_bytes}"
+            )
+        if max_conn_inflight_bytes is not None and int(max_conn_inflight_bytes) < 1:
+            raise ConfigurationError(
+                "max_conn_inflight_bytes must be >= 1 (or None), "
+                f"got {max_conn_inflight_bytes}"
+            )
+        if drain_timeout_s is not None and float(drain_timeout_s) <= 0.0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0 (or None), got {drain_timeout_s}"
             )
         if auth_key is not None and not auth_key:
             raise ConfigurationError("auth_key must be non-empty bytes (or None)")
@@ -134,13 +187,45 @@ class ServiceServer:
         self.port = int(port)
         self.unix_path = unix_path
         self.max_inflight = int(max_inflight)
+        self.max_inflight_bytes = int(max_inflight_bytes)
+        self.max_conn_inflight_bytes = (
+            None if max_conn_inflight_bytes is None else int(max_conn_inflight_bytes)
+        )
+        self.drain_timeout_s = (
+            None if drain_timeout_s is None else float(drain_timeout_s)
+        )
         self.auth_key = None if auth_key is None else bytes(auth_key)
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: Optional[asyncio.Semaphore] = None
+        self._byte_budget: Optional[_ByteBudget] = None
+        self._evictions = 0
+        self._draining = False
         self._thread: Optional[threading.Thread] = None
         self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- connection handling ---------------------------------------------
+
+    async def _drain_or_evict(self, writer: asyncio.StreamWriter) -> None:
+        """Flush the writer, evicting a consumer that will not read.
+
+        A client that stops reading its socket parks every reply behind
+        the kernel send buffer; without a deadline those replies (and
+        their in-flight slots and bytes) are pinned forever.  After
+        ``drain_timeout_s`` the transport is aborted — RST, no lingering
+        FIN handshake — and the connection handler unwinds through its
+        normal disconnect path.
+        """
+        if self.drain_timeout_s is None:
+            await writer.drain()
+            return
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=self.drain_timeout_s)
+        except asyncio.TimeoutError:
+            self._evictions += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError("slow consumer evicted")
 
     async def _serve_tagged(
         self,
@@ -148,13 +233,16 @@ class ServiceServer:
         message: Message,
         write_lock: asyncio.Lock,
         writer: asyncio.StreamWriter,
+        cost: int,
+        conn_budget: Optional[_ByteBudget],
     ) -> None:
         """One concurrently-handled request; owns one semaphore slot.
 
-        The slot is held until the reply has been written (or the write
-        failed): releasing earlier would let a client that pipelines
-        without reading accumulate unbounded finished replies behind the
-        write lock, defeating the backpressure bound.
+        The slot (and the request's byte reservation) is held until the
+        reply has been written (or the write failed): releasing earlier
+        would let a client that pipelines without reading accumulate
+        unbounded finished replies behind the write lock, defeating the
+        backpressure bound.
         """
         assert self._inflight is not None
         try:
@@ -173,11 +261,15 @@ class ServiceServer:
             try:
                 async with write_lock:
                     writer.write(payload)
-                    await writer.drain()
+                    await self._drain_or_evict(writer)
             except (ConnectionResetError, BrokenPipeError):
                 pass
         finally:
             self._inflight.release()
+            if self._byte_budget is not None:
+                await self._byte_budget.release(cost)
+            if conn_budget is not None:
+                await conn_budget.release(cost)
 
     def _auth_reply(self, message: AuthRequest, conn_auth: Dict[str, Any]) -> Message:
         """One handshake leg; mutates the connection's auth state.
@@ -214,6 +306,9 @@ class ServiceServer:
         write_lock = asyncio.Lock()
         tasks: set = set()
         conn_auth: Dict[str, Any] = {"ok": self.auth_key is None}
+        conn_budget: Optional[_ByteBudget] = None
+        if self.max_conn_inflight_bytes is not None:
+            conn_budget = _ByteBudget(self.max_conn_inflight_bytes)
         try:
             while True:
                 try:
@@ -228,7 +323,7 @@ class ServiceServer:
                                 )
                             )
                         )
-                        await writer.drain()
+                        await self._drain_or_evict(writer)
                     break
                 if not line:
                     break
@@ -253,7 +348,7 @@ class ServiceServer:
                         )
                         async with write_lock:
                             writer.write(payload)
-                            await writer.drain()
+                            await self._drain_or_evict(writer)
                         continue
                     message = materialize_frame(request_id, slug, cls, body)
                 except ProtocolError as exc:
@@ -264,7 +359,7 @@ class ServiceServer:
                                 request_id=getattr(exc, "request_id", None),
                             )
                         )
-                        await writer.drain()
+                        await self._drain_or_evict(writer)
                     continue
                 if isinstance(message, AuthRequest):
                     # Transport-level: handled inline (tagged or not),
@@ -273,7 +368,7 @@ class ServiceServer:
                     payload = encode_reply(reply, request_id=request_id)
                     async with write_lock:
                         writer.write(payload)
-                        await writer.drain()
+                        await self._drain_or_evict(writer)
                     if isinstance(reply, ErrorEnvelope):
                         # Failed proof (or proof without challenge):
                         # drop the connection, so every further guess
@@ -287,14 +382,26 @@ class ServiceServer:
                     payload = encode_reply(await self.service.handle(message))
                     async with write_lock:
                         writer.write(payload)
-                        await writer.drain()
+                        await self._drain_or_evict(writer)
                     continue
                 # Tagged: acquire an in-flight slot *before* reading the
                 # next line — a full server stops consuming input, and
-                # TCP flow control backpressures the client.
+                # TCP flow control backpressures the client.  Byte
+                # budgets are reserved first (per-connection, then
+                # global) so one connection full of huge frames cannot
+                # starve the global budget while also holding count
+                # slots: a blocked connection stops being read, and TCP
+                # pushes back.
+                cost = len(line)
+                if conn_budget is not None:
+                    await conn_budget.acquire(cost)
+                if self._byte_budget is not None:
+                    await self._byte_budget.acquire(cost)
                 await self._inflight.acquire()
                 task = asyncio.ensure_future(
-                    self._serve_tagged(request_id, message, write_lock, writer)
+                    self._serve_tagged(
+                        request_id, message, write_lock, writer, cost, conn_budget
+                    )
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -321,6 +428,8 @@ class ServiceServer:
         if self._server is not None:
             return
         self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._byte_budget = _ByteBudget(self.max_inflight_bytes)
+        self._draining = False
         if self.unix_path is not None:
             # A killed/crashed predecessor leaves its socket file behind
             # (asyncio does not unlink on close either), which would make
@@ -364,6 +473,38 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful shutdown: stop accepting, finish in-flight, flush streams.
+
+        Three ordered steps: (1) close the listening socket so no new
+        connection can arrive; (2) acquire every in-flight slot, which
+        completes only once all tagged requests have been served *and
+        their replies written*; (3) flush every open streaming window
+        through the cascade so no accepted record is lost.  Returns the
+        stream-flush summary (``sessions`` / ``windows_flushed`` /
+        ``records_flushed``).  ``repro serve`` runs this on SIGTERM.
+        """
+        self._draining = True
+        await self.stop()
+        if self._inflight is not None:
+            for _ in range(self.max_inflight):
+                await self._inflight.acquire()
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(None, self.service.drain_streams)
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Transport-level counters (budgets, evictions, drain state)."""
+        used = 0 if self._byte_budget is None else self._byte_budget.used
+        return {
+            "max_inflight": self.max_inflight,
+            "max_inflight_bytes": self.max_inflight_bytes,
+            "inflight_bytes": used,
+            "max_conn_inflight_bytes": self.max_conn_inflight_bytes,
+            "drain_timeout_s": self.drain_timeout_s,
+            "slow_consumer_evictions": self._evictions,
+            "draining": self._draining,
+        }
 
     def run(self) -> None:
         """Blocking entry point (the ``repro serve`` command)."""

@@ -3,19 +3,37 @@
 import numpy as np
 import pytest
 
-from repro.datasets.cities import BEIJING, CITIES, GENEVA, LYON, SAN_FRANCISCO, City
+from repro.datasets.cities import (
+    BEIJING,
+    CITIES,
+    GENEVA,
+    LYON,
+    SAIGON,
+    SAN_FRANCISCO,
+    City,
+)
 from repro.geo.geodesy import haversine_m
 
 
 class TestCityCatalogue:
-    def test_four_cities(self):
-        assert set(CITIES) == {"geneva", "lyon", "beijing", "san_francisco"}
+    def test_catalogue_members(self):
+        # The paper's four corpora cities, plus Saigon — the streaming
+        # live-loop exemplar (PR 7), deliberately not a paper corpus.
+        assert set(CITIES) == {
+            "geneva",
+            "lyon",
+            "beijing",
+            "san_francisco",
+            "saigon",
+        }
 
     def test_coordinates_plausible(self):
         assert GENEVA.center_lat == pytest.approx(46.2, abs=0.1)
         assert LYON.center_lng == pytest.approx(4.84, abs=0.1)
         assert BEIJING.center_lat == pytest.approx(39.9, abs=0.1)
         assert SAN_FRANCISCO.center_lng == pytest.approx(-122.4, abs=0.1)
+        assert SAIGON.center_lat == pytest.approx(10.78, abs=0.1)
+        assert SAIGON.center_lng == pytest.approx(106.7, abs=0.1)
 
     def test_radii_positive(self):
         for city in CITIES.values():

@@ -17,11 +17,21 @@ fault                   behaviour on the targeted reply frame(s)
                         client must detect garbage, not act on it)
 ``disconnect``          close both sides instead of forwarding (reply
                         lost mid-exchange — the mid-reply disconnect)
+``delay_ack``           forward the frame ``delay_s`` later on a timer,
+                        letting *subsequent* replies overtake it — the
+                        out-of-order ack (``delay`` blocks the whole
+                        pump; this one reorders)
+``throttle``            slow-consumer/slow-producer: the client→server
+                        direction trickles through in
+                        ``throttle_chunk_bytes`` slices with
+                        ``throttle_sleep_s`` pauses, for every
+                        connection (direction-level, not per-frame)
 ======================  ====================================================
 
-Faults target proxy-global reply ordinals (``after_replies`` onward,
-``n_faults`` frames wide), so a test can hit "the third reply of the
-batch" regardless of which connection carries it.  The relay is
+Frame faults target proxy-global reply ordinals (``after_replies``
+onward, ``n_faults`` frames wide), so a test can hit "the third reply
+of the batch" regardless of which connection carries it; ``throttle``
+is direction-level and ignores the ordinal window.  The relay is
 byte-transparent for everything else — auth handshakes, request
 pipelining, and request-id framing all pass through untouched.
 
@@ -42,8 +52,17 @@ from typing import List, Optional, Tuple
 
 __all__ = ["ChaosProxy", "FAULTS"]
 
-#: The per-frame fault vocabulary (flap is driven via go_down/go_up).
-FAULTS = ("none", "delay", "drop", "truncate", "corrupt", "disconnect")
+#: The fault vocabulary (flap is driven via go_down/go_up).
+FAULTS = (
+    "none",
+    "delay",
+    "drop",
+    "truncate",
+    "corrupt",
+    "disconnect",
+    "delay_ack",
+    "throttle",
+)
 
 
 class ChaosProxy:
@@ -57,6 +76,8 @@ class ChaosProxy:
         after_replies: int = 0,
         n_faults: int = 1,
         delay_s: float = 0.3,
+        throttle_chunk_bytes: int = 512,
+        throttle_sleep_s: float = 0.005,
         host: str = "127.0.0.1",
         start_down: bool = False,
     ) -> None:
@@ -67,6 +88,8 @@ class ChaosProxy:
         self.after_replies = int(after_replies)
         self.n_faults = int(n_faults)
         self.delay_s = float(delay_s)
+        self.throttle_chunk_bytes = int(throttle_chunk_bytes)
+        self.throttle_sleep_s = float(throttle_sleep_s)
         self._lock = threading.Lock()
         self._updown = threading.Lock()
         self._closed = False
@@ -202,13 +225,26 @@ class ChaosProxy:
                 pass
 
     def _pump_raw(self, src: socket.socket, dst: socket.socket) -> None:
-        """client → server: byte-transparent."""
+        """client → server: byte-transparent (trickled under ``throttle``)."""
+        throttled = self.fault == "throttle"
+        if throttled:
+            with self._lock:
+                self.faults_injected += 1
         try:
             while True:
                 data = src.recv(65536)
                 if not data:
                     break
-                dst.sendall(data)
+                if throttled:
+                    # A slow producer as the server sees it: the bytes
+                    # arrive, but over many small writes with pauses —
+                    # the server must hold a half-read line without
+                    # burning an in-flight slot or unbounded memory.
+                    for i in range(0, len(data), self.throttle_chunk_bytes):
+                        dst.sendall(data[i : i + self.throttle_chunk_bytes])
+                        time.sleep(self.throttle_sleep_s)
+                else:
+                    dst.sendall(data)
         except OSError:
             pass
         finally:
@@ -224,7 +260,9 @@ class ChaosProxy:
                 <= ordinal
                 < self.after_replies + self.n_faults
             )
-            if hit and self.fault != "none":
+            # "throttle" is direction-level (client→server), never a
+            # reply-frame fault: replies relay untouched.
+            if hit and self.fault not in ("none", "throttle"):
                 self.faults_injected += 1
                 return True
             return False
@@ -259,6 +297,20 @@ class ChaosProxy:
                         dst.sendall(bytes(mutated))
                     elif self.fault == "disconnect":
                         return  # reply lost, connection torn down
+                    elif self.fault == "delay_ack":
+                        # Deliver *later*, off-thread: replies behind
+                        # this one overtake it, so an id-matching client
+                        # sees acks out of order (and a FIFO client must
+                        # not mis-correlate).
+                        def _late(frame: bytes = frame) -> None:
+                            try:
+                                dst.sendall(frame)
+                            except OSError:
+                                pass
+
+                        timer = threading.Timer(self.delay_s, _late)
+                        timer.daemon = True
+                        timer.start()
         except OSError:
             pass
         finally:

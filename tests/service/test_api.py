@@ -20,6 +20,14 @@ from repro.service.api import (
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    StreamAck,
+    StreamClose,
+    StreamClosed,
+    StreamFlush,
+    StreamFlushed,
+    StreamOpen,
+    StreamOpened,
+    StreamRecord,
     UploadRequest,
     UploadResponse,
     decode_frame,
@@ -134,6 +142,45 @@ class TestCodec:
             QueryResponse(kind="top_cells", cells=((1, 2, 3), (4, 5, 6))),
             StatsRequest(),
             StatsResponse(proxy={"chunks_processed": 1}, server={"uploads": 2}),
+            StatsResponse(stream={"sessions_open": 2, "records_in": 10}),
+            StreamOpen(user_id="u", window="session", gap_s=1800.0, resume=True),
+            StreamOpened(user_id="u", watermark=41, next_ordinal=42, resumed=True),
+            StreamRecord(
+                user_id="u", records=((0, 1.5, 45.0, 4.0), (1, 2.5, 45.1, 4.1))
+            ),
+            StreamAck(
+                user_id="u",
+                accepted=2,
+                next_ordinal=2,
+                watermark=1,
+                status="shed",
+                reason="overflow.shed_oldest_window",
+            ),
+            StreamFlush(user_id="u", acked=7, close_window=True),
+            StreamFlushed(
+                user_id="u",
+                watermark=9,
+                pieces=(
+                    PublishedPiece(
+                        pseudonym="u#3",
+                        mechanism="degraded:noop",
+                        distortion_m=1.0,
+                        trace=day_trace("u#3"),
+                    ),
+                ),
+                erased_records=1,
+                pieces_dropped=2,
+            ),
+            StreamClose(user_id="u"),
+            StreamClosed(
+                user_id="u",
+                watermark=9,
+                records_in=10,
+                records_shed=0,
+                erased_records=1,
+                pieces_published=3,
+                windows_closed=2,
+            ),
             ErrorEnvelope(code="bad_request", message="nope"),
         ],
         ids=lambda m: type(m).__name__,

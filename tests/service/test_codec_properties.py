@@ -31,6 +31,14 @@ from repro.service.api import (  # noqa: E402
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    StreamAck,
+    StreamClose,
+    StreamClosed,
+    StreamFlush,
+    StreamFlushed,
+    StreamOpen,
+    StreamOpened,
+    StreamRecord,
     UploadRequest,
     UploadResponse,
     decode_frame,
@@ -117,6 +125,14 @@ def wire_messages(draw):
                 "auth_request",
                 "auth_challenge",
                 "auth_response",
+                "stream_open",
+                "stream_opened",
+                "stream_record",
+                "stream_ack",
+                "stream_flush",
+                "stream_flushed",
+                "stream_close",
+                "stream_closed",
                 "error",
             ]
         )
@@ -174,6 +190,78 @@ def wire_messages(draw):
             st.text(min_size=1, max_size=16), _big_int, max_size=4
         )
         return StatsResponse(proxy=draw(counters), server=draw(counters))
+    if kind == "stream_open":
+        return StreamOpen(
+            user_id=draw(_user_id),
+            window=draw(st.one_of(st.none(), st.sampled_from(["tumbling", "session"]))),
+            window_s=draw(st.one_of(st.none(), st.floats(1.0, 1e9, allow_nan=False))),
+            gap_s=draw(st.one_of(st.none(), st.floats(1.0, 1e9, allow_nan=False))),
+            resume=draw(st.booleans()),
+        )
+    if kind == "stream_opened":
+        return StreamOpened(
+            user_id=draw(_user_id),
+            watermark=draw(st.integers(-1, 10**18)),
+            next_ordinal=draw(_big_int),
+            resumed=draw(st.booleans()),
+        )
+    if kind == "stream_record":
+        records = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 10**18),
+                    st.floats(0.0, 1e12, allow_nan=False, width=64),
+                    _lat,
+                    _lng,
+                ),
+                max_size=6,
+            )
+        )
+        return StreamRecord(user_id=draw(_user_id), records=tuple(records))
+    if kind == "stream_ack":
+        return StreamAck(
+            user_id=draw(_user_id),
+            accepted=draw(_big_int),
+            next_ordinal=draw(_big_int),
+            watermark=draw(st.integers(-1, 10**18)),
+            status=draw(st.sampled_from(["ok", "blocked", "shed", "degraded"])),
+            reason=draw(
+                st.sampled_from(
+                    [
+                        "",
+                        "backpressure.buffer_full",
+                        "overflow.shed_oldest_window",
+                        "overflow.degrade_cheap_lppm",
+                    ]
+                )
+            ),
+        )
+    if kind == "stream_flush":
+        return StreamFlush(
+            user_id=draw(_user_id),
+            acked=draw(st.integers(-1, 10**18)),
+            close_window=draw(st.booleans()),
+        )
+    if kind == "stream_flushed":
+        return StreamFlushed(
+            user_id=draw(_user_id),
+            watermark=draw(st.integers(-1, 10**18)),
+            pieces=tuple(draw(st.lists(published_pieces(), max_size=2))),
+            erased_records=draw(_big_int),
+            pieces_dropped=draw(_big_int),
+        )
+    if kind == "stream_close":
+        return StreamClose(user_id=draw(_user_id))
+    if kind == "stream_closed":
+        return StreamClosed(
+            user_id=draw(_user_id),
+            watermark=draw(st.integers(-1, 10**18)),
+            records_in=draw(_big_int),
+            records_shed=draw(_big_int),
+            erased_records=draw(_big_int),
+            pieces_published=draw(_big_int),
+            windows_closed=draw(_big_int),
+        )
     if kind == "auth_request":
         return AuthRequest(proof=draw(st.one_of(st.none(), st.text(max_size=128))))
     if kind == "auth_challenge":

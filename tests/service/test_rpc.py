@@ -1,5 +1,6 @@
 """Tests for the socket transport: TCP/unix server, client SDK, CLI serve."""
 
+import asyncio
 import os
 import socket
 import subprocess
@@ -621,3 +622,191 @@ class TestServeCommand:
         finally:
             proc.terminate()
             proc.wait(timeout=30)
+
+
+class TestByteBudget:
+    """The _ByteBudget primitive and its server wiring (PR 7)."""
+
+    def test_budget_blocks_then_releases(self):
+        from repro.service.rpc import _ByteBudget
+
+        async def scenario():
+            budget = _ByteBudget(100)
+            await budget.acquire(60)
+            grabbed = []
+
+            async def second():
+                await budget.acquire(60)
+                grabbed.append(True)
+
+            task = asyncio.ensure_future(second())
+            await asyncio.sleep(0.05)
+            assert not grabbed  # 60 + 60 > 100: must wait
+            await budget.release(60)
+            await asyncio.wait_for(task, 5.0)
+            assert grabbed and budget.used == 60
+
+        asyncio.run(scenario())
+
+    def test_oversized_frame_admitted_alone(self):
+        """A frame bigger than the whole budget must not deadlock: it is
+        admitted when nothing else is in flight (serial degradation)."""
+        from repro.service.rpc import _ByteBudget
+
+        async def scenario():
+            budget = _ByteBudget(10)
+            await asyncio.wait_for(budget.acquire(1000), 1.0)
+            assert budget.used == 1000
+            await budget.release(1000)
+
+        asyncio.run(scenario())
+
+    def test_invalid_budget_kwargs_rejected(self):
+        service = ProtectionService(stub_engine())
+        with pytest.raises(ConfigurationError):
+            ServiceServer(service, max_inflight_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ServiceServer(service, max_conn_inflight_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ServiceServer(service, drain_timeout_s=0.0)
+
+    def test_tiny_byte_budget_still_serves_everything(self):
+        """A budget smaller than any frame degrades to serial service —
+        every pipelined request is still answered."""
+        with ServiceServer(
+            ProtectionService(stub_engine()),
+            port=0,
+            max_inflight_bytes=64,
+            max_conn_inflight_bytes=64,
+        ) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                for i in range(5):
+                    fh.write(encode_message(StatsRequest(), request_id=i))
+                fh.flush()
+                seen = {decode_frame(fh.readline())[0] for _ in range(5)}
+        assert seen == set(range(5))
+        assert server.transport_stats()["inflight_bytes"] == 0
+
+
+class TestSlowConsumerEviction:
+    def test_unread_replies_evict_the_connection(self):
+        """A client that stops reading must not pin server memory: after
+        drain_timeout_s its transport is aborted and counted."""
+        from repro.service.api import ProtectRequest
+
+        with ServiceServer(
+            ProtectionService(stub_engine()), port=0, drain_timeout_s=0.2
+        ) as server:
+            host, port = server.address
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            # A tiny receive window so big replies park in the server's
+            # write buffer instead of the kernel's.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            sock.connect((host, port))
+            try:
+                trace = day_trace(period=10.0)  # a fat reply (~8640 records)
+                for i in range(24):
+                    sock.sendall(
+                        encode_message(ProtectRequest(trace=trace), request_id=i)
+                    )
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if server.transport_stats()["slow_consumer_evictions"] >= 1:
+                        break
+                    time.sleep(0.05)
+                assert server.transport_stats()["slow_consumer_evictions"] >= 1
+            finally:
+                sock.close()
+        # The budget was fully released by the unwind: nothing leaked.
+        assert server.transport_stats()["inflight_bytes"] == 0
+
+    def test_transport_stats_shape(self):
+        with ServiceServer(
+            ProtectionService(stub_engine()), port=0, max_conn_inflight_bytes=1024
+        ) as server:
+            stats = server.transport_stats()
+        assert stats["max_conn_inflight_bytes"] == 1024
+        assert stats["slow_consumer_evictions"] == 0
+        assert stats["draining"] is False
+        for key in ("max_inflight", "max_inflight_bytes", "inflight_bytes",
+                    "drain_timeout_s"):
+            assert key in stats
+
+
+class TestGracefulDrain:
+    def test_drain_flushes_streams_and_stops_listening(self):
+        # Feed an open stream through the loopback side of the service
+        # first (LoopbackClient drives its own event loop, so it cannot
+        # run inside the server's): drain() must flush it even with no
+        # wire traffic.
+        service = ProtectionService(stub_engine())
+        client = LoopbackClient(service)
+        client.stream_open("u")
+        client.stream_record("u", [(i, i * 60.0, 45.0, 4.0) for i in range(7)])
+
+        async def scenario():
+            server = ServiceServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            summary = await server.drain()
+            assert summary == {
+                "sessions": 1,
+                "windows_flushed": 1,
+                "records_flushed": 7,
+            }
+            assert server.transport_stats()["draining"] is True
+            # The listener is gone: a fresh dial must fail.
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=0.5).close()
+
+        asyncio.run(scenario())
+
+
+class TestServeSigtermDrain:
+    def test_sigterm_flushes_open_streams_before_exit(self, tmp_path):
+        """Acceptance: SIGTERM on `repro serve` drains — open streaming
+        windows are flushed through the cascade, and the summary names
+        how much was saved."""
+        import signal
+
+        sock_path = str(tmp_path / "drain.sock")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--unix", sock_path, "--users", "2", "--days", "2", "--seed", "3",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.time() + 120.0
+            while not os.path.exists(sock_path):
+                if proc.poll() is not None:
+                    out = proc.stdout.read().decode(errors="replace")
+                    raise AssertionError(f"serve exited early:\n{out}")
+                if time.time() > deadline:
+                    raise AssertionError("serve did not come up in time")
+                time.sleep(0.2)
+            with ServiceClient(unix_path=sock_path, timeout=120.0) as client:
+                client.stream_open("driver")
+                ack = client.stream_record(
+                    "driver", [(i, i * 60.0, 45.0, 4.0) for i in range(9)]
+                )
+                assert ack.status == "ok"
+            proc.send_signal(signal.SIGTERM)
+            out = proc.stdout.read().decode(errors="replace")
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert "drained: 1 stream session(s)" in out
+        assert "9 record(s) flushed" in out

@@ -26,11 +26,13 @@ from repro.core.engine import ProtectionEngine
 from repro.core.trace import Trace
 from repro.errors import TransportError
 from repro.lppm.base import LPPM
-from repro.service.api import ProtectionService, StatsRequest
-from repro.service.rpc import RemoteClusterClient, ServiceServer
+from repro.service.api import LoopbackClient, ProtectionService, StatsRequest
+from repro.service.rpc import RemoteClusterClient, ServiceClient, ServiceServer
+from repro.stream import StreamConfig
 from repro.datasets.io import to_csv_string
 
 from tests.service.chaos import FAULTS, ChaosProxy
+from tests.service.test_stream import assert_pieces_equal, rows
 
 DAY = 86_400.0
 AUTH_KEY = "chaos-cluster-key"
@@ -413,3 +415,139 @@ class TestRehabilitationStateMachine:
             finally:
                 timer.cancel()
             assert proxy.connections_accepted >= 1
+
+
+class TestStreamSoak:
+    """Streaming legs of the soak matrix (PR 7 tentpole acceptance).
+
+    Each leg drives the ``stream_*`` verbs through :class:`ChaosProxy`
+    faults and pins the survivor behaviour: resume-from-watermark after
+    a mid-window disconnect, idempotent flush after a lost reply, and
+    bounded buffers with visible reason codes under sustained overload.
+    """
+
+    @staticmethod
+    def stream_trace(user="soak-stream", n=240, seed=17):
+        rng = np.random.default_rng(seed)
+        ts = np.sort(rng.uniform(0.0, 3 * DAY, n))
+        return Trace(
+            user, ts, 45.0 + rng.normal(0, 0.02, n), 4.0 + rng.normal(0, 0.02, n)
+        )
+
+    @staticmethod
+    def batch_reference(trace):
+        return LoopbackClient(ProtectionService(mk_engine())).protect(
+            trace, daily=True
+        ).pieces
+
+    @staticmethod
+    def proxy_client(proxy, timeout=5.0):
+        host, port = proxy.endpoint.rsplit(":", 1)
+        return ServiceClient(host=host, port=int(port), timeout=timeout)
+
+    def test_mid_window_disconnect_resumes_from_watermark(self, servers):
+        """The acceptance leg: the wire dies mid-window, the client
+        reconnects, resumes from the last acked watermark, and the
+        flushed output is byte-identical to the batch path."""
+        trace = self.stream_trace()
+        host, port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(
+            host, port, fault="disconnect", after_replies=3, n_faults=1
+        ) as proxy:
+            client = self.proxy_client(proxy)
+            try:
+                client.stream_open(trace.user_id)
+                with pytest.raises(TransportError):
+                    for start in range(0, len(trace), 24):
+                        client.stream_record(
+                            trace.user_id, rows(trace, start, start + 24)
+                        )
+                    client.stream_flush(trace.user_id, close_window=True)
+                assert proxy.faults_injected >= 1
+                # Reconnect through the (now clean) proxy and resume.
+                client.reconnect()
+                reopened = client.stream_open(trace.user_id, resume=True)
+                assert reopened.resumed
+                client.stream_record(
+                    trace.user_id, rows(trace, reopened.watermark + 1)
+                )
+                flushed = client.stream_flush(trace.user_id, close_window=True)
+                client.stream_close(trace.user_id)
+            finally:
+                client.close()
+        assert_pieces_equal(flushed.pieces, self.batch_reference(trace))
+
+    def test_lost_flush_reply_recovered_by_reflush(self, servers):
+        """The flush executes server-side but its reply is dropped on the
+        wire: the client times out, reconnects, re-flushes, and receives
+        the same pieces (idempotent until acked) — no loss, no dupes."""
+        trace = self.stream_trace(n=120, seed=19)
+        host, port = servers(ProtectionService(mk_engine()))
+        with ServiceClient(host=host, port=port) as feeder:
+            feeder.stream_open(trace.user_id)
+            feeder.stream_record(trace.user_id, rows(trace))
+        with ChaosProxy(
+            host, port, fault="drop", after_replies=0, n_faults=1
+        ) as proxy:
+            lossy = self.proxy_client(proxy, timeout=1.0)
+            try:
+                with pytest.raises(TransportError):
+                    lossy.stream_flush(trace.user_id, close_window=True)
+                assert proxy.faults_injected >= 1
+                # The window DID close server-side; a re-flush on a fresh
+                # connection returns the identical piece log.
+                lossy.reconnect()
+                flushed = lossy.stream_flush(trace.user_id)
+            finally:
+                lossy.close()
+        assert_pieces_equal(flushed.pieces, self.batch_reference(trace))
+
+    @pytest.mark.parametrize("fault", ["throttle", "delay_ack"])
+    def test_degraded_wire_still_byte_identical(self, servers, fault):
+        """A slow-consumer trickle (throttle) or a late out-of-order ack
+        (delay_ack) slows the stream but never changes its bytes."""
+        trace = self.stream_trace(n=120, seed=23)
+        host, port = servers(ProtectionService(mk_engine()))
+        with ChaosProxy(
+            host, port, fault=fault, after_replies=1, n_faults=2, delay_s=0.2
+        ) as proxy:
+            with self.proxy_client(proxy, timeout=10.0) as client:
+                client.stream_open(trace.user_id)
+                for start in range(0, len(trace), 40):
+                    client.stream_record(
+                        trace.user_id, rows(trace, start, start + 40)
+                    )
+                flushed = client.stream_flush(trace.user_id, close_window=True)
+            assert proxy.faults_injected >= 1
+        assert_pieces_equal(flushed.pieces, self.batch_reference(trace))
+
+    def test_sustained_overload_sheds_with_reason_and_recovers(self, servers):
+        """2x overload against a small bound: the buffer never exceeds its
+        declared size, shedding engages with a visible reason code, and
+        once pressure lifts the stream acks ``ok`` again."""
+        stream_cfg = StreamConfig(
+            overflow="shed", max_pending_records=64, window_s=1e9
+        )
+        host, port = servers(ProtectionService(mk_engine(), stream=stream_cfg))
+        with ServiceClient(host=host, port=port) as client:
+            client.stream_open("firehose")
+            sent, shed_acks = 0, 0
+            for _ in range(30):  # each burst is 2x the whole buffer
+                batch = [
+                    (sent + i, (sent + i) * 60.0, 45.0, 4.0) for i in range(128)
+                ]
+                ack = client.stream_record("firehose", batch)
+                sent = ack.next_ordinal
+                if ack.status == "shed":
+                    shed_acks += 1
+                    assert ack.reason == "overflow.shed_oldest_window"
+                assert client.stats().stream["records_pending"] <= 64
+            assert shed_acks > 0
+            stats = client.stats()
+            assert stats.stream["overflow_events"]["overflow.shed_oldest_window"] >= 1
+            # Pressure lifts: drain the open window, normal rate acks ok.
+            client.stream_flush("firehose", close_window=True)
+            ack = client.stream_record(
+                "firehose", [(sent, sent * 60.0, 45.0, 4.0)]
+            )
+            assert ack.status == "ok"

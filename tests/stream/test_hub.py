@@ -1,0 +1,277 @@
+"""StreamHub: watermark contract, bounded buffers, overflow policies.
+
+Everything here drives the hub directly (no wire, no service lock) with
+a stub engine, so each policy decision is observable in isolation:
+blocked batch tails, shed windows advancing the watermark, degraded
+windows carrying the ``degraded:`` mechanism prefix, and the piece log
+shedding under ``max_unacked_windows``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ProtectionEngine
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, StreamError
+from repro.lppm.base import LPPM
+from repro.service.proxy import MoodProxy
+from repro.stream import (
+    REASON_BLOCKED,
+    REASON_DEGRADED,
+    REASON_PIECE_LOG_SHED,
+    REASON_SHED,
+    StreamConfig,
+    StreamHub,
+)
+
+
+class _Shift(LPPM):
+    name = "shift"
+
+    def apply(self, trace, rng=None):
+        return trace.with_positions(trace.lats + 0.1, trace.lngs)
+
+
+class _Never:
+    name = "never"
+
+    def reidentify(self, trace):
+        return "<nobody>"
+
+
+def mk_hub(sink=None, **config):
+    engine = ProtectionEngine([_Shift()], [_Never()])
+    proxy = MoodProxy(engine)
+    cfg = StreamConfig(**config) if config else None
+    return StreamHub(proxy, sink=sink, config=cfg)
+
+
+def records(n, t0=0.0, dt=60.0, o0=0):
+    return [(o0 + i, t0 + i * dt, 45.0 + i * 1e-4, 4.0) for i in range(n)]
+
+
+class TestSessions:
+    def test_double_open_raises(self):
+        hub = mk_hub()
+        hub.open("u")
+        with pytest.raises(StreamError, match="already open"):
+            hub.open("u")
+
+    def test_resume_reattaches_same_session(self):
+        hub = mk_hub()
+        first, resumed = hub.open("u")
+        assert not resumed
+        hub.ingest("u", records(3))
+        again, resumed = hub.open("u", resume=True)
+        assert resumed and again is first
+        assert again.next_ordinal == 3
+        assert hub.sessions_resumed == 1
+
+    def test_resume_without_session_opens_fresh(self):
+        hub = mk_hub()
+        session, resumed = hub.open("u", resume=True)
+        assert not resumed and session.watermark == -1
+
+    def test_unknown_session_raises(self):
+        hub = mk_hub()
+        with pytest.raises(StreamError, match="no open stream"):
+            hub.ingest("ghost", records(1))
+        with pytest.raises(StreamError, match="no open stream"):
+            hub.flush("ghost")
+        with pytest.raises(StreamError, match="no open stream"):
+            hub.close("ghost")
+
+
+class TestWatermarkContract:
+    def test_watermark_advances_only_on_closed_windows(self):
+        hub = mk_hub(window_s=300.0)  # 5 records of 60 s per window
+        hub.open("u")
+        out = hub.ingest("u", records(4))
+        assert out.watermark == -1  # all records still in the open window
+        out = hub.ingest("u", records(8, t0=4 * 60.0, o0=4))
+        # Two windows closed (ordinals 0..4 and 5..9), 10..11 open.
+        assert out.watermark == 9
+        assert out.next_ordinal == 12
+
+    def test_duplicate_ordinals_are_skipped_not_reprotected(self):
+        hub = mk_hub(window_s=300.0)
+        hub.open("u")
+        hub.ingest("u", records(8))
+        windows_before = hub.windows_closed
+        # Resend the whole prefix (what a client does after reconnect).
+        out = hub.ingest("u", records(8))
+        assert out.accepted == 8  # consumed, not an error
+        assert hub.records_duplicate == 8
+        assert hub.windows_closed == windows_before  # nothing re-ran
+
+    def test_ordinal_gap_raises(self):
+        hub = mk_hub()
+        hub.open("u")
+        hub.ingest("u", records(3))
+        with pytest.raises(StreamError, match="ordinal gap"):
+            hub.ingest("u", [(5, 1000.0, 45.0, 4.0)])
+
+    def test_flush_is_idempotent_until_acked(self):
+        hub = mk_hub(window_s=300.0)
+        hub.open("u")
+        hub.ingest("u", records(12))
+        first = hub.flush("u")
+        again = hub.flush("u")
+        assert [p.pseudonym for p in again.pieces] == [
+            p.pseudonym for p in first.pieces
+        ]
+        assert again.watermark == first.watermark
+        pruned = hub.flush("u", acked=first.watermark)
+        assert pruned.pieces == ()
+
+    def test_flush_close_window_covers_every_record(self):
+        hub = mk_hub(window_s=300.0)
+        hub.open("u")
+        hub.ingest("u", records(7))
+        out = hub.flush("u", close_window=True)
+        assert out.watermark == 6
+        assert hub.sessions["u"].assembler.pending == 0
+
+    def test_close_retires_session_and_tallies(self):
+        sunk = []
+        hub = mk_hub(sink=sunk.append, window_s=300.0)
+        hub.open("u")
+        hub.ingest("u", records(12))
+        out = hub.close("u")
+        assert out.watermark == 11
+        assert out.records_in == 12
+        assert out.windows_closed == 3
+        assert "u" not in hub.sessions
+        assert len(sunk) == out.pieces_published
+
+
+class TestOverflowPolicies:
+    def test_block_rejects_batch_tail(self):
+        hub = mk_hub(overflow="block", max_pending_records=5, window_s=1e9)
+        hub.open("u")
+        out = hub.ingest("u", records(10))
+        assert out.status == "blocked"
+        assert out.reason == REASON_BLOCKED
+        assert out.accepted == 5
+        assert out.next_ordinal == 5  # the tail must be resent
+        assert hub.overflow_events[REASON_BLOCKED] == 1
+        # Pending never exceeded the declared bound.
+        assert hub.pending_records() == 5
+
+    def test_shed_drops_window_and_advances_watermark(self):
+        hub = mk_hub(overflow="shed", max_pending_records=5, window_s=1e9)
+        hub.open("u")
+        out = hub.ingest("u", records(10))
+        assert out.status == "shed"
+        assert out.reason == REASON_SHED
+        assert out.accepted == 10  # everything consumed
+        # Records 0..4 were shed: handled, never published, watermark past.
+        assert out.watermark == 4
+        assert hub.records_shed == 5
+        assert hub.windows_shed == 1
+        assert hub.flush("u").pieces == ()
+        assert hub.overflow_events[REASON_SHED] == 1
+
+    def test_degrade_publishes_cheap_pieces(self):
+        hub = mk_hub(overflow="degrade", max_pending_records=5, window_s=1e9)
+        hub.open("u")
+        out = hub.ingest("u", records(10))
+        assert out.status == "degraded"
+        assert out.reason == REASON_DEGRADED
+        assert out.accepted == 10
+        assert out.watermark == 4
+        assert hub.windows_degraded == 1
+        flushed = hub.flush("u")
+        assert len(flushed.pieces) == 1
+        assert flushed.pieces[0].mechanism.startswith("degraded:")
+        # Degraded output is deterministic: same hub, same bytes.
+        rerun = mk_hub(overflow="degrade", max_pending_records=5, window_s=1e9)
+        rerun.open("u")
+        rerun.ingest("u", records(10))
+        repiece = rerun.flush("u").pieces[0]
+        assert np.array_equal(
+            repiece.published.lats, flushed.pieces[0].published.lats
+        )
+        assert repiece.pseudonym == flushed.pieces[0].pseudonym
+
+    def test_piece_log_bounded_by_max_unacked_windows(self):
+        hub = mk_hub(window_s=300.0, max_unacked_windows=2)
+        hub.open("u")
+        hub.ingest("u", records(30))  # six windows close, log keeps 2
+        out = hub.flush("u")
+        assert len(hub.sessions["u"].unacked) <= 2
+        assert out.pieces_dropped >= 1
+        assert hub.overflow_events[REASON_PIECE_LOG_SHED] >= 1
+        # Watermark still covers the dropped entries: they were durable.
+        # 30 records at 60 s / 300 s windows: [0..4]..[20..24] closed,
+        # [25..29] still open — the durable frontier is ordinal 24.
+        assert out.watermark == 24
+
+    def test_overload_never_exceeds_declared_bound(self):
+        # Sustained 2× overload: keep pouring records into a small buffer
+        # under every policy; the open-window bound must hold throughout.
+        for policy in ("block", "shed", "degrade"):
+            hub = mk_hub(overflow=policy, max_pending_records=8, window_s=1e9)
+            hub.open("u")
+            sent = 0
+            for _ in range(20):
+                out = hub.ingest("u", records(16, t0=sent * 60.0, o0=sent))
+                sent = out.next_ordinal
+                assert hub.pending_records() <= 8, policy
+            stats = hub.stats_dict()
+            assert stats["records_pending"] <= 8
+            if policy != "block":
+                assert sum(stats["overflow_events"].values()) > 0
+
+
+class TestConfig:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown stream config"):
+            StreamConfig.from_dict({"widnow": "tumbling"})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(window="hopping")
+        with pytest.raises(ConfigurationError):
+            StreamConfig(overflow="panic")
+        with pytest.raises(ConfigurationError):
+            StreamConfig(max_pending_records=0)
+
+    def test_round_trips_via_dict(self):
+        cfg = StreamConfig(window="session", gap_s=120.0, overflow="degrade")
+        assert StreamConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestDrainAndStats:
+    def test_drain_flushes_every_open_window(self):
+        hub = mk_hub(window_s=1e9)
+        hub.open("a")
+        hub.open("b")
+        hub.ingest("a", records(4))
+        hub.ingest("b", records(6))
+        summary = hub.drain()
+        assert summary == {
+            "sessions": 2,
+            "windows_flushed": 2,
+            "records_flushed": 10,
+        }
+        assert hub.pending_records() == 0
+        assert hub.sessions["a"].watermark == 3
+        assert hub.sessions["b"].watermark == 5
+
+    def test_stats_dict_shape(self):
+        hub = mk_hub()
+        hub.open("u")
+        stats = hub.stats_dict()
+        for key in (
+            "sessions_open",
+            "records_in",
+            "records_pending",
+            "windows_closed",
+            "windows_shed",
+            "windows_degraded",
+            "pieces_dropped",
+            "overflow_events",
+        ):
+            assert key in stats
+        assert stats["sessions_open"] == 1

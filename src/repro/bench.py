@@ -30,6 +30,16 @@ Two entry points:
   down at dispatch and rejoins mid-batch (endpoint rehabilitation,
   PR 5).  ``smoke=True`` is the <60 s CI variant; the full run emits
   ``BENCH_5.json`` (``BENCH_4.json`` predates the flap leg).
+* :func:`run_cluster` — the elastic-cluster yardstick (PR 8): spawn a
+  coordinator plus worker ``ServiceServer`` instances and drive
+  ``protect_dataset`` through the elastic work-stealing dispatch
+  (:mod:`repro.cluster`) three ways — membership-only discovery (no
+  seed endpoints), a **churn leg** where a second worker
+  ``cluster_join``s AND the original worker ``cluster_leave``s
+  mid-batch (bytes must stay serial-identical and the joiner must
+  serve work), and a ``metrics_request`` probe of the operator
+  surface.  ``smoke=True`` is the <60 s CI variant; the full run
+  emits ``BENCH_8.json``.
 * :func:`run_scale` — the tiered load yardstick over the synthetic
   corpus engine (:mod:`repro.synth`): stream a full tier (10k/100k/1M
   users) one trace at a time recording users/s and peak RSS, assert the
@@ -303,7 +313,12 @@ def run_service(
             client.upload(chunk, day_index=day).to_body() for chunk, day in chunks
         ]
         receipts.append(client.query_count(CITY_LAT, CITY_LNG))
-        receipts.append(client.stats().to_body())
+        stats_body = client.stats().to_body()
+        # uptime_s is the one wall-clock field of stats_response (PR 8):
+        # presence-checked, excluded from the cross-transport equality.
+        if stats_body.pop("uptime_s") < 0.0:
+            raise AssertionError("stats reported a negative uptime")
+        receipts.append(stats_body)
         return receipts, time.perf_counter() - t0
 
     n_requests = len(chunks) + 2
@@ -536,6 +551,252 @@ def run_remote(
     snapshot["remote"] = drive(kill_first=False)
     snapshot["failover"] = drive(kill_first=True)
     snapshot["flap"] = drive_flap()
+    snapshot["byte_identical"] = True
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+def run_cluster(
+    seed: int = 7, smoke: bool = False, out_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Elastic-cluster yardstick: byte-identity under membership churn.
+
+    Three legs, each against freshly spawned coordinator + worker
+    ``ServiceServer`` instances (fresh sessions — pseudonym counters
+    are session-scoped, part of the byte-identity contract):
+
+    * ``static`` — two workers pre-joined in the coordinator's
+      registry; dispatch discovers both purely through membership (no
+      seed endpoints) and must publish the serial bytes.
+    * ``churn`` — worker A alone in the registry; the moment A's proxy
+      reports its first protected chunk (the batch is provably
+      mid-dispatch), worker B ``cluster_join``s and A
+      ``cluster_leave``s — a join AND a leave mid-batch.  The batch
+      must finish, the joiner must serve at least one shard (work
+      stealing), and the bytes must still match serial.
+    * ``metrics`` — the operator surface behind ``repro top``:
+      ``metrics_request`` against a worker must report uptime,
+      versions, and moving transport counters, and the coordinator's
+      registry must reflect the joined member.
+
+    ``smoke=True`` is the <60 s CI variant; the full run emits
+    ``BENCH_8.json``.
+    """
+    import threading
+
+    from repro.datasets.io import to_csv_string
+    from repro.experiments.harness import prepare_context
+    from repro.service.api import ProtectionService
+    from repro.service.rpc import ServiceClient, ServiceServer
+
+    n_users, days = (4, 4) if smoke else (8, 6)
+    ctx = prepare_context("privamov", seed=seed, n_users=n_users, days=days)
+
+    serial_report = ctx.engine().protect_dataset(ctx.test, daily=True)
+    reference_csv = to_csv_string(serial_report.published_dataset())
+
+    def spawn(n_workers: int):
+        """A fresh coordinator plus ``n_workers`` worker services."""
+        coordinator = ServiceServer(ProtectionService(ctx.engine()), port=0)
+        host, port = coordinator.start_background()
+        services = [ProtectionService(ctx.engine()) for _ in range(n_workers)]
+        workers = [ServiceServer(service, port=0) for service in services]
+        endpoints = []
+        for worker in workers:
+            whost, wport = worker.start_background()
+            endpoints.append(f"{whost}:{wport}")
+        return coordinator, f"{host}:{port}", services, workers, endpoints
+
+    def connect(endpoint: str) -> ServiceClient:
+        host, _, port = endpoint.rpartition(":")
+        return ServiceClient(host=host, port=int(port), timeout=10.0)
+
+    def throughput(report: Any) -> Dict[str, float]:
+        requests = float(len(report.results))
+        return {
+            "requests": requests,
+            "wall_s": report.wall_time_s,
+            "requests_per_s": (
+                requests / report.wall_time_s
+                if report.wall_time_s > 0
+                else float("inf")
+            ),
+            "users_per_s": report.users_per_second,
+        }
+
+    def drive_static() -> Dict[str, Any]:
+        coordinator, coord_ep, services, workers, endpoints = spawn(2)
+        try:
+            with connect(coord_ep) as client:
+                for endpoint in endpoints:
+                    client.cluster_join(endpoint)
+            engine = ctx.engine(
+                executor={
+                    "name": "remote",
+                    "coordinator": coord_ep,
+                    "shards": 4,
+                    "poll_s": 0.05,
+                },
+                jobs=4,
+            )
+            report = engine.protect_dataset(ctx.test, daily=True)
+        finally:
+            for server in workers + [coordinator]:
+                server.stop_background()
+        if to_csv_string(report.published_dataset()) != reference_csv:
+            raise AssertionError(
+                "the static cluster run published a different dataset than serial"
+            )
+        entry = throughput(report)
+        entry["chunks_per_worker"] = [
+            float(service.proxy.stats.chunks_processed) for service in services
+        ]
+        return entry
+
+    class _GatedService(ProtectionService):
+        """Worker A's service: the first protect request parks until
+        released, pinning the batch provably mid-dispatch while the
+        churn (B joins, A leaves) happens around it — no timing race,
+        CI-deterministic."""
+
+        def __init__(self, engine: Any) -> None:
+            super().__init__(engine)
+            self.entered = threading.Event()
+            self.release = threading.Event()
+
+        def _protect_sync(self, request: Any) -> Any:
+            self.entered.set()
+            self.release.wait(60.0)
+            return super()._protect_sync(request)
+
+    def drive_churn() -> Dict[str, Any]:
+        coordinator = ServiceServer(ProtectionService(ctx.engine()), port=0)
+        chost, cport = coordinator.start_background()
+        coord_ep = f"{chost}:{cport}"
+        service_a = _GatedService(ctx.engine())
+        service_b = ProtectionService(ctx.engine())
+        server_a = ServiceServer(service_a, port=0)
+        server_b = ServiceServer(service_b, port=0)
+        ahost, aport = server_a.start_background()
+        bhost, bport = server_b.start_background()
+        endpoint_a, endpoint_b = f"{ahost}:{aport}", f"{bhost}:{bport}"
+        churned: Dict[str, float] = {}
+
+        def churn() -> None:
+            # A is parked on its first request (jobs=1: its only
+            # in-flight slot), so everything else is still queued when
+            # B joins and A leaves.  A is released only after B has
+            # demonstrably served a chunk — the joiner taking work is
+            # guaranteed, not raced.
+            if not service_a.entered.wait(60.0):
+                service_a.release.set()
+                return
+            with connect(coord_ep) as client:
+                client.cluster_join(endpoint_b)
+                client.cluster_leave(endpoint_a)
+            churned["at_s"] = time.perf_counter() - t0
+            deadline = time.perf_counter() + 60.0
+            while time.perf_counter() < deadline:
+                if service_b.proxy.stats.chunks_processed >= 1:
+                    break
+                time.sleep(0.005)
+            service_a.release.set()
+
+        with connect(coord_ep) as client:
+            client.cluster_join(endpoint_a)
+        watcher = threading.Thread(target=churn, daemon=True)
+        t0 = time.perf_counter()
+        watcher.start()
+        try:
+            engine = ctx.engine(
+                executor={
+                    "name": "remote",
+                    "coordinator": coord_ep,
+                    "shards": 4,
+                    "poll_s": 0.05,
+                },
+                # One request in flight per worker: A's parked request
+                # occupies its only slot, so the leave lands while the
+                # rest of the batch is still queued.
+                jobs=1,
+            )
+            report = engine.protect_dataset(ctx.test, daily=True)
+        finally:
+            service_a.release.set()
+            watcher.join(5.0)
+            for server in (server_a, server_b, coordinator):
+                server.stop_background()
+        if to_csv_string(report.published_dataset()) != reference_csv:
+            raise AssertionError(
+                "the churn run published a different dataset than serial"
+            )
+        if "at_s" not in churned:
+            raise AssertionError(
+                "the churn trigger never fired (the pre-joined worker "
+                "served nothing?)"
+            )
+        leaver = service_a.proxy.stats.chunks_processed
+        joiner = service_b.proxy.stats.chunks_processed
+        if joiner < 1:
+            raise AssertionError(
+                "the mid-batch joiner served no shards "
+                f"(leaver {leaver} chunks, joiner {joiner})"
+            )
+        entry = throughput(report)
+        entry["churn_at_s"] = churned["at_s"]
+        entry["leaver_chunks"] = float(leaver)
+        entry["joiner_chunks"] = float(joiner)
+        return entry
+
+    def drive_metrics() -> Dict[str, Any]:
+        coordinator, coord_ep, services, workers, endpoints = spawn(1)
+        try:
+            with connect(coord_ep) as client:
+                client.cluster_join(endpoints[0], worker_id="bench-w0")
+                membership = client.cluster_membership()
+            with connect(endpoints[0]) as worker:
+                worker.stats()
+                metrics = worker.metrics()
+        finally:
+            for server in workers + [coordinator]:
+                server.stop_background()
+        if metrics.uptime_s is None or metrics.uptime_s <= 0:
+            raise AssertionError("metrics reported a non-positive uptime")
+        if metrics.versions.get("protocol") != 1:
+            raise AssertionError(
+                f"unexpected protocol version in metrics: {metrics.versions}"
+            )
+        if metrics.transport.get("requests_served", 0) < 1:
+            raise AssertionError("metrics transport counters did not move")
+        members = [m["endpoint"] for m in membership.members]
+        if members != [endpoints[0]]:
+            raise AssertionError(
+                f"registry does not reflect the joined worker: {members}"
+            )
+        return {
+            "uptime_s": metrics.uptime_s,
+            "protocol": float(metrics.versions.get("protocol", -1)),
+            "requests_served": float(metrics.transport.get("requests_served", 0)),
+            "registry_epoch": float(membership.epoch),
+            "registry_members": float(len(membership.members)),
+        }
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "cluster"
+    snapshot["corpus"] = {
+        "dataset": ctx.name,
+        "users": float(len(ctx.test)),
+    }
+    snapshot["serial"] = {
+        "wall_s": serial_report.wall_time_s,
+        "users_per_s": serial_report.users_per_second,
+    }
+    snapshot["static"] = drive_static()
+    snapshot["churn"] = drive_churn()
+    snapshot["metrics"] = drive_metrics()
     snapshot["byte_identical"] = True
     if out_path:
         with open(out_path, "w") as f:
@@ -1035,6 +1296,38 @@ def format_remote_snapshot(snapshot: Dict[str, Any]) -> str:
             f"{snapshot['flap']['endpoint_up_after_s']:.2f}s, served "
             f"{snapshot['flap']['chunks_served_after_rejoin']:.0f} chunks"
         )
+    lines.append(f"byte identical     : {snapshot['byte_identical']}")
+    return "\n".join(lines)
+
+
+def format_cluster_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_cluster` dict."""
+    corpus = snapshot["corpus"]
+    lines = [
+        f"bench mode         : {snapshot['mode']}",
+        f"corpus             : {corpus['dataset']} × {corpus['users']:.0f} users",
+        f"serial             : {snapshot['serial']['users_per_s']:.2f} users/s "
+        f"({snapshot['serial']['wall_s']:.2f}s)",
+    ]
+    for leg in ("static", "churn"):
+        entry = snapshot[leg]
+        lines.append(
+            f"{leg:19s}: {entry['requests']:.0f} requests in "
+            f"{entry['wall_s']:.2f}s ({entry['requests_per_s']:.1f} req/s)"
+        )
+    churn = snapshot["churn"]
+    lines.append(
+        f"churn rebalance    : join+leave at {churn['churn_at_s']:.2f}s — "
+        f"leaver served {churn['leaver_chunks']:.0f} chunk(s), "
+        f"joiner {churn['joiner_chunks']:.0f}"
+    )
+    metrics = snapshot["metrics"]
+    lines.append(
+        f"operator surface   : protocol v{metrics['protocol']:.0f}, "
+        f"{metrics['requests_served']:.0f} request(s) served, registry "
+        f"{metrics['registry_members']:.0f} member(s) @ epoch "
+        f"{metrics['registry_epoch']:.0f}"
+    )
     lines.append(f"byte identical     : {snapshot['byte_identical']}")
     return "\n".join(lines)
 

@@ -32,10 +32,17 @@ Commands
     any other request is served.  SIGTERM drains gracefully: stop
     accepting, finish in-flight requests, flush open streaming windows
     (see docs/STREAMING.md), then exit.
-``mood request <protect|upload|query|stats> [--csv FILE] [--lat --lng]``
+``mood request <protect|upload|query|stats|metrics> [--csv FILE] [--lat --lng]``
     One-shot client against a running ``serve`` instance; prints the
     response body as JSON.  ``--auth-key`` / ``--auth-key-file`` match
     the server's key; ``--timeout`` bounds each request round-trip.
+``mood top [--endpoints H:P,... | --coordinator COORD]``
+    Live per-endpoint metrics board over a running cluster: queue
+    depth, in-flight bytes, stream sessions, cache hit rate, and (with
+    ``--coordinator``) the registry's view of each member.  ``--plain
+    --iterations N`` prints N frames and exits (scriptable).  With
+    ``serve --cluster-join COORD`` an endpoint announces itself to a
+    coordinator and heartbeats until shutdown (see docs/CLUSTER.md).
 ``mood stream replay [--city saigon --tier 10k] [--users N] [--overflow P]``
     Live-loop exemplar: replay a slice of the synthetic corpus through
     the streaming ingestion path (``stream_open`` / ``stream_record`` /
@@ -218,13 +225,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict a client whose socket stays unwritable this long "
         "(slow consumer; default 30 s)",
     )
+    serve.add_argument(
+        "--cluster-join",
+        default=None,
+        metavar="COORD",
+        help="join this coordinator endpoint (host:port or unix:PATH) "
+        "and keep a heartbeat going (see docs/CLUSTER.md)",
+    )
+    serve.add_argument(
+        "--advertise",
+        default=None,
+        metavar="ADDR",
+        help="endpoint to register with the coordinator "
+        "(default: the bound address)",
+    )
+    serve.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cluster heartbeat interval (default 5 s)",
+    )
     _add_auth(serve)
     _add_common(serve)
 
     req = sub.add_parser(
         "request", help="send one request to a running protection service"
     )
-    req.add_argument("what", choices=["protect", "upload", "query", "stats"])
+    req.add_argument(
+        "what", choices=["protect", "upload", "query", "stats", "metrics"]
+    )
     req.add_argument("--host", default="127.0.0.1")
     req.add_argument("--port", type=int, default=7464)
     req.add_argument("--unix", default=None, metavar="PATH")
@@ -249,6 +279,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request round-trip timeout in seconds (default 60)",
     )
     _add_auth(req)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-endpoint metrics view over a running cluster",
+    )
+    top.add_argument(
+        "--endpoints",
+        default=None,
+        metavar="LIST",
+        help="comma-separated endpoints to watch (host:port or unix:PATH)",
+    )
+    top.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="COORD",
+        help="discover endpoints from this coordinator's membership "
+        "instead of a static --endpoints list",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh interval in seconds (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then exit (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of redrawing (logs, tests, dumb terminals)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-endpoint metrics round-trip timeout (default 5)",
+    )
+    _add_auth(top)
 
     stream = sub.add_parser(
         "stream", help="streaming-ingestion tools (see docs/STREAMING.md)"
@@ -387,7 +462,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller corpus slice (the <60 s CI job)",
     )
-    for p in (smoke, micro, service, remote, scale, bstream):
+    cluster = bench_sub.add_parser(
+        "cluster",
+        help="elastic-cluster yardstick: byte-identity and joiner "
+        "throughput under membership churn (join + leave mid-batch)",
+    )
+    cluster.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    cluster.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller corpus (the <60 s CI job)",
+    )
+    for p in (smoke, micro, service, remote, scale, bstream, cluster):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     return parser
@@ -597,6 +688,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         **kwargs,
     )
 
+    cluster_cfg = {}
+    if cfg is not None and getattr(cfg, "service", None):
+        cluster_cfg = cfg.service.get("cluster") or {}
+    coordinator = args.cluster_join or cluster_cfg.get("coordinator")
+    heartbeat_s = args.heartbeat_s or cluster_cfg.get("heartbeat_s")
+
     async def _serve() -> None:
         await server.start()
         where = (
@@ -605,6 +702,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else f"{server.host}:{server.port}"
         )
         auth = "on (shared-secret handshake)" if server.auth_key else "off"
+        announcer = None
+        if coordinator:
+            from repro.cluster import DEFAULT_HEARTBEAT_S, ClusterAnnouncer
+
+            advertise = args.advertise or cluster_cfg.get("advertise") or (
+                f"unix:{server.unix_path}"
+                if server.unix_path is not None
+                else where
+            )
+            announcer = ClusterAnnouncer(
+                coordinator,
+                advertise,
+                heartbeat_s=heartbeat_s or DEFAULT_HEARTBEAT_S,
+                auth_key=server.auth_key,
+            ).start()
+            print(
+                f"cluster: announcing {advertise} to {coordinator}",
+                flush=True,
+            )
         print(
             f"serving {ctx.name} protection service on {where} (auth {auth})",
             flush=True,
@@ -628,6 +744,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stop_task.cancel()
             serve_task.cancel()
             await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            if announcer is not None:
+                # Graceful cluster_leave happens off-loop (the announcer
+                # runs its own thread), so draining below is unaffected.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, announcer.stop
+                )
         if stopping.is_set():
             summary = await server.drain()
             print(
@@ -683,10 +805,129 @@ def _cmd_request(args: argparse.Namespace) -> int:
                     "'query' needs --lat and --lng (or --k for top cells)"
                 )
             reply = client.query(request)
+        elif args.what == "metrics":
+            reply = client.metrics()
         else:
             reply = client.stats()
     print(json.dumps(reply.to_body(), indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``mood top``: live per-endpoint metrics over a running cluster.
+
+    Each frame polls every watched endpoint's ``metrics`` verb and (with
+    ``--coordinator``) the coordinator's membership, so the board shows
+    both what an endpoint says about itself (queue depth, in-flight
+    bytes, cache hit rate) and what the registry believes about it
+    (alive / stale / left).  ``--plain --iterations N`` turns the board
+    into a scriptable snapshot — that mode is what the acceptance test
+    drives in a subprocess.
+    """
+    from repro.errors import ConfigurationError, ReproError
+    from repro.service.rpc import ServiceClient, parse_endpoint
+
+    static = [s.strip() for s in (args.endpoints or "").split(",") if s.strip()]
+    if not static and not args.coordinator:
+        raise ConfigurationError(
+            "'top' needs --endpoints LIST and/or --coordinator COORD"
+        )
+    auth_key = _resolve_auth_key(args)
+
+    def connect(spec: str) -> ServiceClient:
+        ep = parse_endpoint(spec)
+        return ServiceClient(
+            host=ep.host,
+            port=ep.port,
+            unix_path=ep.unix_path,
+            timeout=args.timeout,
+            auth_key=auth_key,
+        )
+
+    def fetch(spec: str):
+        try:
+            with connect(spec) as client:
+                return client.metrics()
+        except (ReproError, OSError):
+            return None
+
+    def membership():
+        """Registry states keyed by endpoint label, plus the epoch."""
+        if not args.coordinator:
+            return {}, None
+        try:
+            with connect(args.coordinator) as client:
+                reply = client.cluster_membership()
+        except (ReproError, OSError):
+            return {}, None
+        states = {
+            str(m.get("endpoint")): str(m.get("state", "?")) for m in reply.members
+        }
+        return states, reply.epoch
+
+    def cache_pct(cache: dict) -> str:
+        total = cache.get("hits", 0) + cache.get("misses", 0)
+        if not total:
+            return "-"
+        return f"{100.0 * cache.get('hits', 0) / total:.0f}%"
+
+    header = (
+        f"{'ENDPOINT':<28} {'STATE':<14} {'UP(S)':>7} {'INFL':>6} "
+        f"{'MIB':>7} {'SERVED':>8} {'CONNS':>6} {'CHUNKS':>7} "
+        f"{'STREAMS':>7} {'CACHE':>5}"
+    )
+    frames = 0
+    try:
+        while True:
+            states, epoch = membership()
+            specs = list(static)
+            labels = {spec: parse_endpoint(spec).label() for spec in specs}
+            for endpoint in states:
+                if endpoint not in labels.values():
+                    specs.append(endpoint)
+                    labels[endpoint] = endpoint
+            rows = []
+            for spec in specs:
+                label = labels[spec]
+                reply = fetch(spec)
+                registry = states.get(label, "")
+                if reply is None:
+                    state = ("unreachable/" + registry) if registry else "unreachable"
+                    rows.append(f"{label:<28} {state:<14} " + "-" * 7)
+                    continue
+                state = ("up/" + registry) if registry else "up"
+                transport = reply.transport
+                inflight = (
+                    f"{transport.get('inflight_requests', 0)}"
+                    f"/{transport.get('max_inflight', '-')}"
+                )
+                mib = transport.get("inflight_bytes", 0) / (1024 * 1024)
+                proxy = reply.service.get("proxy", {})
+                rows.append(
+                    f"{label:<28} {state:<14} {reply.uptime_s:>7.0f} "
+                    f"{inflight:>6} {mib:>7.1f} "
+                    f"{transport.get('requests_served', 0):>8} "
+                    f"{transport.get('connections_accepted', 0):>6} "
+                    f"{proxy.get('chunks_processed', 0):>7} "
+                    f"{reply.stream.get('sessions_open', 0):>7} "
+                    f"{cache_pct(reply.feature_cache):>5}"
+                )
+            if not args.plain:
+                print("\x1b[2J\x1b[H", end="")
+            title = f"repro top — {len(specs)} endpoint(s)"
+            if epoch is not None:
+                title += f", cluster epoch {epoch}"
+            print(title)
+            print(header)
+            for row in rows:
+                print(row)
+            sys.stdout.flush()
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -810,11 +1051,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.bench import (
+        format_cluster_snapshot,
         format_remote_snapshot,
         format_scale_snapshot,
         format_service_snapshot,
         format_snapshot,
         format_stream_snapshot,
+        run_cluster,
         run_micro,
         run_remote,
         run_scale,
@@ -823,6 +1066,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_stream,
     )
 
+    if args.bench_command == "cluster":
+        snapshot = run_cluster(seed=args.seed, smoke=args.smoke, out_path=args.out)
+        print(format_cluster_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "stream":
         snapshot = run_stream(seed=args.seed, smoke=args.smoke, out_path=args.out)
         print(format_stream_snapshot(snapshot))
@@ -898,6 +1147,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "top": _cmd_top,
         "stream": _cmd_stream,
         "config": _cmd_config,
         "bench": _cmd_bench,

@@ -1,0 +1,49 @@
+"""Elastic cluster control plane.
+
+Dynamic membership, work-stealing shard dispatch, and the operator
+surface behind ``repro top`` (see docs/CLUSTER.md):
+
+* :class:`~repro.cluster.registry.ClusterRegistry` — the coordinator's
+  membership table (every ``ProtectionService`` owns one, so any
+  endpoint can coordinate).
+* :class:`~repro.cluster.membership.ClusterAnnouncer` — keeps a worker
+  registered (join / heartbeat / graceful leave).
+* :class:`~repro.cluster.membership.MembershipSubscription` — how an
+  elastic client polls the coordinator.
+* :class:`~repro.cluster.elastic.ElasticClusterClient` — work-stealing
+  dispatch over a pool that can grow and shrink mid-batch while
+  published datasets stay byte-identical to serial.
+"""
+
+from repro.cluster.elastic import DEFAULT_JOIN_GRACE_S, ElasticClusterClient
+from repro.cluster.membership import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_POLL_S,
+    ClusterAnnouncer,
+    MembershipSubscription,
+)
+from repro.cluster.registry import (
+    DEFAULT_STALE_AFTER_S,
+    STATE_ALIVE,
+    STATE_LEFT,
+    STATE_STALE,
+    ClusterMember,
+    ClusterRegistry,
+    canonical_endpoint,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_JOIN_GRACE_S",
+    "DEFAULT_POLL_S",
+    "DEFAULT_STALE_AFTER_S",
+    "STATE_ALIVE",
+    "STATE_LEFT",
+    "STATE_STALE",
+    "ClusterAnnouncer",
+    "ClusterMember",
+    "ClusterRegistry",
+    "ElasticClusterClient",
+    "MembershipSubscription",
+    "canonical_endpoint",
+]

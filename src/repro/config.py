@@ -162,7 +162,7 @@ class ProtectionConfig:
                 raise ConfigurationError(
                     f"service must be a dict or null, got {self.service!r}"
                 )
-            known = {"auth_key_file", "auth_key"}
+            known = {"auth_key_file", "auth_key", "cluster"}
             unknown = sorted(set(self.service) - known)
             if unknown:
                 raise ConfigurationError(
@@ -172,11 +172,17 @@ class ProtectionConfig:
                 raise ConfigurationError(
                     "service config takes auth_key_file or auth_key, not both"
                 )
-            for key, value in self.service.items():
-                if not isinstance(value, str) or not value:
+            for key in ("auth_key_file", "auth_key"):
+                value = self.service.get(key)
+                if key in self.service and (
+                    not isinstance(value, str) or not value
+                ):
                     raise ConfigurationError(
                         f"service.{key} must be a non-empty string, got {value!r}"
                     )
+            cluster = self.service.get("cluster")
+            if cluster is not None:
+                self._validate_cluster(cluster)
         if self.corpus is not None:
             get("corpus", self.corpus["name"])
         if self.stream is not None:
@@ -189,6 +195,48 @@ class ProtectionConfig:
 
             StreamConfig.from_dict(self.stream)
         return self
+
+    @staticmethod
+    def _validate_cluster(cluster: Any) -> None:
+        """Vocabulary check for ``service.cluster`` (worker-side keys).
+
+        ``coordinator`` names the registry endpoint this deployment
+        announces itself to on ``repro serve``; ``advertise`` is the
+        address peers should dial (defaults to the bound address);
+        ``heartbeat_s`` the announce interval.  See docs/CLUSTER.md.
+        """
+        if not isinstance(cluster, dict):
+            raise ConfigurationError(
+                f"service.cluster must be a dict, got {cluster!r}"
+            )
+        known = {"coordinator", "advertise", "heartbeat_s"}
+        unknown = sorted(set(cluster) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown service.cluster keys {unknown}; "
+                f"known keys: {sorted(known)}"
+            )
+        if "coordinator" not in cluster:
+            raise ConfigurationError(
+                "service.cluster needs a 'coordinator' endpoint"
+            )
+        for key in ("coordinator", "advertise"):
+            value = cluster.get(key)
+            if key in cluster and (not isinstance(value, str) or not value):
+                raise ConfigurationError(
+                    f"service.cluster.{key} must be a non-empty string, "
+                    f"got {value!r}"
+                )
+        hb = cluster.get("heartbeat_s")
+        if hb is not None and (
+            isinstance(hb, bool)
+            or not isinstance(hb, (int, float))
+            or float(hb) <= 0
+        ):
+            raise ConfigurationError(
+                f"service.cluster.heartbeat_s must be a positive number, "
+                f"got {hb!r}"
+            )
 
     # -- dict / JSON round-trip ------------------------------------------
 
@@ -278,7 +326,21 @@ class ProtectionConfig:
                 f"executor       : {executor} × jobs={self.jobs}",
                 f"seed           : {self.seed}",
                 "service auth   : "
-                + ("shared-secret handshake" if self.service else "off"),
+                + (
+                    "shared-secret handshake"
+                    if self.service
+                    and (
+                        "auth_key" in self.service
+                        or "auth_key_file" in self.service
+                    )
+                    else "off"
+                ),
+                "cluster        : "
+                + (
+                    "join " + self.service["cluster"]["coordinator"]
+                    if self.service and self.service.get("cluster")
+                    else "off"
+                ),
                 "corpus         : "
                 + (self.corpus["name"] if self.corpus else "(from CLI args)"),
                 "stream         : "

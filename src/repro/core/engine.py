@@ -582,6 +582,14 @@ class RemoteExecutor:
          "shards": 8, "retry_budget": 3, "backoff": {"base": 0.05, "max": 2.0},
          "auth_key_file": "/etc/mood/cluster.key"}
 
+    With ``coordinator`` set (``"host:port"`` of any endpoint acting as
+    the membership registry), dispatch switches to the **elastic**
+    work-stealing client (:mod:`repro.cluster`): the endpoint pool may
+    grow and shrink mid-batch as workers ``cluster_join``/``leave``,
+    ``endpoints`` become optional seeds, and ``poll_s`` /
+    ``join_grace_s`` tune the membership subscription.  Placement and
+    published bytes are unchanged — see docs/CLUSTER.md.
+
     Endpoints accept ``"host:port"``, ``"unix:/path"``, or
     ``{"host": ..., "port": ...}`` dicts.  ``retry_budget`` and
     ``backoff`` tune endpoint rehabilitation (a flapping endpoint sits
@@ -600,7 +608,7 @@ class RemoteExecutor:
 
     def __init__(
         self,
-        endpoints: Sequence[Any],
+        endpoints: Sequence[Any] = (),
         shards: Optional[int] = None,
         jobs: Optional[int] = None,
         timeout: float = 120.0,
@@ -608,14 +616,27 @@ class RemoteExecutor:
         backoff: Union[None, float, int, Dict[str, Any]] = None,
         auth_key: Optional[str] = None,
         auth_key_file: Optional[str] = None,
+        coordinator: Optional[str] = None,
+        poll_s: float = 0.5,
+        join_grace_s: float = 30.0,
     ) -> None:
-        if not endpoints:
+        if not endpoints and coordinator is None:
             raise ConfigurationError(
-                "the remote executor needs at least one endpoint"
+                "the remote executor needs at least one endpoint "
+                "(or a 'coordinator' to discover members from)"
             )
         self.endpoints = list(endpoints)
+        self.coordinator = coordinator
+        if float(poll_s) <= 0:
+            raise ConfigurationError(f"poll_s must be positive, got {poll_s}")
+        self.poll_s = float(poll_s)
+        if float(join_grace_s) <= 0:
+            raise ConfigurationError(
+                f"join_grace_s must be positive, got {join_grace_s}"
+            )
+        self.join_grace_s = float(join_grace_s)
         if shards is None:
-            shards = len(self.endpoints)
+            shards = max(1, len(self.endpoints))
         if int(shards) < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.shards = int(shards)
@@ -721,8 +742,7 @@ class RemoteExecutor:
         auth_key = self._resolve_auth_key()
 
         async def dispatch() -> List[Any]:
-            cluster = RemoteClusterClient(
-                self.endpoints,
+            common = dict(
                 timeout=self.timeout,
                 max_inflight=inflight,
                 retry_budget=self.retry_budget,
@@ -731,6 +751,29 @@ class RemoteExecutor:
                 backoff_max=self.backoff["max"],
                 auth_key=auth_key,
             )
+            if self.coordinator is not None:
+                # Elastic mode: subscribe to the coordinator's registry
+                # so endpoints can join/leave while this batch runs
+                # (work-stealing dispatch, same byte-identity rules —
+                # see docs/CLUSTER.md).
+                from repro.cluster import (
+                    ElasticClusterClient,
+                    MembershipSubscription,
+                )
+
+                cluster: Any = ElasticClusterClient(
+                    self.endpoints,
+                    membership=MembershipSubscription(
+                        self.coordinator,
+                        poll_s=self.poll_s,
+                        timeout=self.timeout,
+                        auth_key=auth_key,
+                    ),
+                    join_grace_s=self.join_grace_s,
+                    **common,
+                )
+            else:
+                cluster = RemoteClusterClient(self.endpoints, **common)
             try:
                 return await cluster.run(requests)
             finally:

@@ -19,8 +19,18 @@ from repro.service.api import (
     AuthChallenge,
     AuthRequest,
     AuthResponse,
+    ClusterHeartbeat,
+    ClusterHeartbeatAck,
+    ClusterJoin,
+    ClusterJoined,
+    ClusterLeave,
+    ClusterLeft,
+    ClusterMembershipRequest,
+    ClusterMembershipResponse,
     ErrorEnvelope,
     LoopbackClient,
+    MetricsRequest,
+    MetricsResponse,
     ProtectionService,
     ProtectRequest,
     ProtectResponse,
@@ -99,6 +109,16 @@ __all__ = [
     "AuthRequest",
     "AuthChallenge",
     "AuthResponse",
+    "ClusterJoin",
+    "ClusterJoined",
+    "ClusterLeave",
+    "ClusterLeft",
+    "ClusterHeartbeat",
+    "ClusterHeartbeatAck",
+    "ClusterMembershipRequest",
+    "ClusterMembershipResponse",
+    "MetricsRequest",
+    "MetricsResponse",
     "ErrorEnvelope",
     "PublishedPiece",
     "encode_message",

@@ -38,8 +38,9 @@ import hmac
 import json
 import secrets
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Type, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 from repro.core.engine import DEFAULT_CHUNK_S, ProtectionEngine
 from repro.core.split import split_fixed_time
@@ -403,20 +404,33 @@ class StatsResponse:
     #: Streaming-ingestion counters, including per-reason overflow
     #: events (a v1-compatible body addition: old peers ignore it).
     stream: Dict[str, Any] = field(default_factory=dict)
+    #: Seconds since the serving process constructed its service, and
+    #: the protocol/build versions it speaks — v1-compatible body
+    #: additions so ``repro top`` can label rows; old peers ignore
+    #: them and old replies decode with the defaults.
+    uptime_s: Optional[float] = None
+    versions: Dict[str, Any] = field(default_factory=dict)
 
     def to_body(self) -> Dict[str, Any]:
-        return {
+        body: Dict[str, Any] = {
             "proxy": dict(self.proxy),
             "server": dict(self.server),
             "stream": dict(self.stream),
+            "versions": dict(self.versions),
         }
+        if self.uptime_s is not None:
+            body["uptime_s"] = self.uptime_s
+        return body
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "StatsResponse":
+        uptime = body.get("uptime_s")
         return cls(
             proxy=dict(body["proxy"]),
             server=dict(body["server"]),
             stream=dict(body.get("stream", {})),
+            uptime_s=None if uptime is None else float(uptime),
+            versions=dict(body.get("versions", {})),
         )
 
 
@@ -793,6 +807,247 @@ class ErrorEnvelope:
 
 
 # ---------------------------------------------------------------------------
+# Cluster control plane (v1-compatible vocabulary additions)
+# ---------------------------------------------------------------------------
+
+
+def _member_entries(value: Any) -> Tuple[Dict[str, Any], ...]:
+    """Normalise a wire ``members`` list: a tuple of plain dicts.
+
+    Member entries travel as open dicts (``endpoint``, ``worker_id``,
+    ``state``, ``capacity``, ``joined_epoch``, ``age_s``) rather than a
+    fixed dataclass so the registry can grow fields without a protocol
+    bump; consumers read keys defensively.
+    """
+    entries = []
+    for entry in value:
+        if not isinstance(entry, dict):
+            raise ProtocolError(
+                f"cluster member entry must be an object, got {type(entry).__name__}"
+            )
+        entries.append(dict(entry))
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class ClusterJoin:
+    """Announce a worker endpoint to a coordinator's membership registry.
+
+    ``endpoint`` is the address *other* peers should dial (``host:port``
+    or ``unix:/path``) — the coordinator records it verbatim, it does
+    not trust the connection's source address.  Joining is idempotent:
+    re-announcing an alive member refreshes its liveness clock.
+    """
+
+    endpoint: str
+    worker_id: str = ""
+    capacity: int = 0
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "endpoint": self.endpoint,
+            "worker_id": self.worker_id,
+            "capacity": self.capacity,
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterJoin":
+        return cls(
+            endpoint=str(body["endpoint"]),
+            worker_id=str(body.get("worker_id", "")),
+            capacity=int(body.get("capacity", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterJoined:
+    """Join acknowledgement: the registry epoch and a membership snapshot."""
+
+    accepted: bool
+    epoch: int
+    members: Tuple[Dict[str, Any], ...] = ()
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "epoch": self.epoch,
+            "members": [dict(m) for m in self.members],
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterJoined":
+        return cls(
+            accepted=bool(body["accepted"]),
+            epoch=int(body["epoch"]),
+            members=_member_entries(body.get("members", [])),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterLeave:
+    """Deregister an endpoint from the data plane (graceful departure).
+
+    Leaving stops *new* shard dispatch to the member; requests already
+    in flight on it are allowed to finish, preserving the
+    never-replay-where-a-frame-may-have-reached rule.
+    """
+
+    endpoint: str
+    reason: str = ""
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"endpoint": self.endpoint, "reason": self.reason}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterLeave":
+        return cls(
+            endpoint=str(body["endpoint"]), reason=str(body.get("reason", ""))
+        )
+
+
+@dataclass(frozen=True)
+class ClusterLeft:
+    """Leave acknowledgement; ``removed`` is False for unknown members."""
+
+    removed: bool
+    epoch: int
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"removed": self.removed, "epoch": self.epoch}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterLeft":
+        return cls(removed=bool(body["removed"]), epoch=int(body["epoch"]))
+
+
+@dataclass(frozen=True)
+class ClusterHeartbeat:
+    """Liveness refresh for a joined member (``inflight`` is advisory load)."""
+
+    endpoint: str
+    inflight: int = 0
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"endpoint": self.endpoint, "inflight": self.inflight}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterHeartbeat":
+        return cls(
+            endpoint=str(body["endpoint"]), inflight=int(body.get("inflight", 0))
+        )
+
+
+@dataclass(frozen=True)
+class ClusterHeartbeatAck:
+    """Heartbeat reply; ``known=False`` tells the worker to re-join."""
+
+    known: bool
+    epoch: int
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"known": self.known, "epoch": self.epoch}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterHeartbeatAck":
+        return cls(known=bool(body["known"]), epoch=int(body["epoch"]))
+
+
+@dataclass(frozen=True)
+class ClusterMembershipRequest:
+    """Ask the coordinator for its current membership view."""
+
+    def to_body(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterMembershipRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class ClusterMembershipResponse:
+    """The registry snapshot elastic clients subscribe to.
+
+    ``epoch`` increments on every join/leave, so a subscriber can skip
+    diffing unchanged snapshots.
+    """
+
+    epoch: int
+    members: Tuple[Dict[str, Any], ...] = ()
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"epoch": self.epoch, "members": [dict(m) for m in self.members]}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ClusterMembershipResponse":
+        return cls(
+            epoch=int(body["epoch"]),
+            members=_member_entries(body.get("members", [])),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Ask one endpoint for its operator metrics (``repro top`` polls this)."""
+
+    def to_body(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "MetricsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """One endpoint's live operator metrics, grouped by subsystem.
+
+    Every block is an open dict (same growth rule as member entries):
+
+    * ``transport`` — socket-server counters from
+      :meth:`~repro.service.rpc.ServiceServer.transport_stats`: queue
+      depth (``inflight_requests``), in-flight bytes, byte budgets,
+      slow-consumer evictions, requests served.  Empty when the service
+      is not socket-fronted (loopback).
+    * ``service`` — proxy + collection-server counters.
+    * ``stream`` — the :class:`~repro.stream.StreamHub` stats block.
+    * ``feature_cache`` — engine FeatureCache hits/misses/entries.
+    * ``cluster`` — the local registry view (``epoch`` + ``members``).
+    """
+
+    uptime_s: float = 0.0
+    versions: Dict[str, Any] = field(default_factory=dict)
+    transport: Dict[str, Any] = field(default_factory=dict)
+    service: Dict[str, Any] = field(default_factory=dict)
+    stream: Dict[str, Any] = field(default_factory=dict)
+    feature_cache: Dict[str, Any] = field(default_factory=dict)
+    cluster: Dict[str, Any] = field(default_factory=dict)
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": self.uptime_s,
+            "versions": dict(self.versions),
+            "transport": dict(self.transport),
+            "service": dict(self.service),
+            "stream": dict(self.stream),
+            "feature_cache": dict(self.feature_cache),
+            "cluster": dict(self.cluster),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "MetricsResponse":
+        return cls(
+            uptime_s=float(body["uptime_s"]),
+            versions=dict(body.get("versions", {})),
+            transport=dict(body.get("transport", {})),
+            service=dict(body.get("service", {})),
+            stream=dict(body.get("stream", {})),
+            feature_cache=dict(body.get("feature_cache", {})),
+            cluster=dict(body.get("cluster", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
 # JSON-lines codec
 # ---------------------------------------------------------------------------
 
@@ -814,6 +1069,16 @@ MESSAGE_TYPES: Dict[str, Type[Any]] = {
     "stream_flushed": StreamFlushed,
     "stream_close": StreamClose,
     "stream_closed": StreamClosed,
+    "cluster_join": ClusterJoin,
+    "cluster_joined": ClusterJoined,
+    "cluster_leave": ClusterLeave,
+    "cluster_left": ClusterLeft,
+    "cluster_heartbeat": ClusterHeartbeat,
+    "cluster_heartbeat_ack": ClusterHeartbeatAck,
+    "cluster_membership_request": ClusterMembershipRequest,
+    "cluster_membership_response": ClusterMembershipResponse,
+    "metrics_request": MetricsRequest,
+    "metrics_response": MetricsResponse,
     "auth_request": AuthRequest,
     "auth_challenge": AuthChallenge,
     "auth_response": AuthResponse,
@@ -840,6 +1105,16 @@ Message = Union[
     StreamFlushed,
     StreamClose,
     StreamClosed,
+    ClusterJoin,
+    ClusterJoined,
+    ClusterLeave,
+    ClusterLeft,
+    ClusterHeartbeat,
+    ClusterHeartbeatAck,
+    ClusterMembershipRequest,
+    ClusterMembershipResponse,
+    MetricsRequest,
+    MetricsResponse,
     AuthRequest,
     AuthChallenge,
     AuthResponse,
@@ -1027,10 +1302,27 @@ class ProtectionService:
         server: Optional[CollectionServer] = None,
         pseudonyms: Optional[PseudonymProvider] = None,
         stream: Optional[StreamConfig] = None,
+        cluster: Optional[Any] = None,
     ) -> None:
         self.proxy = MoodProxy(engine, pseudonyms=pseudonyms)
         self.server = server if server is not None else CollectionServer()
         self.streams = StreamHub(self.proxy, sink=self.server.receive, config=stream)
+        if cluster is None:
+            # Lazy import: repro.cluster imports this module's messages.
+            from repro.cluster.registry import ClusterRegistry
+
+            cluster = ClusterRegistry()
+        #: Membership registry — every deployment can act as the
+        #: coordinator of a cluster; workers announce themselves with
+        #: ``cluster_join`` and elastic clients poll
+        #: ``cluster_membership_request``.
+        self.cluster = cluster
+        #: Set by :class:`~repro.service.rpc.ServiceServer` when this
+        #: service is socket-fronted, so ``metrics`` can report queue
+        #: depth and in-flight bytes.  Loopback deployments leave it
+        #: None and the transport block comes back empty.
+        self.transport_stats: Optional[Callable[[], Dict[str, Any]]] = None
+        self.started_monotonic = time.monotonic()
         self._state_lock = threading.Lock()
         self._handlers = {
             ProtectRequest: self.protect,
@@ -1041,6 +1333,11 @@ class ProtectionService:
             StreamRecord: self.stream_record,
             StreamFlush: self.stream_flush,
             StreamClose: self.stream_close,
+            ClusterJoin: self.cluster_join,
+            ClusterLeave: self.cluster_leave,
+            ClusterHeartbeat: self.cluster_heartbeat,
+            ClusterMembershipRequest: self.cluster_membership,
+            MetricsRequest: self.metrics,
         }
 
     @property
@@ -1079,6 +1376,40 @@ class ProtectionService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self._stats_sync)
 
+    # -- cluster control plane --------------------------------------------
+
+    async def cluster_join(self, request: ClusterJoin) -> ClusterJoined:
+        """Register (or refresh) a worker in the membership registry."""
+        self.cluster.join(
+            request.endpoint, worker_id=request.worker_id, capacity=request.capacity
+        )
+        epoch, members = self.cluster.snapshot()
+        return ClusterJoined(accepted=True, epoch=epoch, members=members)
+
+    async def cluster_leave(self, request: ClusterLeave) -> ClusterLeft:
+        """Gracefully deregister a worker from the data plane."""
+        removed = self.cluster.leave(request.endpoint, reason=request.reason)
+        return ClusterLeft(removed=removed, epoch=self.cluster.epoch)
+
+    async def cluster_heartbeat(
+        self, request: ClusterHeartbeat
+    ) -> ClusterHeartbeatAck:
+        """Refresh a member's liveness clock; unknown members must re-join."""
+        known = self.cluster.heartbeat(request.endpoint, inflight=request.inflight)
+        return ClusterHeartbeatAck(known=known, epoch=self.cluster.epoch)
+
+    async def cluster_membership(
+        self, request: Optional[ClusterMembershipRequest] = None
+    ) -> ClusterMembershipResponse:
+        """The registry snapshot elastic clients subscribe to."""
+        epoch, members = self.cluster.snapshot()
+        return ClusterMembershipResponse(epoch=epoch, members=members)
+
+    async def metrics(self, request: Optional[MetricsRequest] = None) -> MetricsResponse:
+        """Live operator metrics for this endpoint (``repro top``)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._metrics_sync)
+
     # -- streaming verbs --------------------------------------------------
 
     async def stream_open(self, request: StreamOpen) -> StreamOpened:
@@ -1114,6 +1445,11 @@ class ProtectionService:
             kind="top_cells", cells=tuple((cell.ix, cell.iy, n) for cell, n in top)
         )
 
+    def _versions(self) -> Dict[str, Any]:
+        from repro import __version__
+
+        return {"protocol": WIRE_VERSION, "build": __version__}
+
     def _stats_sync(self) -> StatsResponse:
         from dataclasses import asdict
 
@@ -1122,7 +1458,35 @@ class ProtectionService:
                 proxy=asdict(self.proxy.stats),
                 server=asdict(self.server.stats),
                 stream=self.streams.stats_dict(),
+                uptime_s=time.monotonic() - self.started_monotonic,
+                versions=self._versions(),
             )
+
+    def _metrics_sync(self) -> MetricsResponse:
+        from dataclasses import asdict
+
+        transport = (
+            dict(self.transport_stats())
+            if self.transport_stats is not None
+            else {}
+        )
+        cache = getattr(self.engine, "feature_cache", None)
+        epoch, members = self.cluster.snapshot()
+        with self._state_lock:
+            service = {
+                "proxy": asdict(self.proxy.stats),
+                "server": asdict(self.server.stats),
+            }
+            stream = self.streams.stats_dict()
+        return MetricsResponse(
+            uptime_s=time.monotonic() - self.started_monotonic,
+            versions=self._versions(),
+            transport=transport,
+            service=service,
+            stream=stream,
+            feature_cache=dict(cache.stats()) if cache is not None else {},
+            cluster={"epoch": epoch, "members": [dict(m) for m in members]},
+        )
 
     def _stream_open_sync(self, request: StreamOpen) -> StreamOpened:
         with self._state_lock:
@@ -1332,6 +1696,33 @@ class ServiceClientBase:
 
     def stats(self) -> StatsResponse:
         return self._ask(StatsRequest(), StatsResponse)
+
+    # -- cluster control plane --------------------------------------------
+
+    def cluster_join(
+        self, endpoint: str, worker_id: str = "", capacity: int = 0
+    ) -> ClusterJoined:
+        return self._ask(
+            ClusterJoin(endpoint=endpoint, worker_id=worker_id, capacity=capacity),
+            ClusterJoined,
+        )
+
+    def cluster_leave(self, endpoint: str, reason: str = "") -> ClusterLeft:
+        return self._ask(ClusterLeave(endpoint=endpoint, reason=reason), ClusterLeft)
+
+    def cluster_heartbeat(
+        self, endpoint: str, inflight: int = 0
+    ) -> ClusterHeartbeatAck:
+        return self._ask(
+            ClusterHeartbeat(endpoint=endpoint, inflight=inflight),
+            ClusterHeartbeatAck,
+        )
+
+    def cluster_membership(self) -> ClusterMembershipResponse:
+        return self._ask(ClusterMembershipRequest(), ClusterMembershipResponse)
+
+    def metrics(self) -> MetricsResponse:
+        return self._ask(MetricsRequest(), MetricsResponse)
 
     # -- streaming verbs ---------------------------------------------------
 

@@ -199,6 +199,9 @@ class ServiceServer:
         self._inflight: Optional[asyncio.Semaphore] = None
         self._byte_budget: Optional[_ByteBudget] = None
         self._evictions = 0
+        self._active_requests = 0
+        self._requests_served = 0
+        self._connections = 0
         self._draining = False
         self._thread: Optional[threading.Thread] = None
         self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
@@ -245,6 +248,7 @@ class ServiceServer:
         backpressure bound.
         """
         assert self._inflight is not None
+        self._active_requests += 1
         try:
             try:
                 payload = encode_reply(
@@ -265,6 +269,8 @@ class ServiceServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
         finally:
+            self._active_requests -= 1
+            self._requests_served += 1
             self._inflight.release()
             if self._byte_budget is not None:
                 await self._byte_budget.release(cost)
@@ -303,6 +309,7 @@ class ServiceServer:
         # task always finishes cleanly: a task left in cancelled state
         # trips asyncio's stream done-callback on Python 3.11.
         assert self._inflight is not None
+        self._connections += 1
         write_lock = asyncio.Lock()
         tasks: set = set()
         conn_auth: Dict[str, Any] = {"ok": self.auth_key is None}
@@ -379,7 +386,12 @@ class ServiceServer:
                 if request_id is None:
                     # Untagged = legacy FIFO: handled inline, replies in
                     # request order, exactly the v1 behaviour.
-                    payload = encode_reply(await self.service.handle(message))
+                    self._active_requests += 1
+                    try:
+                        payload = encode_reply(await self.service.handle(message))
+                    finally:
+                        self._active_requests -= 1
+                        self._requests_served += 1
                     async with write_lock:
                         writer.write(payload)
                         await self._drain_or_evict(writer)
@@ -430,6 +442,9 @@ class ServiceServer:
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._byte_budget = _ByteBudget(self.max_inflight_bytes)
         self._draining = False
+        # Let the service's metrics verb see transport-level queue
+        # depth and byte budgets (docs/CLUSTER.md: operator surface).
+        self.service.transport_stats = self.transport_stats
         if self.unix_path is not None:
             # A killed/crashed predecessor leaves its socket file behind
             # (asyncio does not unlink on close either), which would make
@@ -494,10 +509,18 @@ class ServiceServer:
         return await loop.run_in_executor(None, self.service.drain_streams)
 
     def transport_stats(self) -> Dict[str, Any]:
-        """Transport-level counters (budgets, evictions, drain state)."""
+        """Transport-level counters (budgets, evictions, drain state).
+
+        ``inflight_requests`` is the live queue depth (requests being
+        handled right now) and ``requests_served`` the lifetime total —
+        the two numbers ``repro top`` leads with.
+        """
         used = 0 if self._byte_budget is None else self._byte_budget.used
         return {
             "max_inflight": self.max_inflight,
+            "inflight_requests": self._active_requests,
+            "requests_served": self._requests_served,
+            "connections_accepted": self._connections,
             "max_inflight_bytes": self.max_inflight_bytes,
             "inflight_bytes": used,
             "max_conn_inflight_bytes": self.max_conn_inflight_bytes,

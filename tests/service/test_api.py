@@ -10,8 +10,18 @@ from repro.errors import ProtocolError, ServiceError
 from repro.lppm.base import LPPM
 from repro.service.api import (
     WIRE_VERSION,
+    ClusterHeartbeat,
+    ClusterHeartbeatAck,
+    ClusterJoin,
+    ClusterJoined,
+    ClusterLeave,
+    ClusterLeft,
+    ClusterMembershipRequest,
+    ClusterMembershipResponse,
     ErrorEnvelope,
     LoopbackClient,
+    MetricsRequest,
+    MetricsResponse,
     ProtectRequest,
     ProtectResponse,
     ProtectionService,
@@ -180,6 +190,48 @@ class TestCodec:
                 erased_records=1,
                 pieces_published=3,
                 windows_closed=2,
+            ),
+            StatsResponse(
+                proxy={"chunks_processed": 1},
+                uptime_s=12.5,
+                versions={"protocol": 1, "build": "1.0.0"},
+            ),
+            ClusterJoin(endpoint="127.0.0.1:7464", worker_id="w0", capacity=4),
+            ClusterJoined(
+                accepted=True,
+                epoch=3,
+                members=(
+                    {
+                        "endpoint": "127.0.0.1:7464",
+                        "worker_id": "w0",
+                        "capacity": 4,
+                        "state": "alive",
+                        "joined_epoch": 1,
+                        "inflight": 0,
+                        "age_s": 0.5,
+                    },
+                ),
+            ),
+            ClusterLeave(endpoint="127.0.0.1:7464", reason="shutdown"),
+            ClusterLeft(removed=True, epoch=4),
+            ClusterHeartbeat(endpoint="127.0.0.1:7464", inflight=2),
+            ClusterHeartbeatAck(known=False, epoch=4),
+            ClusterMembershipRequest(),
+            ClusterMembershipResponse(
+                epoch=2,
+                members=(
+                    {"endpoint": "unix:/tmp/w.sock", "state": "stale"},
+                ),
+            ),
+            MetricsRequest(),
+            MetricsResponse(
+                uptime_s=42.25,
+                versions={"protocol": 1, "build": "1.0.0"},
+                transport={"inflight_requests": 1, "requests_served": 9},
+                service={"proxy": {"chunks_processed": 3}},
+                stream={"sessions_open": 0},
+                feature_cache={"hits": 5, "misses": 2},
+                cluster={"epoch": 1, "members": []},
             ),
             ErrorEnvelope(code="bad_request", message="nope"),
         ],
@@ -440,3 +492,85 @@ class TestProtectionService:
             client.upload(day_trace("gina"))
         assert server.stats.uploads == 1
 
+
+
+class TestClusterCodec:
+    """Satellite: malformed cluster/metrics bodies raise ProtocolError —
+    garbage never escapes the codec as another exception type."""
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b'{"v":1,"type":"cluster_join","body":{}}',
+            b'{"v":1,"type":"cluster_joined","body":{"accepted":true}}',
+            b'{"v":1,"type":"cluster_joined","body":'
+            b'{"accepted":true,"epoch":1,"members":[3]}}',
+            b'{"v":1,"type":"cluster_leave","body":{}}',
+            b'{"v":1,"type":"cluster_left","body":{"removed":true}}',
+            b'{"v":1,"type":"cluster_heartbeat","body":{}}',
+            b'{"v":1,"type":"cluster_heartbeat_ack","body":{"known":true}}',
+            b'{"v":1,"type":"cluster_membership_response","body":'
+            b'{"epoch":1,"members":"nope"}}',
+            b'{"v":1,"type":"metrics_response","body":[]}',
+        ],
+    )
+    def test_malformed_cluster_bodies_raise_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_message(payload)
+
+
+class TestClusterVerbs:
+    """The cluster_* control verbs and the metrics operator surface."""
+
+    def test_join_heartbeat_leave_lifecycle(self):
+        with LoopbackClient(ProtectionService(stub_engine())) as client:
+            joined = client.cluster_join(
+                "127.0.0.1:9001", worker_id="w0", capacity=2
+            )
+            assert isinstance(joined, ClusterJoined)
+            assert joined.accepted and joined.epoch == 1
+            assert [m["endpoint"] for m in joined.members] == ["127.0.0.1:9001"]
+            assert joined.members[0]["worker_id"] == "w0"
+            assert joined.members[0]["capacity"] == 2
+            ack = client.cluster_heartbeat("127.0.0.1:9001", inflight=3)
+            assert isinstance(ack, ClusterHeartbeatAck)
+            assert ack.known and ack.epoch == 1
+            membership = client.cluster_membership()
+            assert isinstance(membership, ClusterMembershipResponse)
+            assert membership.members[0]["state"] == "alive"
+            assert membership.members[0]["inflight"] == 3
+            left = client.cluster_leave("127.0.0.1:9001", reason="test")
+            assert isinstance(left, ClusterLeft)
+            assert left.removed and left.epoch == 2
+            assert client.cluster_membership().members[0]["state"] == "left"
+
+    def test_heartbeat_for_unknown_member_requests_rejoin(self):
+        with LoopbackClient(ProtectionService(stub_engine())) as client:
+            ack = client.cluster_heartbeat("127.0.0.1:9002")
+        assert isinstance(ack, ClusterHeartbeatAck)
+        assert not ack.known
+
+    def test_stats_report_uptime_and_versions(self):
+        with LoopbackClient(ProtectionService(stub_engine())) as client:
+            stats = client.stats()
+        assert stats.uptime_s is not None and stats.uptime_s >= 0.0
+        assert stats.versions["protocol"] == WIRE_VERSION
+        assert isinstance(stats.versions["build"], str) and stats.versions["build"]
+
+    def test_metrics_surface(self):
+        with LoopbackClient(ProtectionService(stub_engine())) as client:
+            client.upload(day_trace("hal"))
+            client.cluster_join("127.0.0.1:9003")
+            metrics = client.metrics()
+        assert isinstance(metrics, MetricsResponse)
+        assert metrics.uptime_s >= 0.0
+        assert metrics.versions["protocol"] == WIRE_VERSION
+        assert metrics.service["proxy"]["chunks_processed"] == 1
+        assert metrics.service["server"]["uploads"] == 1
+        assert metrics.stream["sessions_open"] == 0
+        assert metrics.cluster["epoch"] == 1
+        members = metrics.cluster["members"]
+        assert [m["endpoint"] for m in members] == ["127.0.0.1:9003"]
+        # The loopback transport has no socket server: the transport
+        # hook is simply absent, and the field stays an empty dict.
+        assert metrics.transport == {}

@@ -21,8 +21,18 @@ from repro.service.api import (  # noqa: E402
     AuthChallenge,
     AuthRequest,
     AuthResponse,
+    ClusterHeartbeat,
+    ClusterHeartbeatAck,
+    ClusterJoin,
+    ClusterJoined,
+    ClusterLeave,
+    ClusterLeft,
+    ClusterMembershipRequest,
+    ClusterMembershipResponse,
     ErrorEnvelope,
     MESSAGE_TYPES,
+    MetricsRequest,
+    MetricsResponse,
     ProtectRequest,
     ProtectResponse,
     ProtectionService,
@@ -110,6 +120,20 @@ def published_pieces(draw):
 
 
 @st.composite
+def member_entries(draw):
+    """Registry member dicts as they travel inside cluster messages."""
+    return {
+        "endpoint": draw(_user_id),
+        "worker_id": draw(st.text(max_size=16)),
+        "capacity": draw(st.integers(0, 64)),
+        "state": draw(st.sampled_from(["alive", "stale", "left"])),
+        "joined_epoch": draw(st.integers(0, 10**9)),
+        "inflight": draw(st.integers(0, 10**6)),
+        "age_s": draw(st.floats(0.0, 1e9, allow_nan=False)),
+    }
+
+
+@st.composite
 def wire_messages(draw):
     kind = draw(
         st.sampled_from(
@@ -133,6 +157,16 @@ def wire_messages(draw):
                 "stream_flushed",
                 "stream_close",
                 "stream_closed",
+                "cluster_join",
+                "cluster_joined",
+                "cluster_leave",
+                "cluster_left",
+                "cluster_heartbeat",
+                "cluster_heartbeat_ack",
+                "cluster_membership_request",
+                "cluster_membership_response",
+                "metrics_request",
+                "metrics_response",
                 "error",
             ]
         )
@@ -261,6 +295,59 @@ def wire_messages(draw):
             erased_records=draw(_big_int),
             pieces_published=draw(_big_int),
             windows_closed=draw(_big_int),
+        )
+    if kind == "cluster_join":
+        return ClusterJoin(
+            endpoint=draw(_user_id),
+            worker_id=draw(st.text(max_size=16)),
+            capacity=draw(st.integers(0, 64)),
+        )
+    if kind == "cluster_joined":
+        return ClusterJoined(
+            accepted=draw(st.booleans()),
+            epoch=draw(st.integers(0, 10**9)),
+            members=tuple(draw(st.lists(member_entries(), max_size=3))),
+        )
+    if kind == "cluster_leave":
+        return ClusterLeave(
+            endpoint=draw(_user_id), reason=draw(st.text(max_size=64))
+        )
+    if kind == "cluster_left":
+        return ClusterLeft(
+            removed=draw(st.booleans()), epoch=draw(st.integers(0, 10**9))
+        )
+    if kind == "cluster_heartbeat":
+        return ClusterHeartbeat(
+            endpoint=draw(_user_id), inflight=draw(st.integers(0, 10**6))
+        )
+    if kind == "cluster_heartbeat_ack":
+        return ClusterHeartbeatAck(
+            known=draw(st.booleans()), epoch=draw(st.integers(0, 10**9))
+        )
+    if kind == "cluster_membership_request":
+        return ClusterMembershipRequest()
+    if kind == "cluster_membership_response":
+        return ClusterMembershipResponse(
+            epoch=draw(st.integers(0, 10**9)),
+            members=tuple(draw(st.lists(member_entries(), max_size=3))),
+        )
+    if kind == "metrics_request":
+        return MetricsRequest()
+    if kind == "metrics_response":
+        counters = st.dictionaries(
+            st.text(min_size=1, max_size=16), _big_int, max_size=4
+        )
+        return MetricsResponse(
+            uptime_s=draw(st.floats(0.0, 1e9, allow_nan=False)),
+            versions={"protocol": 1, "build": draw(st.text(max_size=12))},
+            transport=draw(counters),
+            service={"proxy": draw(counters), "server": draw(counters)},
+            stream=draw(counters),
+            feature_cache=draw(counters),
+            cluster={
+                "epoch": draw(st.integers(0, 10**9)),
+                "members": draw(st.lists(member_entries(), max_size=2)),
+            },
         )
     if kind == "auth_request":
         return AuthRequest(proof=draw(st.one_of(st.none(), st.text(max_size=128))))

@@ -551,3 +551,168 @@ class TestStreamSoak:
                 "firehose", [(sent, sent * 60.0, 45.0, 4.0)]
             )
             assert ack.status == "ok"
+
+
+class _GatedProtect(ProtectionService):
+    """Parks the first protect request until released, pinning the batch
+    provably mid-dispatch while the membership churn happens around it —
+    no timing race, CI-deterministic (same gate as ``bench cluster``)."""
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def _protect_sync(self, request):
+        self.entered.set()
+        self.release.wait(60.0)
+        return super()._protect_sync(request)
+
+
+class TestMembershipChurnSoak:
+    """Elastic-membership rows of the soak matrix (PR 8 acceptance).
+
+    The bar: a worker JOINS and a *different* endpoint LEAVES mid-batch
+    — alone, and composed with the wire faults of the PR 5 chaos matrix
+    — and the published dataset stays byte-identical to serial.  The
+    gate makes "mid-batch" a provable program state: worker A parks its
+    first protect request (its only in-flight slot at ``jobs=1``), so
+    the churn lands while the rest of the batch is still queued, and A
+    is released only once the joiner has demonstrably served a chunk.
+    """
+
+    @staticmethod
+    def control(coordinator):
+        host, _, port = coordinator.rpartition(":")
+        return ServiceClient(host=host, port=int(port), timeout=10.0)
+
+    def churn_run(
+        self, soak_corpus, coordinator, service_a, endpoint_a, service_b, join_eps
+    ):
+        """Protect the corpus elastically while the ``join_eps`` workers
+        join and A leaves, all mid-batch."""
+        fired = threading.Event()
+
+        def churn():
+            if not service_a.entered.wait(60.0):
+                service_a.release.set()
+                return
+            with self.control(coordinator) as client:
+                for join_ep in join_eps:
+                    client.cluster_join(join_ep)
+                client.cluster_leave(endpoint_a)
+            fired.set()
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if service_b.proxy.stats.chunks_processed >= 1:
+                    break
+                time.sleep(0.005)
+            service_a.release.set()
+
+        watcher = threading.Thread(target=churn, daemon=True)
+        watcher.start()
+        try:
+            engine = mk_engine(
+                executor={
+                    "name": "remote",
+                    "coordinator": coordinator,
+                    "shards": 4,
+                    "poll_s": 0.05,
+                },
+                jobs=1,  # A's parked request occupies its only slot
+            )
+            report = engine.protect_dataset(soak_corpus, daily=True)
+        finally:
+            service_a.release.set()
+            watcher.join(5.0)
+        assert fired.is_set(), "the churn trigger never fired"
+        return report
+
+    def test_join_and_leave_mid_batch_byte_identical(
+        self, soak_corpus, reference_csv, servers
+    ):
+        """The core leg: only A is registered when dispatch starts; B
+        joins and A leaves mid-batch.  Bytes unchanged, and the joiner
+        provably stole queued work."""
+        service_a = _GatedProtect(mk_engine())
+        service_b = ProtectionService(mk_engine())
+        coordinator = "%s:%d" % servers(ProtectionService(mk_engine()))
+        endpoint_a = "%s:%d" % servers(service_a)
+        endpoint_b = "%s:%d" % servers(service_b)
+        with self.control(coordinator) as client:
+            client.cluster_join(endpoint_a)
+        report = self.churn_run(
+            soak_corpus, coordinator, service_a, endpoint_a, service_b, [endpoint_b]
+        )
+        assert to_csv_string(report.published_dataset()) == reference_csv
+        assert service_a.proxy.stats.chunks_processed >= 1
+        assert service_b.proxy.stats.chunks_processed >= 1
+        # The registry agrees with the story: A left, B is alive.
+        with self.control(coordinator) as client:
+            states = {
+                m["endpoint"]: m["state"]
+                for m in client.cluster_membership().members
+            }
+        assert states[endpoint_a] == "left"
+        assert states[endpoint_b] == "alive"
+
+    def test_churn_composed_with_degraded_wire(
+        self, soak_corpus, reference_csv, servers
+    ):
+        """The joiner arrives behind a delaying wire: membership churn
+        and the chaos matrix compose — slower, never different bytes."""
+        service_a = _GatedProtect(mk_engine())
+        service_b = ProtectionService(mk_engine())
+        coordinator = "%s:%d" % servers(ProtectionService(mk_engine()))
+        endpoint_a = "%s:%d" % servers(service_a)
+        bhost, bport = servers(service_b)
+        with ChaosProxy(
+            bhost, bport, fault="delay", after_replies=0, n_faults=3, delay_s=0.2
+        ) as proxy:
+            with self.control(coordinator) as client:
+                client.cluster_join(endpoint_a)
+            report = self.churn_run(
+                soak_corpus,
+                coordinator,
+                service_a,
+                endpoint_a,
+                service_b,
+                [proxy.endpoint],
+            )
+            assert proxy.faults_injected >= 1, "the fault never fired"
+        assert to_csv_string(report.published_dataset()) == reference_csv
+        assert service_b.proxy.stats.chunks_processed >= 1
+
+    def test_churn_with_corrupt_joiner_fails_over_to_survivor(
+        self, soak_corpus, reference_csv, servers
+    ):
+        """The joiner corrupts a reply mid-batch: the poisoned request
+        is never replayed to it (the PR 5 rule) and fails over to the
+        healthy survivor C — bytes still identical to serial."""
+        service_a = _GatedProtect(mk_engine())
+        service_b = ProtectionService(mk_engine())
+        service_c = ProtectionService(mk_engine())
+        coordinator = "%s:%d" % servers(ProtectionService(mk_engine()))
+        endpoint_a = "%s:%d" % servers(service_a)
+        bhost, bport = servers(service_b)
+        endpoint_c = "%s:%d" % servers(service_c)
+        with ChaosProxy(
+            bhost, bport, fault="corrupt", after_replies=1, n_faults=1
+        ) as proxy:
+            with self.control(coordinator) as client:
+                client.cluster_join(endpoint_a)
+            # B (behind the corrupting wire) and the healthy survivor C
+            # both join mid-batch; A leaves.
+            report = self.churn_run(
+                soak_corpus,
+                coordinator,
+                service_a,
+                endpoint_a,
+                service_b,
+                [proxy.endpoint, endpoint_c],
+            )
+        assert to_csv_string(report.published_dataset()) == reference_csv
+        # The joiner served its clean reply before the corruption...
+        assert service_b.proxy.stats.chunks_processed >= 1
+        # ...and the survivor picked up the slack.
+        assert service_c.proxy.stats.chunks_processed >= 1

@@ -150,3 +150,59 @@ class TestServiceBlock:
 
     def test_describe_off_without_service(self):
         assert "auth   : off" in ProtectionConfig().describe()
+
+
+class TestClusterBlock:
+    """PR 8: the `service.cluster` block (worker announce settings)."""
+
+    def test_round_trips_and_describes(self):
+        cfg = ProtectionConfig(
+            service={
+                "cluster": {
+                    "coordinator": "10.0.0.5:7464",
+                    "advertise": "10.0.0.9:7464",
+                    "heartbeat_s": 2.5,
+                }
+            }
+        )
+        assert cfg.validate() is cfg
+        assert ProtectionConfig.from_json(cfg.to_json()) == cfg
+        assert "cluster        : join 10.0.0.5:7464" in cfg.describe()
+
+    def test_coordinator_alone_is_enough(self):
+        cfg = ProtectionConfig(
+            service={"cluster": {"coordinator": "10.0.0.5:7464"}}
+        )
+        assert cfg.validate() is cfg
+
+    def test_must_be_a_dict(self):
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            ProtectionConfig(service={"cluster": "10.0.0.5:7464"}).validate()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown service.cluster"):
+            ProtectionConfig(
+                service={"cluster": {"coordinator": "a:1", "hartbeat_s": 1}}
+            ).validate()
+
+    def test_coordinator_required_and_non_empty(self):
+        with pytest.raises(ConfigurationError, match="coordinator"):
+            ProtectionConfig(service={"cluster": {}}).validate()
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            ProtectionConfig(service={"cluster": {"coordinator": ""}}).validate()
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            ProtectionConfig(
+                service={"cluster": {"coordinator": "a:1", "advertise": 7}}
+            ).validate()
+
+    def test_heartbeat_must_be_positive_number(self):
+        for bad in (0, -1.0, "2", True):
+            with pytest.raises(ConfigurationError, match="heartbeat_s"):
+                ProtectionConfig(
+                    service={
+                        "cluster": {"coordinator": "a:1", "heartbeat_s": bad}
+                    }
+                ).validate()
+
+    def test_describe_off_without_cluster(self):
+        assert "cluster        : off" in ProtectionConfig().describe()

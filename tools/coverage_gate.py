@@ -38,6 +38,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Gated packages: scope name -> directory prefix.  Every scope is
 #: measured independently and gated against its own baseline entry.
 SCOPES = {
+    "cluster": os.path.join(REPO_ROOT, "src", "repro", "cluster") + os.sep,
     "service": os.path.join(REPO_ROOT, "src", "repro", "service") + os.sep,
     "stream": os.path.join(REPO_ROOT, "src", "repro", "stream") + os.sep,
     "synth": os.path.join(REPO_ROOT, "src", "repro", "synth") + os.sep,

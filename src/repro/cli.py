@@ -50,6 +50,12 @@ Commands
     order across users, and print watermark/overflow statistics.
 ``mood config validate <file>`` / ``mood config example``
     Lint a protection config file / print a template to adapt.
+``mood lint [PATH ...] [--format text|ci|json] [--check-baseline]``
+    Static analysis over ``src/``: determinism (DET0xx), concurrency
+    (CONC0xx), and protocol-drift (PROTO0xx) rules (see docs/LINT.md).
+    Exits non-zero on any finding not recorded in the committed
+    baseline (``.github/lint_baseline.json``); ``--write-baseline``
+    re-pins it, ``--list-rules`` prints the catalogue.
 ``mood bench smoke`` / ``mood bench micro [--out BENCH.json]`` /
 ``mood bench service [--out BENCH.json] [--smoke]`` /
 ``mood bench remote [--out BENCH.json] [--smoke]`` /
@@ -480,6 +486,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for p in (smoke, micro, service, remote, scale, bstream, cluster):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST lint: determinism, concurrency, and protocol-drift rules",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to sweep (default: src/ plus the "
+        "project-scope protocol rules)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["text", "ci", "json"],
+        default="text",
+        help="finding output: human text, GitHub workflow annotations, "
+        "or a JSON report",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: .github/lint_baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail on stale baseline entries (CI shrink-only mode)",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the full JSON report here (the CI artifact)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
 
     return parser
 
@@ -1136,6 +1189,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.lintkit import (
+        Baseline,
+        LintConfig,
+        format_findings,
+        gate,
+        lint_project,
+        rule_catalogue,
+    )
+    from repro.lintkit.report import DEFAULT_BASELINE
+
+    if args.list_rules:
+        for entry in rule_catalogue():
+            print(
+                f"{entry['id']}  {entry['severity']:<7}  {entry['scope']:<7}  "
+                f"{entry['title']}"
+            )
+        return 0
+    config = LintConfig(repo_root=".")
+    if not os.path.isdir(config.abspath(config.src_root)):
+        print(
+            "error: run `mood lint` from the repository root "
+            f"(no {config.src_root}/ directory here)",
+            file=sys.stderr,
+        )
+        return 2
+    findings = lint_project(config, paths=list(args.paths) or None)
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        Baseline.write(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    result = gate(findings, Baseline.load(baseline_path))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(format_findings(result.findings, "json"))
+            f.write("\n")
+    if args.fmt == "json":
+        print(format_findings(result.findings, "json"))
+    else:
+        if result.new:
+            print(format_findings(result.new, args.fmt))
+        for key in result.stale_keys:
+            print(f"stale baseline entry (finding no longer fires): {key}")
+        print(
+            f"lint: {len(result.findings)} finding(s) — {len(result.new)} new, "
+            f"{len(result.baselined)} baselined, {len(result.stale_keys)} stale"
+        )
+    return 0 if result.ok(check_baseline=args.check_baseline) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.errors import ReproError
 
@@ -1151,6 +1257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _cmd_stream,
         "config": _cmd_config,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -86,6 +86,9 @@ class ClusterAnnouncer:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._client: Optional[ServiceClient] = None
+        #: Guards the introspection fields and the cached client: the
+        #: announcer thread writes them while callers poll.
+        self._mutex = threading.Lock()
         #: Introspection: True once the registry has acknowledged us.
         self.joined = False
         self.heartbeats = 0
@@ -93,38 +96,46 @@ class ClusterAnnouncer:
 
     def _connect(self) -> ServiceClient:
         if self._client is None:
-            self._client = ServiceClient(
+            client = ServiceClient(
                 host=self.coordinator.host,
                 port=self.coordinator.port,
                 unix_path=self.coordinator.unix_path,
                 timeout=self.timeout,
                 auth_key=self.auth_key,
             )
+            with self._mutex:
+                self._client = client
         return self._client
 
     def _drop_client(self) -> None:
-        if self._client is not None:
+        client = self._client
+        if client is not None:
             try:
-                self._client.close()
+                client.close()
             except Exception:
                 pass
-            self._client = None
+            with self._mutex:
+                self._client = None
 
     def _tick(self) -> None:
         client = self._connect()
         if not self.joined:
-            self.join_attempts += 1
+            with self._mutex:
+                self.join_attempts += 1
             client.cluster_join(
                 self.advertise, worker_id=self.worker_id, capacity=self.capacity
             )
-            self.joined = True
+            with self._mutex:
+                self.joined = True
             return
         ack = client.cluster_heartbeat(self.advertise)
-        self.heartbeats += 1
+        with self._mutex:
+            self.heartbeats += 1
         if not ack.known:
             # The coordinator restarted (fresh registry): re-join now
             # rather than waiting out another interval unregistered.
-            self.joined = False
+            with self._mutex:
+                self.joined = False
             self._tick()
 
     def _loop(self) -> None:
@@ -134,7 +145,8 @@ class ClusterAnnouncer:
             except (ReproError, OSError):
                 # Unreachable or refusing coordinator: reconnect and
                 # re-announce on the next tick.
-                self.joined = False
+                with self._mutex:
+                    self.joined = False
                 self._drop_client()
             self._stop.wait(self.heartbeat_s)
         try:
@@ -143,7 +155,8 @@ class ClusterAnnouncer:
         except (ReproError, OSError):
             pass
         finally:
-            self.joined = False
+            with self._mutex:
+                self.joined = False
             self._drop_client()
 
     def start(self) -> "ClusterAnnouncer":

@@ -1,0 +1,282 @@
+"""Concurrency rules (CONC0xx).
+
+The serving tree keeps several long-lived threads alive next to asyncio
+loops: the cluster announcer, the background ``ServiceServer``, the
+remote-dispatch helper.  Two habits keep that safe today and are
+machine-checked here:
+
+* state shared with a thread target is mutated under a lock
+  (:class:`ThreadSharedStateRule`), and
+* coroutines never call blocking I/O directly — blocking work rides
+  ``run_in_executor`` (:class:`BlockingCallInAsyncRule`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lintkit.rules import Finding, LintConfig, ModuleInfo, Rule, register
+
+#: Calls that park the calling *thread*: poison inside a coroutine,
+#: where they stall every connection multiplexed onto the loop.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Substrings that mark a ``with`` context as a mutual-exclusion guard.
+_LOCKISH = ("lock", "mutex", "cond", "sem")
+
+
+def _is_lockish(expr: ast.AST, module: ModuleInfo) -> bool:
+    name = module.resolve(expr)
+    if name is None and isinstance(expr, ast.Call):
+        name = module.resolve(expr.func)
+    return name is not None and any(tok in name.lower() for tok in _LOCKISH)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` → the attribute name, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MutationScan(ast.NodeVisitor):
+    """Collect unguarded shared-state mutations inside one function.
+
+    Tracks lock depth through ``with`` statements; an assignment to
+    ``self.<attr>`` (or a declared-``global`` name) at depth zero is a
+    hit.  Nested function definitions are scanned too — they run on the
+    same thread unless handed elsewhere, and a false hit is one
+    ``# lint: allow`` away.
+    """
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.lock_depth = 0
+        self.globals: Set[str] = set()
+        self.hits: List[Tuple[int, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        locked = any(
+            _is_lockish(item.context_expr, self.module) for item in node.items
+        )
+        if locked:
+            self.lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self.lock_depth -= 1
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals.update(node.names)
+
+    def _check_target(self, target: ast.AST, lineno: int) -> None:
+        if self.lock_depth > 0:
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self.hits.append((lineno, f"self.{attr}"))
+        elif isinstance(target, ast.Name) and target.id in self.globals:
+            self.hits.append((lineno, f"global {target.id}"))
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._check_target(element, lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+
+def _method_map(class_node: ast.ClassDef) -> Dict[str, ast.AST]:
+    return {
+        item.name: item
+        for item in class_node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_calls(func: ast.AST) -> Set[str]:
+    """Names of ``self.<m>(...)`` calls made anywhere inside *func*."""
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            attr = _self_attr(node.func)
+            if attr is not None:
+                called.add(attr)
+    return called
+
+
+@register
+class ThreadSharedStateRule(Rule):
+    id = "CONC001"
+    title = "thread target mutates shared state without a lock"
+    severity = "error"
+    rationale = """A function handed to ``threading.Thread(target=...)``
+    runs concurrently with everything else that touches its instance —
+    ``ClusterAnnouncer``'s heartbeat loop vs. ``stop()``, the background
+    ``ServiceServer`` thread vs. its owner.  Any ``self.<attr>`` (or
+    declared-``global``) assignment reachable from the target must
+    happen under a ``with <lock>:`` block, or carry a
+    ``# lint: allow(CONC001)`` explaining the happens-before that makes
+    it safe (e.g. an Event the reader waits on)."""
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for class_node in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            methods = _method_map(class_node)
+            targets = self._thread_targets(class_node, methods, module)
+            scanned: Set[int] = set()
+            for root_name, funcs in targets:
+                for func in funcs:
+                    if id(func) in scanned:
+                        continue
+                    scanned.add(id(func))
+                    scan = _MutationScan(module)
+                    scan.visit(func)
+                    for lineno, what in scan.hits:
+                        findings.append(
+                            self.finding(
+                                module.relpath,
+                                lineno,
+                                f"`{what}` mutated on thread-target path "
+                                f"`{root_name}` without a held lock",
+                            )
+                        )
+        return findings
+
+    def _thread_targets(
+        self,
+        class_node: ast.ClassDef,
+        methods: Dict[str, ast.AST],
+        module: ModuleInfo,
+    ) -> List[Tuple[str, List[ast.AST]]]:
+        """(target name, reachable function bodies) per Thread(...) call."""
+        out: List[Tuple[str, List[ast.AST]]] = []
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve(node.func) != "threading.Thread":
+                continue
+            target = next(
+                (kw.value for kw in node.keywords if kw.arg == "target"), None
+            )
+            if target is None:
+                continue
+            attr = _self_attr(target)
+            if attr is not None and attr in methods:
+                # Transitive closure over self.<m>() calls: the thread
+                # runs everything the target reaches inside the class.
+                reachable: List[ast.AST] = []
+                queue = [attr]
+                seen: Set[str] = set()
+                while queue:
+                    name = queue.pop()
+                    if name in seen or name not in methods:
+                        continue
+                    seen.add(name)
+                    reachable.append(methods[name])
+                    queue.extend(_self_calls(methods[name]))
+                out.append((f"self.{attr}", reachable))
+            elif isinstance(target, ast.Name):
+                # A closure defined next to the Thread(...) call.
+                local = self._enclosing_def(class_node, node, target.id)
+                if local is not None:
+                    out.append((target.id, [local]))
+        return out
+
+    def _enclosing_def(
+        self, class_node: ast.ClassDef, call: ast.Call, name: str
+    ) -> Optional[ast.AST]:
+        for func in ast.walk(class_node):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(func):
+                    if child is call:
+                        for item in ast.walk(func):
+                            if (
+                                isinstance(
+                                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                                )
+                                and item.name == name
+                            ):
+                                return item
+        return None
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    id = "CONC002"
+    title = "blocking call inside a coroutine"
+    severity = "error"
+    rationale = """A blocking call on the event loop stalls every
+    connection multiplexed onto it — one ``time.sleep`` inside a
+    handler and the whole service misses its heartbeat deadlines.
+    Blocking work belongs on the pool (``loop.run_in_executor``) or in
+    its async equivalent (``asyncio.sleep``)."""
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in self._direct_calls(node):
+                name = module.resolve(call.func)
+                if name in _BLOCKING_CALLS:
+                    yield self.finding(
+                        module.relpath,
+                        call.lineno,
+                        f"blocking call `{name}` inside coroutine "
+                        f"`{node.name}`; use the asyncio equivalent or "
+                        "run_in_executor",
+                    )
+
+    def _direct_calls(self, func: ast.AsyncFunctionDef) -> Iterable[ast.Call]:
+        """Calls lexically in *func*, skipping nested ``def`` bodies
+        (those run wherever they are handed — often the executor)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))

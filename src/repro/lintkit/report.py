@@ -1,0 +1,140 @@
+"""Finding reports and the shrink-only baseline gate.
+
+The baseline file (``.github/lint_baseline.json``) is the escape hatch
+that lets the linter land on a tree with pre-existing findings without
+blocking CI: known findings are recorded once, and from then on the
+gate enforces two directions —
+
+* **no new findings** — anything not in the baseline fails the run;
+* **shrink only** — a baseline entry whose finding no longer fires is
+  *stale* and (under ``--check-baseline``, the CI mode) also fails the
+  run until the entry is deleted.  The file can therefore only ever get
+  smaller, never quietly absorb regressions.
+
+This repository's committed baseline is **empty**: every true finding
+the rules surfaced was fixed (or explicitly ``# lint: allow``-ed with a
+justification) in the PR that introduced the linter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lintkit.rules import Finding
+
+BASELINE_SCHEMA = "lint-baseline"
+REPORT_SCHEMA = "lint-report"
+
+#: Default committed baseline location, repo-relative.
+DEFAULT_BASELINE = ".github/lint_baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The committed set of tolerated finding keys."""
+
+    keys: Set[str] = field(default_factory=set)
+    #: Raw entries, kept for stale-entry reporting.
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except FileNotFoundError:
+            return cls()
+        if data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path} is not a lint baseline (schema "
+                f"{data.get('schema')!r}, expected {BASELINE_SCHEMA!r})"
+            )
+        entries = list(data.get("findings", []))
+        keys = {
+            f"{e['rule']}@{e['path']}:{int(e['line'])}" for e in entries
+        }
+        return cls(keys=keys, entries=entries)
+
+    @staticmethod
+    def write(path: str, findings: Sequence[Finding]) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "findings": [f.to_dict() for f in sorted(findings)],
+        }
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+
+@dataclass
+class GateResult:
+    """Outcome of comparing a run against the baseline."""
+
+    findings: List[Finding]
+    new: List[Finding]
+    baselined: List[Finding]
+    stale_keys: List[str]
+
+    def ok(self, check_baseline: bool = False) -> bool:
+        if self.new:
+            return False
+        if check_baseline and self.stale_keys:
+            return False
+        return True
+
+
+def gate(findings: Sequence[Finding], baseline: Optional[Baseline] = None) -> GateResult:
+    """Split *findings* into new vs baselined and spot stale entries."""
+    baseline = baseline if baseline is not None else Baseline()
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen_keys: Set[str] = set()
+    for finding in sorted(findings):
+        seen_keys.add(finding.key())
+        (baselined if finding.key() in baseline.keys else new).append(finding)
+    stale = sorted(baseline.keys - seen_keys)
+    return GateResult(
+        findings=sorted(findings), new=new, baselined=baselined, stale_keys=stale
+    )
+
+
+def format_findings(
+    findings: Sequence[Finding], fmt: str = "text"
+) -> str:
+    """Render findings as ``text`` (humans), ``ci`` (GitHub workflow
+    annotations), or ``json`` (machine report)."""
+    ordered = sorted(findings)
+    if fmt == "json":
+        by_rule: Dict[str, int] = {}
+        for finding in ordered:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return json.dumps(
+            {
+                "schema": REPORT_SCHEMA,
+                "total": len(ordered),
+                "by_rule": by_rule,
+                "findings": [f.to_dict() for f in ordered],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt == "ci":
+        lines = [
+            "::{level} file={path},line={line},title={rule}::{message}".format(
+                level="error" if f.severity == "error" else "warning",
+                path=f.path,
+                line=f.line,
+                rule=f.rule,
+                message=f.message,
+            )
+            for f in ordered
+        ]
+        return "\n".join(lines)
+    if fmt == "text":
+        lines = [
+            f"{f.location}: {f.rule} {f.severity}: {f.message}" for f in ordered
+        ]
+        return "\n".join(lines)
+    raise ValueError(f"unknown lint format {fmt!r}; choose text, ci, or json")

@@ -548,7 +548,9 @@ class ServiceServer:
         def _serve() -> None:
             loop = asyncio.new_event_loop()
             asyncio.set_event_loop(loop)
-            self._thread_loop = loop
+            # Safe unlocked: readers wait on `ready` (set below), and the
+            # Event provides the happens-before for this write.
+            self._thread_loop = loop  # lint: allow(CONC001)
             try:
                 loop.run_until_complete(self.start())
             except Exception as exc:  # pragma: no cover - bind failures

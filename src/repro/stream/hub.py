@@ -414,10 +414,12 @@ class StreamHub:
             return (), len(window)
         mech = engine.singles[0]
         trace = window.trace
+        # Exact repr: a truncated start time would collide windows that
+        # open less than a second apart, seeding them identically.
         rng = make_rng(
             stable_user_seed(
                 engine.seed,
-                f"{trace.user_id}|{mech.name}|{trace.start_time():.0f}|{len(trace)}",
+                f"{trace.user_id}|{mech.name}|{trace.start_time()!r}|{len(trace)}",
             )
         )
         published = mech.apply(trace, rng)

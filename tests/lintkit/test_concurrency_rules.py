@@ -1,0 +1,156 @@
+"""CONC0xx fixtures: thread-target mutations and blocking coroutines."""
+
+from repro.lintkit.rules import LintConfig, all_rules, lint_source
+
+CONFIG = LintConfig()
+PATH = "src/repro/cluster/fixture.py"
+
+
+def run(source, only):
+    rules = [r for r in all_rules() if r.id in only]
+    return lint_source(source, PATH, CONFIG, rules)
+
+
+THREADED = """
+import threading
+
+class Worker:
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+{body}
+"""
+
+
+def threaded(body_lines):
+    body = "\n".join(f"        {line}" for line in body_lines)
+    return THREADED.format(body=body)
+
+
+class TestThreadSharedState:
+    def test_unlocked_mutation_flagged(self):
+        findings = run(threaded(["self.count = 1"]), only=["CONC001"])
+        assert len(findings) == 1
+        assert "self.count" in findings[0].message
+        assert "self._loop" in findings[0].message
+
+    def test_augassign_and_tuple_targets_flagged(self):
+        findings = run(
+            threaded(["self.count += 1", "self.a, self.b = 1, 2"]),
+            only=["CONC001"],
+        )
+        assert len(findings) == 3
+
+    def test_mutation_under_lock_ok(self):
+        findings = run(
+            threaded(["with self._mutex:", "    self.count = 1"]),
+            only=["CONC001"],
+        )
+        assert findings == []
+
+    def test_lockish_names_recognised(self):
+        for guard in ("self._lock", "self.state_lock", "self._cond", "GLOBAL_SEM"):
+            findings = run(
+                threaded([f"with {guard}:", "    self.count = 1"]),
+                only=["CONC001"],
+            )
+            assert findings == [], guard
+
+    def test_non_lock_context_does_not_shield(self):
+        findings = run(
+            threaded(["with open('f') as f:", "    self.count = 1"]),
+            only=["CONC001"],
+        )
+        assert len(findings) == 1
+
+    def test_transitive_self_call_scanned(self):
+        source = threaded(["self._tick()"]) + (
+            "\n    def _tick(self):\n        self.ticks = 1\n"
+        )
+        findings = run(source, only=["CONC001"])
+        assert len(findings) == 1
+        assert "self.ticks" in findings[0].message
+
+    def test_local_closure_target_scanned(self):
+        source = """
+import threading
+
+class Server:
+    def start(self):
+        def _serve():
+            self.loop = object()
+        self._thread = threading.Thread(target=_serve)
+        self._thread.start()
+"""
+        findings = run(source, only=["CONC001"])
+        assert len(findings) == 1
+        assert "`_serve`" in findings[0].message
+
+    def test_global_mutation_flagged(self):
+        source = """
+import threading
+
+class Worker:
+    def start(self):
+        threading.Thread(target=self._loop).start()
+
+    def _loop(self):
+        global COUNTER
+        COUNTER = 1
+"""
+        findings = run(source, only=["CONC001"])
+        assert "global COUNTER" in findings[0].message
+
+    def test_mutation_outside_thread_path_ok(self):
+        source = threaded(["pass"]) + (
+            "\n    def stop(self):\n        self.stopped = True\n"
+        )
+        assert run(source, only=["CONC001"]) == []
+
+    def test_local_variables_not_flagged(self):
+        assert run(threaded(["count = 1", "count += 1"]), only=["CONC001"]) == []
+
+    def test_allow_comment_with_justification(self):
+        findings = run(
+            threaded(["self.loop = 1  # lint: allow(CONC001)"]),
+            only=["CONC001"],
+        )
+        assert findings == []
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep_in_coroutine(self):
+        source = "import time\nasync def h():\n    time.sleep(1)\n"
+        findings = run(source, only=["CONC002"])
+        assert "time.sleep" in findings[0].message
+        assert "`h`" in findings[0].message
+
+    def test_subprocess_and_urlopen(self):
+        source = (
+            "import subprocess\n"
+            "import urllib.request\n"
+            "async def h():\n"
+            "    subprocess.run(['true'])\n"
+            "    urllib.request.urlopen('http://x')\n"
+        )
+        assert len(run(source, only=["CONC002"])) == 2
+
+    def test_asyncio_sleep_ok(self):
+        source = "import asyncio\nasync def h():\n    await asyncio.sleep(1)\n"
+        assert run(source, only=["CONC002"]) == []
+
+    def test_nested_def_not_scanned(self):
+        source = (
+            "import time\n"
+            "async def h(loop):\n"
+            "    def work():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, work)\n"
+        )
+        assert run(source, only=["CONC002"]) == []
+
+    def test_sync_function_not_scanned(self):
+        source = "import time\ndef h():\n    time.sleep(1)\n"
+        assert run(source, only=["CONC002"]) == []

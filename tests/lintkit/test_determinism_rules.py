@@ -1,0 +1,158 @@
+"""DET0xx fixtures: positive, negative, and suppressed per rule."""
+
+from repro.lintkit.rules import LintConfig, all_rules, lint_source
+
+CONFIG = LintConfig()
+
+PUBLISH = "src/repro/core/fixture.py"  # on the publish path
+SERVICE = "src/repro/service/fixture.py"  # codec path, not publish
+OUTSIDE = "src/repro/report_fixture.py"  # neither
+
+
+def rules_of(*ids):
+    return [r for r in all_rules() if r.id in ids]
+
+
+def run(source, relpath=OUTSIDE, only=None):
+    rules = rules_of(*only) if only else None
+    return lint_source(source, relpath, CONFIG, rules)
+
+
+class TestUnseededRandom:
+    def test_stdlib_global_random_flagged(self):
+        findings = run("import random\nrandom.random()\n", only=["DET001"])
+        assert [f.line for f in findings] == [2]
+        assert "repro.rng" in findings[0].message
+
+    def test_aliased_import_resolves(self):
+        findings = run(
+            "from random import choice as pick\npick([1, 2])\n",
+            only=["DET001"],
+        )
+        assert len(findings) == 1
+
+    def test_seeded_random_instance_ok(self):
+        assert run("import random\nrandom.Random(42)\n", only=["DET001"]) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = run("import random\nrandom.Random()\n", only=["DET001"])
+        assert "without a seed" in findings[0].message
+
+    def test_legacy_numpy_global_flagged(self):
+        findings = run(
+            "import numpy as np\nnp.random.rand(3)\n", only=["DET001"]
+        )
+        assert "legacy numpy" in findings[0].message
+
+    def test_unseeded_default_rng_flagged(self):
+        assert run(
+            "import numpy as np\nnp.random.default_rng()\n", only=["DET001"]
+        )
+        assert run(
+            "import numpy as np\nnp.random.default_rng(seed=None)\n",
+            only=["DET001"],
+        )
+
+    def test_seeded_default_rng_ok(self):
+        assert (
+            run("import numpy as np\nnp.random.default_rng(7)\n", only=["DET001"])
+            == []
+        )
+
+    def test_generator_annotation_not_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> None:\n"
+            "    assert isinstance(rng, np.random.Generator)\n"
+        )
+        assert run(source, only=["DET001"]) == []
+
+    def test_rng_module_is_exempt(self):
+        source = "import numpy as np\nnp.random.default_rng()\n"
+        assert run(source, relpath=CONFIG.rng_module, only=["DET001"]) == []
+
+    def test_suppression_comment(self):
+        source = "import random\nrandom.random()  # lint: allow(DET001)\n"
+        assert run(source, only=["DET001"]) == []
+
+
+class TestWallClock:
+    def test_time_time_on_publish_path(self):
+        findings = run("import time\ntime.time()\n", PUBLISH, only=["DET002"])
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_datetime_now_via_from_import(self):
+        source = "from datetime import datetime\ndatetime.now()\n"
+        assert run(source, PUBLISH, only=["DET002"])
+
+    def test_monotonic_is_fine(self):
+        assert run("import time\ntime.monotonic()\n", PUBLISH, only=["DET002"]) == []
+
+    def test_off_publish_path_not_flagged(self):
+        assert run("import time\ntime.time()\n", SERVICE, only=["DET002"]) == []
+
+
+class TestOsEntropy:
+    def test_urandom_flagged_everywhere(self):
+        assert run("import os\nos.urandom(8)\n", SERVICE, only=["DET003"])
+        assert run("import os\nos.urandom(8)\n", PUBLISH, only=["DET003"])
+
+    def test_uuid4_flagged(self):
+        assert run("import uuid\nuuid.uuid4()\n", only=["DET003"])
+
+    def test_secrets_ok_off_publish_path(self):
+        source = "import secrets\nsecrets.token_hex(8)\n"
+        assert run(source, SERVICE, only=["DET003"]) == []
+
+    def test_secrets_flagged_on_publish_path(self):
+        source = "import secrets\nsecrets.token_hex(8)\n"
+        findings = run(source, PUBLISH, only=["DET003"])
+        assert "publish path" in findings[0].message
+
+
+class TestSetIteration:
+    def test_for_over_set_literal(self):
+        assert run("for x in {1, 2}:\n    print(x)\n", only=["DET004"])
+
+    def test_list_of_set_call(self):
+        assert run("xs = [1]\nlist(set(xs))\n", only=["DET004"])
+
+    def test_comprehension_over_set(self):
+        assert run("ys = [y for y in {1, 2}]\n", only=["DET004"])
+
+    def test_set_algebra_flagged(self):
+        assert run("s = {2}\nfor x in {1} | s:\n    pass\n", only=["DET004"])
+        assert run("t = {2}\nlist({1}.union(t))\n", only=["DET004"])
+
+    def test_sorted_erases_order(self):
+        assert run("for x in sorted({2, 1}):\n    pass\n", only=["DET004"]) == []
+
+    def test_len_and_sum_are_fine(self):
+        assert run("n = len({1, 2}) + sum({3, 4})\n", only=["DET004"]) == []
+
+    def test_plain_list_iteration_fine(self):
+        assert run("for x in [1, 2]:\n    pass\n", only=["DET004"]) == []
+
+
+class TestLossyFloatFormat:
+    def test_fstring_precision_in_codec_layer(self):
+        findings = run('s = f"{x:.3f}"\n', SERVICE, only=["DET005"])
+        assert "shortest-repr" in findings[0].message
+
+    def test_stream_layer_is_codec_path(self):
+        assert run(
+            's = f"{t:.0f}"\n', "src/repro/stream/fixture.py", only=["DET005"]
+        )
+
+    def test_percent_format_in_codec_layer(self):
+        assert run('s = "%.2f" % x\n', SERVICE, only=["DET005"])
+
+    def test_bare_interpolation_ok(self):
+        assert run('s = f"{x}|{y!r}"\n', SERVICE, only=["DET005"]) == []
+
+    def test_width_spec_without_precision_ok(self):
+        assert run('s = f"{x:>8}"\n', SERVICE, only=["DET005"]) == []
+
+    def test_outside_codec_layers_not_flagged(self):
+        assert run('s = f"{x:.3f}"\n', PUBLISH, only=["DET005"]) == []
+        assert run('s = f"{x:.3f}"\n', OUTSIDE, only=["DET005"]) == []

@@ -1,0 +1,98 @@
+"""Baseline gate semantics (shrink-only) and report formatting."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.lintkit.report import DEFAULT_BASELINE, Baseline, format_findings, gate
+from repro.lintkit.rules import Finding
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+
+
+def f(path="src/a.py", line=3, rule="DET001", severity="error", msg="boom"):
+    return Finding(path, line, rule, severity, msg)
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert baseline.keys == set()
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        Baseline.write(path, [f(), f(line=9, rule="CONC001")])
+        baseline = Baseline.load(path)
+        assert baseline.keys == {"DET001@src/a.py:3", "CONC001@src/a.py:9"}
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "coverage-baseline"}))
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            Baseline.load(str(path))
+
+    def test_committed_baseline_is_empty(self):
+        # The repository ships with every finding fixed: the gate runs
+        # at full strength from this PR on.
+        path = os.path.join(REPO_ROOT, *DEFAULT_BASELINE.split("/"))
+        baseline = Baseline.load(path)
+        assert baseline.keys == set()
+        assert os.path.exists(path)  # committed, not merely absent
+
+
+class TestGate:
+    def test_new_finding_fails(self):
+        result = gate([f()], Baseline())
+        assert result.new == [f()]
+        assert not result.ok()
+
+    def test_baselined_finding_passes(self):
+        baseline = Baseline(keys={f().key()})
+        result = gate([f()], baseline)
+        assert result.new == [] and result.baselined == [f()]
+        assert result.ok() and result.ok(check_baseline=True)
+
+    def test_stale_entry_fails_only_in_check_mode(self):
+        baseline = Baseline(keys={"DET001@src/gone.py:1"})
+        result = gate([], baseline)
+        assert result.stale_keys == ["DET001@src/gone.py:1"]
+        assert result.ok()
+        assert not result.ok(check_baseline=True)
+
+    def test_mixed_split(self):
+        known, fresh = f(), f(line=8, rule="DET004")
+        result = gate([fresh, known], Baseline(keys={known.key()}))
+        assert result.new == [fresh]
+        assert result.baselined == [known]
+        assert result.findings == sorted([known, fresh])
+
+
+class TestFormats:
+    def test_text_format(self):
+        out = format_findings([f()], "text")
+        assert out == "src/a.py:3: DET001 error: boom"
+
+    def test_ci_format_is_workflow_annotation(self):
+        out = format_findings([f(), f(severity="warning", rule="X")], "ci")
+        lines = out.splitlines()
+        assert lines[0] == "::error file=src/a.py,line=3,title=DET001::boom"
+        assert lines[1].startswith("::warning ")
+
+    def test_json_format_counts_by_rule(self):
+        out = json.loads(format_findings([f(), f(line=9)], "json"))
+        assert out["schema"] == "lint-report"
+        assert out["total"] == 2
+        assert out["by_rule"] == {"DET001": 2}
+        assert out["findings"][0]["path"] == "src/a.py"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint format"):
+            format_findings([], "xml")
+
+    def test_empty_findings_render_empty(self):
+        assert format_findings([], "text") == ""
+        assert format_findings([], "ci") == ""

@@ -194,6 +194,37 @@ class TestOverflowPolicies:
         )
         assert repiece.pseudonym == flushed.pieces[0].pseudonym
 
+    def test_degrade_seed_distinguishes_subsecond_windows(self):
+        # Regression: the degrade seed context once truncated the window
+        # start time to whole seconds (`:.0f`), so two windows opening
+        # less than a second apart drew identical jitter.  The context
+        # now carries the exact repr.
+        class _Jitter(LPPM):
+            name = "jitter"
+
+            def apply(self, trace, rng=None):
+                lats = trace.lats + rng.normal(0.0, 1e-3, len(trace))
+                return trace.with_positions(lats, trace.lngs)
+
+        def degrade_once(t0):
+            engine = ProtectionEngine([_Jitter()], [_Never()])
+            hub = StreamHub(
+                MoodProxy(engine),
+                config=StreamConfig(
+                    overflow="degrade", max_pending_records=5, window_s=1e9
+                ),
+            )
+            hub.open("u")
+            hub.ingest("u", records(10, t0=t0))
+            return hub.flush("u").pieces[0]
+
+        early = degrade_once(100.25)
+        late = degrade_once(100.75)
+        assert not np.array_equal(early.published.lats, late.published.lats)
+        # Same start time still reproduces byte-identically.
+        again = degrade_once(100.25)
+        assert np.array_equal(early.published.lats, again.published.lats)
+
     def test_piece_log_bounded_by_max_unacked_windows(self):
         hub = mk_hub(window_s=300.0, max_unacked_windows=2)
         hub.open("u")

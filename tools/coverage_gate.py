@@ -39,6 +39,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: measured independently and gated against its own baseline entry.
 SCOPES = {
     "cluster": os.path.join(REPO_ROOT, "src", "repro", "cluster") + os.sep,
+    "lintkit": os.path.join(REPO_ROOT, "src", "repro", "lintkit") + os.sep,
     "service": os.path.join(REPO_ROOT, "src", "repro", "service") + os.sep,
     "stream": os.path.join(REPO_ROOT, "src", "repro", "stream") + os.sep,
     "synth": os.path.join(REPO_ROOT, "src", "repro", "synth") + os.sep,

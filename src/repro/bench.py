@@ -57,6 +57,17 @@ Two entry points:
   stays bounded.  ``smoke=True`` is the <60 s CI variant; the full run
   emits ``BENCH_7.json``.
 
+* :func:`run_codec` — the wire-codec yardstick (PR 10): encode+decode
+  throughput of the v1 JSON-lines codec vs the negotiated v2 binary
+  codec on a 10k-record-tier protect batch (the v2 leg must clear a
+  3× floor, asserted on the spot), byte-identity of the upload
+  receipts across a v1 loopback and a v2 loopback, and a
+  **mixed-version cluster leg**: a v1-only ``ServiceServer``
+  (``wire_versions=(1,)``) joined to a v2-speaking cluster client,
+  with the published dataset asserted byte-identical to serial.
+  ``smoke=True`` is the <60 s CI variant; the full run emits
+  ``BENCH_9.json``.
+
 The synthetic corpus is generated directly here (homes + commutes over
 a city-sized box) so the benches do not depend on the experiment
 harness and scale to thousands of users in seconds.
@@ -375,6 +386,162 @@ def run_service(
     snapshot["transports_identical"] = True
     snapshot["executors"] = executors
     snapshot["executors_identical"] = True
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return snapshot
+
+
+#: The v2 binary codec must beat the v1 JSON codec by at least this
+#: factor on the 10k-record protect batch (encode+decode, same data,
+#: same process) — the acceptance floor of the codec PR.
+CODEC_SPEEDUP_FLOOR = 3.0
+
+
+def run_codec(
+    seed: int = 7, smoke: bool = False, out_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Wire-codec throughput and cross-framing byte-identity.
+
+    Three legs, every assertion made on the spot:
+
+    1. **Throughput** — encode+decode a 10k-record-tier batch of
+       ``protect_request`` frames through the v1 JSON codec and the v2
+       binary codec; the v2 leg must clear :data:`CODEC_SPEEDUP_FLOOR`.
+    2. **Loopback identity** — replay the same upload stream through a
+       ``LoopbackClient`` pinned to v1 and one pinned to v2; the
+       receipt bodies (the published pieces) must compare equal.
+    3. **Mixed-version cluster** — a v1-only ``ServiceServer``
+       (``wire_versions=(1,)``) and a v2 server behind one ``remote``
+       executor driven by a v2-speaking client; the published dataset
+       must be byte-identical to the serial backend's.
+    """
+    from repro.core.split import split_fixed_time
+    from repro.datasets.io import to_csv_string
+    from repro.experiments.harness import prepare_context
+    from repro.service.api import (
+        LoopbackClient,
+        ProtectRequest,
+        ProtectionService,
+        decode_frame_v2,
+        decode_message,
+        encode_message,
+        encode_message_v2,
+    )
+    from repro.service.rpc import ServiceServer
+
+    # -- leg 1: codec throughput on a 10k-record protect batch --------
+    # The batch size is NOT shrunk in smoke mode: the floor is the
+    # acceptance criterion and the whole leg runs in milliseconds.
+    bench_traces: List[Trace] = []
+    records = 0
+    user = 0
+    while records < 10_000:
+        trace = synthetic_trace(f"codec-{user}", seed=seed + user)
+        bench_traces.append(trace)
+        records += len(trace)
+        user += 1
+    messages = [ProtectRequest(trace=t, daily=False) for t in bench_traces]
+
+    def codec_wall(encode: Any, decode: Any, repeat: int) -> float:
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            for message in messages:
+                decode(encode(message))
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    repeat = 3 if smoke else 7
+    wall_v1 = codec_wall(encode_message, decode_message, repeat)
+    wall_v2 = codec_wall(
+        encode_message_v2, lambda frame: decode_frame_v2(frame)[1], repeat
+    )
+    speedup = wall_v1 / wall_v2 if wall_v2 > 0 else float("inf")
+    if speedup < CODEC_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"v2 codec speedup {speedup:.2f}x is below the "
+            f"{CODEC_SPEEDUP_FLOOR:.0f}x floor "
+            f"(v1 {wall_v1 * 1e3:.2f} ms, v2 {wall_v2 * 1e3:.2f} ms)"
+        )
+
+    # -- leg 2: loopback receipts identical across framings -----------
+    n_users, days = (4, 4) if smoke else (6, 5)
+    ctx = prepare_context("privamov", seed=seed, n_users=n_users, days=days)
+    chunks = []
+    for trace in ctx.test.traces():
+        for day, chunk in enumerate(split_fixed_time(trace, 86_400.0)):
+            if len(chunk):
+                chunks.append((chunk, day))
+
+    def drive_loopback(wire_version: int) -> List[Dict[str, Any]]:
+        with LoopbackClient(
+            ProtectionService(ctx.engine()), wire_version=wire_version
+        ) as client:
+            return [
+                client.upload(chunk, day_index=day).to_body()
+                for chunk, day in chunks
+            ]
+
+    receipts_v1 = drive_loopback(1)
+    receipts_v2 = drive_loopback(2)
+    if receipts_v1 != receipts_v2:
+        raise AssertionError(
+            "v1 and v2 loopback clients returned different upload receipts"
+        )
+
+    # -- leg 3: mixed-version cluster, bytes identical to serial ------
+    serial_report = ctx.engine().protect_dataset(ctx.test, daily=True)
+    reference_csv = to_csv_string(serial_report.published_dataset())
+    v1_only = ServiceServer(
+        ProtectionService(ctx.engine()), port=0, wire_versions=(1,)
+    )
+    v2_server = ServiceServer(ProtectionService(ctx.engine()), port=0)
+    endpoints = []
+    try:
+        for server in (v1_only, v2_server):
+            host, port = server.start_background()
+            endpoints.append(f"{host}:{port}")
+        engine = ctx.engine(
+            executor={"name": "remote", "endpoints": endpoints, "shards": 4},
+            jobs=4,
+        )
+        mixed_report = engine.protect_dataset(ctx.test, daily=True)
+    finally:
+        v1_only.stop_background()
+        v2_server.stop_background()
+    mixed_csv = to_csv_string(mixed_report.published_dataset())
+    if mixed_csv != reference_csv:
+        raise AssertionError(
+            "the mixed-version cluster published a different dataset "
+            "than serial"
+        )
+
+    snapshot = _snapshot_header()
+    snapshot["mode"] = "codec"
+    snapshot["smoke"] = smoke
+    snapshot["codec"] = {
+        "records": float(records),
+        "messages": float(len(messages)),
+        "v1_encode_decode_s": wall_v1,
+        "v2_encode_decode_s": wall_v2,
+        "v1_records_per_s": records / wall_v1 if wall_v1 > 0 else float("inf"),
+        "v2_records_per_s": records / wall_v2 if wall_v2 > 0 else float("inf"),
+        "speedup": speedup,
+        "floor": CODEC_SPEEDUP_FLOOR,
+    }
+    snapshot["loopback"] = {
+        "upload_chunks": float(len(chunks)),
+        "receipts_identical": True,
+    }
+    snapshot["mixed_cluster"] = {
+        "requests": float(len(mixed_report.results)),
+        "wall_s": mixed_report.wall_time_s,
+        "users_per_s": mixed_report.users_per_second,
+        "endpoint_wire_versions": [[1], [1, 2]],
+        "byte_identical": True,
+    }
     if out_path:
         with open(out_path, "w") as f:
             json.dump(snapshot, f, indent=2, sort_keys=True)
@@ -1330,6 +1497,33 @@ def format_cluster_snapshot(snapshot: Dict[str, Any]) -> str:
     )
     lines.append(f"byte identical     : {snapshot['byte_identical']}")
     return "\n".join(lines)
+
+
+def format_codec_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_codec` dict."""
+    codec = snapshot["codec"]
+    loopback = snapshot["loopback"]
+    mixed = snapshot["mixed_cluster"]
+    return "\n".join(
+        [
+            f"bench mode         : {snapshot['mode']}"
+            + (" (smoke)" if snapshot.get("smoke") else ""),
+            f"batch              : {codec['records']:.0f} records in "
+            f"{codec['messages']:.0f} protect_request frames",
+            f"v1 json codec      : {codec['v1_encode_decode_s'] * 1e3:8.2f} ms "
+            f"({codec['v1_records_per_s']:.0f} records/s encode+decode)",
+            f"v2 binary codec    : {codec['v2_encode_decode_s'] * 1e3:8.2f} ms "
+            f"({codec['v2_records_per_s']:.0f} records/s encode+decode)",
+            f"speedup            : {codec['speedup']:.1f}x "
+            f"(floor {codec['floor']:.0f}x)",
+            f"loopback identity  : {loopback['receipts_identical']} "
+            f"({loopback['upload_chunks']:.0f} upload chunks, v1 vs v2)",
+            f"mixed cluster      : {mixed['requests']:.0f} requests in "
+            f"{mixed['wall_s']:.2f}s over endpoints speaking "
+            f"{mixed['endpoint_wire_versions']}",
+            f"byte identical     : {mixed['byte_identical']}",
+        ]
+    )
 
 
 def format_service_snapshot(snapshot: Dict[str, Any]) -> str:

@@ -484,7 +484,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller corpus (the <60 s CI job)",
     )
-    for p in (smoke, micro, service, remote, scale, bstream, cluster):
+    codec = bench_sub.add_parser(
+        "codec",
+        help="wire-codec yardstick: v1 JSON vs v2 binary throughput "
+        "(3x floor) and cross-framing byte-identity",
+    )
+    codec.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSON snapshot path (default: print only)",
+    )
+    codec.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller identity corpus (the <60 s CI job)",
+    )
+    for p in (smoke, micro, service, remote, scale, bstream, cluster, codec):
         p.add_argument("--seed", type=int, default=7, help="bench corpus seed")
 
     lint = sub.add_parser(
@@ -1105,12 +1121,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import (
         format_cluster_snapshot,
+        format_codec_snapshot,
         format_remote_snapshot,
         format_scale_snapshot,
         format_service_snapshot,
         format_snapshot,
         format_stream_snapshot,
         run_cluster,
+        run_codec,
         run_micro,
         run_remote,
         run_scale,
@@ -1119,6 +1137,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_stream,
     )
 
+    if args.bench_command == "codec":
+        snapshot = run_codec(seed=args.seed, smoke=args.smoke, out_path=args.out)
+        print(format_codec_snapshot(snapshot))
+        if args.out:
+            print(f"\nwrote snapshot to {args.out}")
+        return 0
     if args.bench_command == "cluster":
         snapshot = run_cluster(seed=args.seed, smoke=args.smoke, out_path=args.out)
         print(format_cluster_snapshot(snapshot))

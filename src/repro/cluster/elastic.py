@@ -54,6 +54,7 @@ from repro.service.api import (
     MessageEncodeError,
 )
 from repro.service.rpc import (
+    SUPPORTED_WIRE_VERSIONS,
     AsyncServiceClient,
     Endpoint,
     EndpointHealth,
@@ -145,6 +146,7 @@ class ElasticClusterClient:
         backoff_max: float = 2.0,
         auth_key: Optional[bytes] = None,
         join_grace_s: float = DEFAULT_JOIN_GRACE_S,
+        wire_versions: Sequence[int] = SUPPORTED_WIRE_VERSIONS,
     ) -> None:
         parsed = [parse_endpoint(e) for e in endpoints]
         if not parsed and membership is None:
@@ -180,6 +182,9 @@ class ElasticClusterClient:
         self.backoff_factor = float(backoff_factor)
         self.backoff_max = float(backoff_max)
         self.auth_key = None if auth_key is None else bytes(auth_key)
+        # Validated per connection by AsyncServiceClient; a v1-only
+        # member simply downgrades its own connection.
+        self.wire_versions = tuple(sorted({int(v) for v in wire_versions}))
         self.join_grace_s = float(join_grace_s)
         self._membership = membership
         self._members: Dict[str, _Member] = {}
@@ -294,7 +299,10 @@ class ElasticClusterClient:
             if health.retired or health.available_at > time.monotonic():
                 raise _EndpointUnavailable()
             client = AsyncServiceClient(
-                member.endpoint, timeout=self.timeout, auth_key=self.auth_key
+                member.endpoint,
+                timeout=self.timeout,
+                auth_key=self.auth_key,
+                wire_versions=self.wire_versions,
             )
             try:
                 await client.connect()
@@ -479,7 +487,10 @@ class ElasticClusterClient:
                         if client is not None:
                             await client.close()
                         client = AsyncServiceClient(
-                            endpoint, timeout=sub.timeout, auth_key=auth_key
+                            endpoint,
+                            timeout=sub.timeout,
+                            auth_key=auth_key,
+                            wire_versions=self.wire_versions,
                         )
                         await client.connect()
                     reply = await client.request(ClusterMembershipRequest())

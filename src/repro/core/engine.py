@@ -26,6 +26,7 @@ subclass of :class:`ProtectionEngine`.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 import warnings
@@ -237,6 +238,144 @@ def _pool_run(item: Any) -> Tuple[Any, int]:
     return out, engine.evaluations - before
 
 
+def _shm_attach(name: str) -> Any:
+    """Attach a shared-memory segment without resource-tracker adoption.
+
+    Before Python 3.13 (no ``track=`` kwarg) every attach registers the
+    segment with a resource tracker, which may unlink it at worker exit
+    — yanking the mapping out from under sibling workers (spawn), or
+    corrupting the creator's registration in the shared tracker (fork).
+    Suppressing the registration for the duration of the attach keeps
+    ownership where it belongs: with the creating process.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _no_track(rname: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _no_track
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _pool_init_shm(
+    name: str, size: int, digest: str, method: str, kwargs: Dict[str, Any]
+) -> None:
+    """Worker initializer: load the engine from a shared-memory shipment.
+
+    The blake2b fingerprint is verified before unpickling — a worker
+    never runs against a segment that is not byte-for-byte the engine
+    the parent shipped (stale name reuse, torn write, wrong segment).
+    """
+    import hashlib
+    import pickle
+
+    shm = _shm_attach(name)
+    try:
+        payload = bytes(shm.buf[:size])
+    finally:
+        shm.close()
+    actual = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    if actual != digest:
+        raise RuntimeError(
+            f"engine shipment {name!r} fingerprint mismatch "
+            f"(expected {digest}, segment holds {actual})"
+        )
+    _WORKER["engine"] = pickle.loads(payload)
+    _WORKER["method"] = method
+    _WORKER["kwargs"] = kwargs
+
+
+#: Disambiguates concurrent shipments of identical content in one process.
+_SHIPMENT_SEQ = itertools.count()
+
+
+class _EngineShipment:
+    """One pickled engine, shipped to every local worker via shared memory.
+
+    The pool-initializer protocol (``initargs`` pickled per pool) ships
+    the whole fitted engine — attack state included — once *per pool*;
+    with sharded execution that is once per shard group.  This instead
+    pickles the engine once, publishes the bytes in a
+    :mod:`multiprocessing.shared_memory` segment keyed by content
+    fingerprint, and hands workers only the (name, size, digest) triple;
+    every pool of the batch shares the same segment.
+
+    :meth:`pool_hooks` degrades gracefully: if the segment cannot be
+    created (no /dev/shm, size limits, exotic platforms) it falls back
+    to the legacy initargs protocol — same results, just more pickling.
+    The creator must call :meth:`close` after the pools have joined.
+    """
+
+    def __init__(
+        self, engine: "ProtectionEngine", method: str, kwargs: Dict[str, Any]
+    ) -> None:
+        import hashlib
+        import pickle
+
+        self._engine = engine
+        self.method = method
+        self.kwargs = kwargs
+        self._payload = pickle.dumps(engine)
+        self.digest = hashlib.blake2b(
+            self._payload, digest_size=16
+        ).hexdigest()
+        self._shm: Optional[Any] = None
+
+    def pool_hooks(self) -> Tuple[Any, Tuple[Any, ...]]:
+        """``(initializer, initargs)`` for a worker pool."""
+        try:
+            return _pool_init_shm, self._shm_initargs()
+        except Exception:  # noqa: BLE001 - any failure degrades, never aborts
+            self.close()
+            return _pool_init, (self._engine, self.method, self.kwargs)
+
+    def _shm_initargs(self) -> Tuple[Any, ...]:
+        if self._shm is None:
+            import os
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=len(self._payload),
+                name=f"repro-{self.digest[:12]}-{os.getpid()}-"
+                f"{next(_SHIPMENT_SEQ)}",
+            )
+            shm.buf[: len(self._payload)] = self._payload
+            self._shm = shm
+        return (
+            self._shm.name,
+            len(self._payload),
+            self.digest,
+            self.method,
+            self.kwargs,
+        )
+
+    def close(self) -> None:
+        """Release and unlink the segment (call after pool join)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - close best-effort
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 @register_executor("serial")
 class SerialExecutor:
     """Run the per-item work in-process, one item at a time."""
@@ -283,10 +422,15 @@ class ProcessExecutor:
         jobs = max(1, min(int(jobs), len(items) or 1))
         if jobs == 1:
             return SerialExecutor().map(engine, method, items, kwargs)
-        with multiprocessing.Pool(
-            jobs, initializer=_pool_init, initargs=(engine, method, kwargs)
-        ) as pool:
-            out = pool.map(_pool_run, items)
+        shipment = _EngineShipment(engine, method, kwargs)
+        try:
+            initializer, initargs = shipment.pool_hooks()
+            with multiprocessing.Pool(
+                jobs, initializer=initializer, initargs=initargs
+            ) as pool:
+                out = pool.map(_pool_run, items)
+        finally:
+            shipment.close()
         engine.evaluations += sum(delta for _, delta in out)
         return [result for result, _ in out]
 
@@ -352,12 +496,16 @@ class AsyncExecutor:
         jobs = max(1, min(int(jobs), len(items) or 1))
         if jobs == 1 or len(items) <= 1:
             return SerialExecutor().map(engine, method, items, kwargs)
+        shipment: Optional[_EngineShipment] = None
         if self.pool == "process":
             from concurrent.futures import ProcessPoolExecutor
 
+            shipment = _EngineShipment(engine, method, kwargs)
+            initializer, initargs = shipment.pool_hooks()
+
             def pool_factory() -> Any:
                 return ProcessPoolExecutor(
-                    jobs, initializer=_pool_init, initargs=(engine, method, kwargs)
+                    jobs, initializer=initializer, initargs=initargs
                 )
 
             run = _pool_run
@@ -383,15 +531,19 @@ class AsyncExecutor:
                 return await asyncio.gather(*futures)
 
         try:
-            asyncio.get_running_loop()
-        except RuntimeError:
-            out = asyncio.run(gather())
-        else:
-            # Called from inside a live event loop (a server handler):
-            # blocking this thread on a nested loop is forbidden, so
-            # drive the pool directly — same results, same order.
-            with pool_factory() as pool:
-                out = list(pool.map(run, items))
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                out = asyncio.run(gather())
+            else:
+                # Called from inside a live event loop (a server handler):
+                # blocking this thread on a nested loop is forbidden, so
+                # drive the pool directly — same results, same order.
+                with pool_factory() as pool:
+                    out = list(pool.map(run, items))
+        finally:
+            if shipment is not None:
+                shipment.close()
         engine.evaluations += sum(delta for _, delta in out)
         return [result for result, _ in out]
 
@@ -482,12 +634,17 @@ class ShardedExecutor:
         results: List[Any] = [None] * len(items)
         pools: List[Any] = []
         pending: List[Tuple[List[Tuple[int, Any]], Any]] = []
+        # One shipment for the whole batch: every shard pool attaches
+        # the same shared-memory segment instead of each re-pickling the
+        # fitted engine through its initargs.
+        shipment = _EngineShipment(engine, method, kwargs)
         try:
+            initializer, initargs = shipment.pool_hooks()
             for group in groups:
                 pool = multiprocessing.Pool(
                     min(per_pool, len(group)),
-                    initializer=_pool_init,
-                    initargs=(engine, method, kwargs),
+                    initializer=initializer,
+                    initargs=initargs,
                 )
                 pools.append(pool)
                 pending.append(
@@ -503,6 +660,7 @@ class ShardedExecutor:
                 pool.close()
             for pool in pools:
                 pool.join()
+            shipment.close()
         return results
 
 
@@ -619,6 +777,7 @@ class RemoteExecutor:
         coordinator: Optional[str] = None,
         poll_s: float = 0.5,
         join_grace_s: float = 30.0,
+        wire: Optional[Sequence[int]] = None,
     ) -> None:
         if not endpoints and coordinator is None:
             raise ConfigurationError(
@@ -664,6 +823,9 @@ class RemoteExecutor:
             )
         self.auth_key = auth_key
         self.auth_key_file = auth_key_file
+        # Wire versions offered per connection (validated by the
+        # clients); ``"wire": [1]`` pins a batch to v1 JSON framing.
+        self.wire = None if wire is None else tuple(int(v) for v in wire)
 
     @staticmethod
     def _parse_backoff(spec: Any) -> Dict[str, float]:
@@ -751,6 +913,8 @@ class RemoteExecutor:
                 backoff_max=self.backoff["max"],
                 auth_key=auth_key,
             )
+            if self.wire is not None:
+                common["wire_versions"] = self.wire
             if self.coordinator is not None:
                 # Elastic mode: subscribe to the coordinator's registry
                 # so endpoints can join/leave while this batch runs

@@ -309,6 +309,95 @@ class DocCoverageRule(_ProtocolRule):
                 )
 
 
+@register
+class BinaryCodecRule(_ProtocolRule):
+    id = "PROTO005"
+    title = "v2 binary codec branch is lopsided or unregistered"
+    severity = "error"
+    rationale = """The v2 binary codec is opt-in per class: a message
+    that defines ``to_body_v2`` **and** ``from_body_v2`` travels as
+    columnar blocks, everything else rides inside the frame header.
+    Half a pair means one wire direction silently falls back to the
+    JSON body — frames the class itself cannot decode.  And a pair no
+    frame can reach — the class neither registered in MESSAGE_TYPES nor
+    used as a payload inside a reachable class's v2 branch (the
+    ``PublishedPiece`` pattern) — is dead codec code."""
+
+    _PAIR = ("to_body_v2", "from_body_v2")
+
+    @staticmethod
+    def _v2_references(source: str) -> Dict[str, Set[str]]:
+        """class name -> names referenced inside its v2 codec methods."""
+        refs: Dict[str, Set[str]] = {}
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return refs
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names: Set[str] = set()
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in BinaryCodecRule._PAIR
+                ):
+                    names |= {
+                        sub.id
+                        for sub in ast.walk(item)
+                        if isinstance(sub, ast.Name)
+                    }
+            refs[node.name] = names
+        return refs
+
+    def check_model(
+        self, model: ProtocolModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        paired = {
+            class_name
+            for class_name, methods in model.class_methods.items()
+            if all(m in methods for m in self._PAIR)
+        }
+        # Reachability: registered verbs, plus (transitively) any paired
+        # class a reachable class's v2 branch constructs as a payload.
+        source = _read_text(config, config.api_module) or ""
+        refs = self._v2_references(source)
+        reachable = set(model.registry.values())
+        frontier = True
+        while frontier:
+            frontier = False
+            for class_name in paired - reachable:
+                if any(
+                    class_name in refs.get(parent, ())
+                    for parent in reachable & paired
+                ):
+                    reachable.add(class_name)
+                    frontier = True
+        for class_name, methods in model.class_methods.items():
+            present = [m for m in self._PAIR if m in methods]
+            if not present:
+                continue
+            line = model.class_lines.get(class_name, 1)
+            if len(present) == 1:
+                missing = next(m for m in self._PAIR if m not in methods)
+                yield self.finding(
+                    model.path,
+                    line,
+                    f"message class `{class_name}` defines `{present[0]}` "
+                    f"but not `{missing}` — half a v2 codec branch means "
+                    "one wire direction falls back to the JSON body",
+                )
+            elif class_name not in reachable:
+                yield self.finding(
+                    model.path,
+                    line,
+                    f"`{class_name}` carries a v2 codec branch "
+                    "(to_body_v2/from_body_v2) but is neither registered in "
+                    "MESSAGE_TYPES nor used as a payload by a registered "
+                    "class's v2 branch — no frame can ever reach it",
+                )
+
+
 def protocol_rules() -> List[Rule]:
     """The drift family, for callers that run it in isolation (the
     tier-1 self-test and the mutation checks)."""

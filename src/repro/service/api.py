@@ -36,11 +36,16 @@ from __future__ import annotations
 import asyncio
 import hmac
 import json
+import logging
+import re
 import secrets
+import struct
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+
+import numpy as np
 
 from repro.core.engine import DEFAULT_CHUNK_S, ProtectionEngine
 from repro.core.split import split_fixed_time
@@ -63,8 +68,19 @@ from repro.stream import StreamConfig, StreamHub
 #: ignore unknown frame/body keys.)
 WIRE_VERSION = 1
 
+#: The negotiated binary framing (length-prefixed, columnar ndarray
+#: payloads).  Never spoken unsolicited: a connection only switches to
+#: v2 after a ``hello_request``/``hello_response`` exchange over v1
+#: JSON framing, so a v1-only peer never sees a v2 frame.
+WIRE_VERSION_V2 = 2
+
+#: Every protocol version this build can speak, ascending.
+SUPPORTED_WIRE_VERSIONS: Tuple[int, ...] = (WIRE_VERSION, WIRE_VERSION_V2)
+
 #: A request/response correlation tag: JSON-representable scalar only.
 RequestId = Union[int, str]
+
+logger = logging.getLogger("repro.service.api")
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +188,146 @@ def trace_from_wire(data: Any) -> Trace:
 
 
 # ---------------------------------------------------------------------------
+# v2 columnar payload blocks
+# ---------------------------------------------------------------------------
+
+#: Explicit little-endian dtypes so a v2 frame means the same bytes on
+#: every host.  float64 carries coordinates/timestamps; int64 carries
+#: ordinals (with an inline-JSON fallback for values that overflow it).
+_V2_DTYPES: Dict[str, "np.dtype"] = {
+    "<f8": np.dtype("<f8"),
+    "<i8": np.dtype("<i8"),
+}
+
+
+class BlockWriter:
+    """Collects the columnar payload blocks of one v2 binary frame.
+
+    ``to_body_v2`` implementations call :meth:`add` with a 1-D array and
+    embed the returned ``{"$blk": n}`` ref where the v1 body would
+    inline a JSON list; the frame encoder concatenates the raw
+    little-endian bytes after the JSON header, so no per-element Python
+    object or float repr is ever built on the hot path.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: List[Tuple[str, "np.ndarray"]] = []
+
+    def add(self, values: Any, dtype: str = "<f8") -> Dict[str, int]:
+        if dtype not in _V2_DTYPES:
+            raise MessageEncodeError(f"unsupported v2 block dtype {dtype!r}")
+        arr = np.ascontiguousarray(values, dtype=_V2_DTYPES[dtype])
+        if arr.ndim != 1:
+            raise MessageEncodeError("v2 payload blocks must be one-dimensional")
+        if dtype == "<f8" and not np.isfinite(arr).all():
+            # Same contract as v1's allow_nan=False JSON encode: a
+            # non-finite coordinate is a sender-side bug, never bytes
+            # on the wire.
+            raise MessageEncodeError(
+                "payload contains a non-finite float (NaN/Infinity), which "
+                "has no wire representation"
+            )
+        self._arrays.append((dtype, arr))
+        return {"$blk": len(self._arrays) - 1}
+
+    def spec(self) -> List[List[Any]]:
+        """The header's ``"blocks"`` entry: ``[[dtype, count], ...]``."""
+        return [[dtype, int(arr.shape[0])] for dtype, arr in self._arrays]
+
+    def payload(self) -> bytes:
+        return b"".join(arr.tobytes() for _, arr in self._arrays)
+
+
+def split_blocks(spec: Any, payload: "memoryview") -> List["np.ndarray"]:
+    """Decode a v2 frame's payload into its arrays (zero-copy).
+
+    Each array is an ``np.frombuffer`` view into *payload* — read-only,
+    no per-element objects — exactly the form :class:`Trace` accepts
+    without copying.
+    """
+    if not isinstance(spec, list):
+        raise ProtocolError("v2 block spec must be a list")
+    blocks: List["np.ndarray"] = []
+    offset = 0
+    for entry in spec:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not isinstance(entry[1], int)
+            or isinstance(entry[1], bool)
+            or entry[1] < 0
+        ):
+            raise ProtocolError(f"malformed v2 block spec entry {entry!r}")
+        dtype_str, count = entry
+        dtype = _V2_DTYPES.get(dtype_str)
+        if dtype is None:
+            raise ProtocolError(f"unsupported v2 block dtype {dtype_str!r}")
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(payload):
+            raise ProtocolError(
+                f"v2 payload truncated: block needs {nbytes} bytes at "
+                f"offset {offset}, payload has {len(payload)}"
+            )
+        blocks.append(np.frombuffer(payload, dtype=dtype, count=count, offset=offset))
+        offset += nbytes
+    if offset != len(payload):
+        raise ProtocolError(
+            f"v2 payload has {len(payload) - offset} trailing bytes "
+            f"beyond the declared blocks"
+        )
+    return blocks
+
+
+def take_block(
+    ref: Any, blocks: List["np.ndarray"], dtype: str = "<f8"
+) -> "np.ndarray":
+    """Resolve a body's ``{"$blk": n}`` ref against the frame's blocks."""
+    if not isinstance(ref, dict) or set(ref) != {"$blk"}:
+        raise ProtocolError(f"expected a block ref, got {type(ref).__name__}")
+    index = ref["$blk"]
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise ProtocolError(f"block ref index must be an int, got {index!r}")
+    if not 0 <= index < len(blocks):
+        raise ProtocolError(
+            f"block ref {index} out of range (frame has {len(blocks)} blocks)"
+        )
+    arr = blocks[index]
+    if arr.dtype != _V2_DTYPES[dtype]:
+        raise ProtocolError(
+            f"block {index} holds {arr.dtype.str}, expected {dtype}"
+        )
+    return arr
+
+
+def trace_to_wire_v2(trace: Trace, blocks: BlockWriter) -> Dict[str, Any]:
+    """*trace* as a v2 body: user id inline, columns as payload blocks."""
+    return {
+        "user_id": trace.user_id,
+        "t": blocks.add(trace.timestamps),
+        "lat": blocks.add(trace.lats),
+        "lng": blocks.add(trace.lngs),
+    }
+
+
+def trace_from_wire_v2(data: Any, blocks: List["np.ndarray"]) -> Trace:
+    """Rebuild a :class:`Trace` from its v2 body (zero-copy columns)."""
+    if not isinstance(data, dict):
+        raise ProtocolError(f"trace body must be an object, got {type(data).__name__}")
+    missing = {"user_id", "t", "lat", "lng"} - set(data)
+    if missing:
+        raise ProtocolError(f"trace body is missing keys {sorted(missing)}")
+    try:
+        return Trace(
+            str(data["user_id"]),
+            take_block(data["t"], blocks),
+            take_block(data["lat"], blocks),
+            take_block(data["lng"], blocks),
+        )
+    except (TypeError, ValueError, ReproError) as exc:
+        raise ProtocolError(f"malformed trace on the wire: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
 # Messages
 # ---------------------------------------------------------------------------
 
@@ -221,6 +377,25 @@ class PublishedPiece:
             original_records=len(trace) if raw is None else int(raw),
         )
 
+    def to_body_v2(self, blocks: "BlockWriter") -> Dict[str, Any]:
+        body = self.to_body()
+        body["trace"] = trace_to_wire_v2(self.trace, blocks)
+        return body
+
+    @classmethod
+    def from_body_v2(
+        cls, body: Dict[str, Any], blocks: List["np.ndarray"]
+    ) -> "PublishedPiece":
+        trace = trace_from_wire_v2(body["trace"], blocks)
+        raw = body.get("original_records")
+        return cls(
+            pseudonym=str(body["pseudonym"]),
+            mechanism=str(body["mechanism"]),
+            distortion_m=float(body["distortion_m"]),
+            trace=trace,
+            original_records=len(trace) if raw is None else int(raw),
+        )
+
 
 @dataclass(frozen=True)
 class ProtectRequest:
@@ -242,6 +417,23 @@ class ProtectRequest:
     def from_body(cls, body: Dict[str, Any]) -> "ProtectRequest":
         return cls(
             trace=trace_from_wire(body["trace"]),
+            daily=bool(body.get("daily", False)),
+            chunk_s=float(body.get("chunk_s", DEFAULT_CHUNK_S)),
+        )
+
+    def to_body_v2(self, blocks: "BlockWriter") -> Dict[str, Any]:
+        return {
+            "trace": trace_to_wire_v2(self.trace, blocks),
+            "daily": bool(self.daily),
+            "chunk_s": float(self.chunk_s),
+        }
+
+    @classmethod
+    def from_body_v2(
+        cls, body: Dict[str, Any], blocks: List["np.ndarray"]
+    ) -> "ProtectRequest":
+        return cls(
+            trace=trace_from_wire_v2(body["trace"], blocks),
             daily=bool(body.get("daily", False)),
             chunk_s=float(body.get("chunk_s", DEFAULT_CHUNK_S)),
         )
@@ -279,6 +471,27 @@ class ProtectResponse:
             original_records=int(body["original_records"]),
         )
 
+    def to_body_v2(self, blocks: "BlockWriter") -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "pieces": [p.to_body_v2(blocks) for p in self.pieces],
+            "erased_records": self.erased_records,
+            "original_records": self.original_records,
+        }
+
+    @classmethod
+    def from_body_v2(
+        cls, body: Dict[str, Any], blocks: List["np.ndarray"]
+    ) -> "ProtectResponse":
+        return cls(
+            user_id=str(body["user_id"]),
+            pieces=tuple(
+                PublishedPiece.from_body_v2(p, blocks) for p in body["pieces"]
+            ),
+            erased_records=int(body["erased_records"]),
+            original_records=int(body["original_records"]),
+        )
+
 
 @dataclass(frozen=True)
 class UploadRequest:
@@ -294,6 +507,21 @@ class UploadRequest:
     def from_body(cls, body: Dict[str, Any]) -> "UploadRequest":
         return cls(
             trace=trace_from_wire(body["trace"]),
+            day_index=int(body.get("day_index", 0)),
+        )
+
+    def to_body_v2(self, blocks: "BlockWriter") -> Dict[str, Any]:
+        return {
+            "trace": trace_to_wire_v2(self.trace, blocks),
+            "day_index": int(self.day_index),
+        }
+
+    @classmethod
+    def from_body_v2(
+        cls, body: Dict[str, Any], blocks: List["np.ndarray"]
+    ) -> "UploadRequest":
+        return cls(
+            trace=trace_from_wire_v2(body["trace"], blocks),
             day_index=int(body.get("day_index", 0)),
         )
 
@@ -529,6 +757,42 @@ class StreamRecord:
                 (int(row[0]), float(row[1]), float(row[2]), float(row[3]))
                 for row in body["records"]
             ),
+        )
+
+    def to_body_v2(self, blocks: "BlockWriter") -> Dict[str, Any]:
+        ordinals = [int(o) for o, _, _, _ in self.records]
+        # Ordinals ride an int64 block unless one overflows it (they are
+        # client-assigned and unbounded by contract) — then they stay
+        # inline JSON, which carries arbitrary-precision ints.
+        if all(-(2**63) <= o < 2**63 for o in ordinals):
+            o_body: Any = blocks.add(ordinals, dtype="<i8")
+        else:
+            o_body = ordinals
+        return {
+            "user_id": self.user_id,
+            "o": o_body,
+            "t": blocks.add([float(t) for _, t, _, _ in self.records]),
+            "lat": blocks.add([float(lat) for _, _, lat, _ in self.records]),
+            "lng": blocks.add([float(lng) for _, _, _, lng in self.records]),
+        }
+
+    @classmethod
+    def from_body_v2(
+        cls, body: Dict[str, Any], blocks: List["np.ndarray"]
+    ) -> "StreamRecord":
+        raw_o = body["o"]
+        if isinstance(raw_o, list):
+            ordinals = [int(o) for o in raw_o]
+        else:
+            ordinals = take_block(raw_o, blocks, dtype="<i8").tolist()
+        ts = take_block(body["t"], blocks).tolist()
+        lats = take_block(body["lat"], blocks).tolist()
+        lngs = take_block(body["lng"], blocks).tolist()
+        if not (len(ordinals) == len(ts) == len(lats) == len(lngs)):
+            raise ProtocolError("stream_record v2 columns disagree on length")
+        return cls(
+            user_id=str(body["user_id"]),
+            records=tuple(zip(ordinals, ts, lats, lngs)),
         )
 
 
@@ -784,6 +1048,120 @@ def client_auth_handshake(key: bytes):
         raise ProtocolError(
             f"expected auth_response ok, got {type(reply).__name__}"
         )
+
+
+@dataclass(frozen=True)
+class HelloRequest:
+    """Client → server: the wire versions this client can speak.
+
+    Always sent as a JSON frame (tagged ``"v": 2`` so a pre-hello v1
+    server rejects it with a version-mismatch envelope the client can
+    downgrade on); a server that understands it answers
+    :class:`HelloResponse` and the connection switches to the agreed
+    version from the next frame on.
+    """
+
+    versions: Tuple[int, ...] = SUPPORTED_WIRE_VERSIONS
+
+    def to_body(self) -> Dict[str, Any]:
+        return {"versions": [int(v) for v in self.versions]}
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "HelloRequest":
+        return cls(
+            versions=tuple(int(v) for v in body.get("versions", [WIRE_VERSION]))
+        )
+
+
+@dataclass(frozen=True)
+class HelloResponse:
+    """Server → client: the agreed wire version for this connection.
+
+    ``version`` is the highest version both sides speak (``1`` when
+    nothing higher is shared — v1 is the floor every peer speaks);
+    ``versions`` lists everything the server supports, for operators.
+    Frames after this reply travel in the agreed framing, both ways.
+    """
+
+    version: int
+    versions: Tuple[int, ...] = SUPPORTED_WIRE_VERSIONS
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "version": int(self.version),
+            "versions": [int(v) for v in self.versions],
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "HelloResponse":
+        return cls(
+            version=int(body["version"]),
+            versions=tuple(
+                int(v) for v in body.get("versions", [WIRE_VERSION])
+            ),
+        )
+
+
+def negotiate_wire_version(
+    offered: Tuple[int, ...], supported: Tuple[int, ...]
+) -> int:
+    """The version a connection settles on: highest common, floor v1.
+
+    Both the server's hello handler and the clients' downgrade logic
+    call this one function, so the two sides cannot disagree about what
+    a given exchange negotiates.
+    """
+    common = set(int(v) for v in offered) & set(int(v) for v in supported)
+    return max(common, default=WIRE_VERSION)
+
+
+def encode_hello_frame(
+    hello: "HelloRequest", request_id: Optional[RequestId] = None
+) -> bytes:
+    """The negotiation frame both socket clients send after connecting.
+
+    A JSON line deliberately tagged ``"v": 2``: a server that predates
+    the hello verb trips over the *version* first and answers with a
+    mismatch envelope naming what it speaks (the downgrade signal —
+    see :func:`peer_versions_from_error`), while a current server's
+    :func:`parse_frame_envelope` exempts ``hello_request`` from the
+    version gate and negotiates.
+    """
+    frame: Dict[str, Any] = {"v": WIRE_VERSION_V2, "type": "hello_request"}
+    if request_id is not None:
+        if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+            raise MessageEncodeError(
+                f"request id must be an int or str, got {type(request_id).__name__}"
+            )
+        frame["id"] = request_id
+    frame["body"] = hello.to_body()
+    text = json.dumps(frame, separators=(",", ":"), allow_nan=False)
+    return (text + "\n").encode("utf-8")
+
+
+_PEER_VERSIONS_RE = re.compile(r"speaks \[?([0-9][0-9,\s]*)\]?")
+
+
+def peer_versions_from_error(message: str) -> Optional[Tuple[int, ...]]:
+    """The versions a peer says it speaks, recovered from its version-
+    mismatch error envelope.
+
+    Understands both the PR-3-era wording (``... (this side speaks 1)``)
+    and the current wording (``... this side speaks [1, 2]``), so a v2
+    client can downgrade against any server generation instead of
+    marking the connection broken.  ``None`` when *message* is not a
+    version mismatch.
+    """
+    if "unsupported protocol version" not in message:
+        return None
+    match = _PEER_VERSIONS_RE.search(message)
+    if match is None:
+        return None
+    tokens = match.group(1).replace(",", " ").split()
+    try:
+        return tuple(sorted({int(token) for token in tokens}))
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -1082,6 +1460,8 @@ MESSAGE_TYPES: Dict[str, Type[Any]] = {
     "auth_request": AuthRequest,
     "auth_challenge": AuthChallenge,
     "auth_response": AuthResponse,
+    "hello_request": HelloRequest,
+    "hello_response": HelloResponse,
     "error": ErrorEnvelope,
 }
 
@@ -1118,6 +1498,8 @@ Message = Union[
     AuthRequest,
     AuthChallenge,
     AuthResponse,
+    HelloRequest,
+    HelloResponse,
     ErrorEnvelope,
 ]
 
@@ -1202,15 +1584,33 @@ def parse_frame_envelope(
         return exc
 
     version = frame.get("v")
-    if version != WIRE_VERSION:
-        raise fail(
-            f"unsupported protocol version {version!r} (this side speaks {WIRE_VERSION})"
-        )
     slug = frame.get("type")
+    if version != WIRE_VERSION and slug != "hello_request":
+        # hello_request is exempt: it deliberately arrives tagged with
+        # the version the client *wants* so old servers reject it here
+        # (and the client downgrades on their reply).  The error names
+        # what both sides speak so the peer can fall back instead of
+        # giving up — see peer_versions_from_error().
+        raise fail(
+            f"unsupported protocol version: peer sent {version!r}, "
+            f"this side speaks {list(SUPPORTED_WIRE_VERSIONS)} "
+            f"(JSON framing is v{WIRE_VERSION}; negotiate higher with "
+            f"hello_request)"
+        )
     cls = MESSAGE_TYPES.get(slug)
     if cls is None:
+        # The full vocabulary stays out of the wire error: this envelope
+        # reaches peers the server has not authenticated yet, and 30+
+        # verb slugs is a free protocol map.  Operators get the list in
+        # the server-side log instead.
+        logger.info(
+            "rejecting unknown message type %r; registered types: %s",
+            slug,
+            sorted(MESSAGE_TYPES),
+        )
         raise fail(
-            f"unknown message type {slug!r}; known: {sorted(MESSAGE_TYPES)}"
+            f"unknown message type {slug!r} (not one of this side's "
+            f"{len(MESSAGE_TYPES)} registered types)"
         )
     body = frame.get("body")
     if not isinstance(body, dict):
@@ -1263,6 +1663,212 @@ def encode_reply(message: Message, request_id: Optional[RequestId] = None) -> by
         return encode_message(message, request_id=request_id)
     except ProtocolError as exc:
         return encode_message(
+            ErrorEnvelope(code="internal", message=f"reply not encodable: {exc}"),
+            request_id=request_id,
+        )
+
+
+# ---------------------------------------------------------------------------
+# v2 binary framing
+# ---------------------------------------------------------------------------
+
+#: v2 frame magic.  ``M`` (0x4D) can never start a v1 frame (those are
+#: JSON objects, first byte ``{``), so a peer reading with the wrong
+#: framing fails fast instead of mis-parsing.
+WIRE_MAGIC_V2 = b"MRB2"
+
+#: After the magic: header length (uint32 LE), blocks length (uint64 LE).
+_V2_PREFIX = struct.Struct("<IQ")
+
+#: Total fixed prefix: magic + the two length fields (16 bytes).
+V2_PREFIX_LEN = len(WIRE_MAGIC_V2) + _V2_PREFIX.size
+
+
+def is_v2_frame(data: bytes) -> bool:
+    """Whether *data* starts like a v2 binary frame (magic sniff)."""
+    return bytes(data[: len(WIRE_MAGIC_V2)]) == WIRE_MAGIC_V2
+
+
+def v2_frame_lengths(prefix: bytes) -> Tuple[int, int]:
+    """``(header_len, blocks_len)`` from a frame's 16-byte prefix.
+
+    Transports call this on the fixed prefix *before* reading the rest,
+    so size caps and byte budgets are enforced on the frame's actual
+    payload bytes without buffering an oversized frame first.
+    """
+    if len(prefix) < V2_PREFIX_LEN or not is_v2_frame(prefix):
+        raise ProtocolError("not a v2 binary frame (bad magic)")
+    header_len, blocks_len = _V2_PREFIX.unpack_from(prefix, len(WIRE_MAGIC_V2))
+    return header_len, blocks_len
+
+
+def encode_message_v2(
+    message: Message, request_id: Optional[RequestId] = None
+) -> bytes:
+    """One v2 binary frame for *message*.
+
+    Layout: ``MRB2 | header_len u32 | blocks_len u64 | header JSON |
+    blocks``.  Trace-bearing messages put their float64/int64 columns in
+    the blocks region (raw little-endian bytes, no per-element encode);
+    every other message carries its v1 JSON body inside the header, so
+    one framing speaks the whole vocabulary.
+    """
+    slug = _SLUG_OF.get(type(message))
+    if slug is None:
+        raise MessageEncodeError(f"{type(message).__name__} is not a wire message")
+    header: Dict[str, Any] = {"v": WIRE_VERSION_V2, "type": slug}
+    if request_id is not None:
+        if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+            raise MessageEncodeError(
+                f"request id must be an int or str, got {type(request_id).__name__}"
+            )
+        header["id"] = request_id
+    blocks = BlockWriter()
+    to_body_v2 = getattr(message, "to_body_v2", None)
+    header["body"] = message.to_body() if to_body_v2 is None else to_body_v2(blocks)
+    spec = blocks.spec()
+    if spec:
+        header["blocks"] = spec
+    try:
+        text = json.dumps(header, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise MessageEncodeError(
+            f"{slug} contains a non-finite float (NaN/Infinity), which has "
+            f"no JSON encoding: {exc}"
+        ) from exc
+    head = text.encode("utf-8")
+    payload = blocks.payload()
+    return b"".join(
+        (WIRE_MAGIC_V2, _V2_PREFIX.pack(len(head), len(payload)), head, payload)
+    )
+
+
+def parse_frame_v2(
+    data: bytes,
+) -> Tuple[Optional[RequestId], str, Type[Any], Dict[str, Any], List["np.ndarray"]]:
+    """Envelope + payload blocks of one v2 frame, no dataclasses built.
+
+    The v2 counterpart of :func:`parse_frame_envelope`: cheap enough to
+    run before auth (blocks are zero-copy views, never materialised),
+    and errors carry ``request_id`` when the tag was readable.
+    """
+    data = bytes(data) if isinstance(data, (bytearray, memoryview)) else data
+    if not is_v2_frame(data):
+        raise ProtocolError("not a v2 binary frame (bad magic)")
+    if len(data) < V2_PREFIX_LEN:
+        raise ProtocolError("v2 frame truncated inside its length prefix")
+    header_len, blocks_len = v2_frame_lengths(data)
+    expected = V2_PREFIX_LEN + header_len + blocks_len
+    if len(data) != expected:
+        raise ProtocolError(
+            f"v2 frame length mismatch: prefix declares {expected} bytes, "
+            f"got {len(data)}"
+        )
+    try:
+        header = json.loads(data[V2_PREFIX_LEN : V2_PREFIX_LEN + header_len])
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
+        raise ProtocolError(f"invalid v2 frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"v2 frame header must be an object, got {type(header).__name__}"
+        )
+    request_id = header.get("id")
+    if request_id is not None and (
+        not isinstance(request_id, (int, str)) or isinstance(request_id, bool)
+    ):
+        raise ProtocolError(
+            f"request id must be an int or str, got {type(request_id).__name__}"
+        )
+
+    def fail(message: str) -> "ProtocolError":
+        exc = ProtocolError(message)
+        exc.request_id = request_id
+        return exc
+
+    version = header.get("v")
+    if version != WIRE_VERSION_V2:
+        raise fail(
+            f"unsupported protocol version: peer sent {version!r}, "
+            f"this side speaks {list(SUPPORTED_WIRE_VERSIONS)} "
+            f"(binary framing is v{WIRE_VERSION_V2})"
+        )
+    slug = header.get("type")
+    cls = MESSAGE_TYPES.get(slug)
+    if cls is None:
+        logger.info(
+            "rejecting unknown message type %r; registered types: %s",
+            slug,
+            sorted(MESSAGE_TYPES),
+        )
+        raise fail(
+            f"unknown message type {slug!r} (not one of this side's "
+            f"{len(MESSAGE_TYPES)} registered types)"
+        )
+    body = header.get("body")
+    if not isinstance(body, dict):
+        raise fail(f"message body must be an object, got {type(body).__name__}")
+    try:
+        parsed = split_blocks(
+            header.get("blocks", []), memoryview(data)[V2_PREFIX_LEN + header_len :]
+        )
+    except ProtocolError as exc:
+        raise fail(str(exc)) from exc
+    return request_id, slug, cls, body, parsed
+
+
+def materialize_frame_v2(
+    request_id: Optional[RequestId],
+    slug: str,
+    cls: Type[Any],
+    body: Dict[str, Any],
+    blocks: List["np.ndarray"],
+) -> Message:
+    """Second stage of :func:`decode_frame_v2`: header body → message."""
+    from_body_v2 = getattr(cls, "from_body_v2", None)
+    try:
+        if from_body_v2 is None:
+            return cls.from_body(body)
+        return from_body_v2(body, blocks)
+    except ProtocolError as exc:
+        exc.request_id = request_id
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        fail = ProtocolError(f"malformed {slug} body: {exc}")
+        fail.request_id = request_id
+        raise fail from exc
+
+
+def decode_frame_v2(data: bytes) -> Tuple[Optional[RequestId], Message]:
+    """Parse one v2 binary frame into ``(request_id, message)``."""
+    request_id, slug, cls, body, blocks = parse_frame_v2(data)
+    return request_id, materialize_frame_v2(request_id, slug, cls, body, blocks)
+
+
+def encode_message_for(
+    version: int, message: Message, request_id: Optional[RequestId] = None
+) -> bytes:
+    """Encode *message* in the framing a connection negotiated."""
+    if version >= WIRE_VERSION_V2:
+        return encode_message_v2(message, request_id=request_id)
+    return encode_message(message, request_id=request_id)
+
+
+def decode_frame_any(data: bytes) -> Tuple[Optional[RequestId], Message]:
+    """Decode a frame of either framing (magic-sniffed)."""
+    if is_v2_frame(data):
+        return decode_frame_v2(data)
+    return decode_frame(data)
+
+
+def encode_reply_for(
+    version: int, message: Message, request_id: Optional[RequestId] = None
+) -> bytes:
+    """Version-aware :func:`encode_reply` (failures become envelopes)."""
+    try:
+        return encode_message_for(version, message, request_id=request_id)
+    except ProtocolError as exc:
+        return encode_message_for(
+            version,
             ErrorEnvelope(code="internal", message=f"reply not encodable: {exc}"),
             request_id=request_id,
         )
@@ -1338,6 +1944,7 @@ class ProtectionService:
             ClusterHeartbeat: self.cluster_heartbeat,
             ClusterMembershipRequest: self.cluster_membership,
             MetricsRequest: self.metrics,
+            HelloRequest: self.hello,
         }
 
     @property
@@ -1410,6 +2017,19 @@ class ProtectionService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self._metrics_sync)
 
+    async def hello(self, request: HelloRequest) -> HelloResponse:
+        """Version negotiation, service-level.
+
+        The socket server answers hellos at the transport layer (it owns
+        the per-connection framing switch); this handler keeps the verb
+        total for loopback and direct ``handle()`` callers, where no
+        framing switch exists and the reply is purely informational.
+        """
+        return HelloResponse(
+            version=negotiate_wire_version(request.versions, SUPPORTED_WIRE_VERSIONS),
+            versions=SUPPORTED_WIRE_VERSIONS,
+        )
+
     # -- streaming verbs --------------------------------------------------
 
     async def stream_open(self, request: StreamOpen) -> StreamOpened:
@@ -1448,7 +2068,11 @@ class ProtectionService:
     def _versions(self) -> Dict[str, Any]:
         from repro import __version__
 
-        return {"protocol": WIRE_VERSION, "build": __version__}
+        return {
+            "protocol": WIRE_VERSION,
+            "protocols": list(SUPPORTED_WIRE_VERSIONS),
+            "build": __version__,
+        }
 
     def _stats_sync(self) -> StatsResponse:
         from dataclasses import asdict
@@ -1629,21 +2253,28 @@ class ProtectionService:
             )
 
     async def handle_wire(self, line: Union[str, bytes]) -> bytes:
-        """Decode one wire line, handle it, encode the reply.
+        """Decode one wire frame, handle it, encode the reply.
 
         Never raises: protocol violations come back as ``error`` frames,
         so a transport can pipe bytes blindly.  A tagged request's id is
         echoed on the reply (including error envelopes, whenever the tag
-        itself was readable).
+        itself was readable).  The framing is sniffed per frame — a v2
+        binary frame gets a v2 binary reply, a v1 JSON line a v1 line —
+        so both loopback generations share this one entry point.
         """
+        raw = line.encode("utf-8") if isinstance(line, str) else bytes(line)
+        version = WIRE_VERSION_V2 if is_v2_frame(raw) else WIRE_VERSION
         try:
-            request_id, message = decode_frame(line)
+            request_id, message = decode_frame_any(raw)
         except ProtocolError as exc:
-            return encode_reply(
+            return encode_reply_for(
+                version,
                 ErrorEnvelope(code="protocol", message=str(exc)),
                 request_id=getattr(exc, "request_id", None),
             )
-        return encode_reply(await self.handle(message), request_id=request_id)
+        return encode_reply_for(
+            version, await self.handle(message), request_id=request_id
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -1774,17 +2405,27 @@ class LoopbackClient(ServiceClientBase):
     simulation is built on this client.
     """
 
-    def __init__(self, service: ProtectionService) -> None:
+    def __init__(
+        self, service: ProtectionService, wire_version: int = WIRE_VERSION
+    ) -> None:
+        if wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ConfigurationError(
+                f"wire_version must be one of {SUPPORTED_WIRE_VERSIONS}, "
+                f"got {wire_version!r}"
+            )
         self._service = service
+        self._wire_version = int(wire_version)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     def request(self, message: Message) -> Message:
         if self._loop is None or self._loop.is_closed():
             self._loop = asyncio.new_event_loop()
         reply = self._loop.run_until_complete(
-            self._service.handle_wire(encode_message(message))
+            self._service.handle_wire(
+                encode_message_for(self._wire_version, message)
+            )
         )
-        return decode_message(reply)
+        return decode_frame_any(reply)[1]
 
     def close(self) -> None:
         if self._loop is not None and not self._loop.is_closed():

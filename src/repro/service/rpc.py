@@ -3,7 +3,13 @@
 The server is an asyncio shell around
 :class:`repro.service.api.ProtectionService`: JSON lines in, JSON lines
 out, connections multiplexed on the event loop while protection work
-runs on the pool.  Requests that carry an ``"id"`` tag are handled
+runs on the pool.  Every connection starts on v1 JSON framing; a
+client may offer the negotiated v2 binary framing with a ``hello``
+exchange (see ``docs/SERVICE.md``), after which both directions carry
+length-prefixed frames with columnar ndarray payloads — a v1-only peer
+never sees a v2 frame, and ``ServiceServer(wire_versions=(1,))`` pins
+an endpoint to v1 for mixed-version clusters.  Requests that carry an
+``"id"`` tag are handled
 *concurrently* per connection — each reply echoes its request's id, so
 a pipelining client can correlate replies arriving out of order — under
 a server-wide in-flight semaphore that provides backpressure: when
@@ -71,19 +77,34 @@ from repro.service.api import (
     AuthRequest,
     AuthResponse,
     ErrorEnvelope,
+    HelloRequest,
+    HelloResponse,
     Message,
     ProtectionService,
     RequestId,
     ServiceClientBase,
+    SUPPORTED_WIRE_VERSIONS,
+    V2_PREFIX_LEN,
+    WIRE_VERSION,
+    WIRE_VERSION_V2,
     client_auth_handshake,
     decode_frame,
+    decode_frame_any,
+    encode_hello_frame,
     encode_message,
+    encode_message_for,
     encode_reply,
+    encode_reply_for,
     load_auth_key,
     materialize_frame,
+    materialize_frame_v2,
     MessageEncodeError,
+    negotiate_wire_version,
     new_auth_nonce,
     parse_frame_envelope,
+    parse_frame_v2,
+    peer_versions_from_error,
+    v2_frame_lengths,
     verify_auth_proof,
 )
 
@@ -102,6 +123,13 @@ DEFAULT_MAX_INFLIGHT_BYTES = 256 * 1024 * 1024
 #: How long a reply write may sit in :meth:`StreamWriter.drain` before
 #: the connection is declared a slow consumer and evicted.
 DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+
+class _FrameReadError(Exception):
+    """Internal: the connection's next frame can never be served (it is
+    oversized, or violates the negotiated framing).  The message is
+    reported to the peer and the connection closed — after either fault
+    the byte stream cannot be resynchronised."""
 
 
 class _ByteBudget:
@@ -162,7 +190,20 @@ class ServiceServer:
         max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
         max_conn_inflight_bytes: Optional[int] = None,
         drain_timeout_s: Optional[float] = DEFAULT_DRAIN_TIMEOUT_S,
+        wire_versions: Sequence[int] = SUPPORTED_WIRE_VERSIONS,
     ) -> None:
+        versions = tuple(sorted({int(v) for v in wire_versions}))
+        if WIRE_VERSION not in versions:
+            raise ConfigurationError(
+                f"wire_versions must include v{WIRE_VERSION} (the JSON "
+                f"floor every peer speaks), got {tuple(wire_versions)!r}"
+            )
+        unknown = set(versions) - set(SUPPORTED_WIRE_VERSIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"unsupported wire_versions {sorted(unknown)}; this build "
+                f"speaks {SUPPORTED_WIRE_VERSIONS}"
+            )
         if int(max_inflight) < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
@@ -195,6 +236,10 @@ class ServiceServer:
             None if drain_timeout_s is None else float(drain_timeout_s)
         )
         self.auth_key = None if auth_key is None else bytes(auth_key)
+        #: Versions this endpoint will negotiate; ``(1,)`` makes it a
+        #: v1-only endpoint (hellos are answered, but always with v1, so
+        #: the connection never switches to binary framing).
+        self.wire_versions = versions
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._byte_budget: Optional[_ByteBudget] = None
@@ -238,6 +283,7 @@ class ServiceServer:
         writer: asyncio.StreamWriter,
         cost: int,
         conn_budget: Optional[_ByteBudget],
+        conn: Dict[str, Any],
     ) -> None:
         """One concurrently-handled request; owns one semaphore slot.
 
@@ -245,15 +291,16 @@ class ServiceServer:
         reply has been written (or the write failed): releasing earlier
         would let a client that pipelines without reading accumulate
         unbounded finished replies behind the write lock, defeating the
-        backpressure bound.
+        backpressure bound.  The reply's framing is decided under the
+        write lock: a hello that switches the connection to v2 while
+        this request is in flight switches every reply written after it
+        in the byte stream too.
         """
         assert self._inflight is not None
         self._active_requests += 1
         try:
             try:
-                payload = encode_reply(
-                    await self.service.handle(message), request_id=request_id
-                )
+                reply = await self.service.handle(message)
             except asyncio.CancelledError:
                 raise
             except Exception:
@@ -264,7 +311,11 @@ class ServiceServer:
                 return
             try:
                 async with write_lock:
-                    writer.write(payload)
+                    writer.write(
+                        encode_reply_for(
+                            conn["wire_version"], reply, request_id=request_id
+                        )
+                    )
                     await self._drain_or_evict(writer)
             except (ConnectionResetError, BrokenPipeError):
                 pass
@@ -302,6 +353,49 @@ class ServiceServer:
         conn_auth["ok"] = True
         return AuthResponse(ok=True)
 
+    async def _read_frame(
+        self, reader: asyncio.StreamReader, wire_version: int
+    ) -> bytes:
+        """The connection's next frame, in its negotiated framing.
+
+        Returns ``b""`` at EOF (including a peer that vanished
+        mid-frame — there is nobody left to answer).  Raises
+        :class:`_FrameReadError` for streams that can never be served.
+
+        v2 framing reads the fixed 16-byte prefix first and enforces the
+        size cap from the *declared* lengths before the payload read —
+        an oversized binary frame is rejected without ever being
+        buffered, and its byte cost is known exactly (prefix + header +
+        columnar blocks) before a budget is charged.
+        """
+        if wire_version < WIRE_VERSION_V2:
+            try:
+                return await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise _FrameReadError(
+                    f"line exceeds {MAX_LINE_BYTES} bytes"
+                ) from None
+        try:
+            prefix = await reader.readexactly(V2_PREFIX_LEN)
+        except asyncio.IncompleteReadError:
+            return b""
+        try:
+            header_len, blocks_len = v2_frame_lengths(prefix)
+        except ProtocolError as exc:
+            raise _FrameReadError(
+                f"peer broke the negotiated v2 framing: {exc}"
+            ) from None
+        total = header_len + blocks_len
+        if V2_PREFIX_LEN + total > MAX_LINE_BYTES:
+            raise _FrameReadError(
+                f"frame of {V2_PREFIX_LEN + total} bytes exceeds "
+                f"{MAX_LINE_BYTES} bytes"
+            )
+        try:
+            return prefix + await reader.readexactly(total)
+        except asyncio.IncompleteReadError:
+            return b""
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -313,39 +407,51 @@ class ServiceServer:
         write_lock = asyncio.Lock()
         tasks: set = set()
         conn_auth: Dict[str, Any] = {"ok": self.auth_key is None}
+        # Per-connection negotiated framing; every connection starts on
+        # v1 JSON and only a hello exchange can raise it, so a v1-only
+        # peer never sees a v2 frame.
+        conn: Dict[str, Any] = {"wire_version": WIRE_VERSION}
         conn_budget: Optional[_ByteBudget] = None
         if self.max_conn_inflight_bytes is not None:
             conn_budget = _ByteBudget(self.max_conn_inflight_bytes)
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
+                    line = await self._read_frame(reader, conn["wire_version"])
+                except _FrameReadError as exc:
                     async with write_lock:
                         writer.write(
-                            encode_message(
-                                ErrorEnvelope(
-                                    code="protocol",
-                                    message=f"line exceeds {MAX_LINE_BYTES} bytes",
-                                )
+                            encode_reply_for(
+                                conn["wire_version"],
+                                ErrorEnvelope(code="protocol", message=str(exc)),
                             )
                         )
                         await self._drain_or_evict(writer)
                     break
                 if not line:
                     break
-                if not line.strip():
+                if conn["wire_version"] < WIRE_VERSION_V2 and not line.strip():
                     continue
                 try:
                     # Envelope first, body second: an unauthenticated
                     # frame is rejected on its *type* alone, before its
                     # payload is materialised into traces/arrays — a
                     # keyless peer cannot make the server build objects.
-                    request_id, slug, cls, body = parse_frame_envelope(line)
-                    if not conn_auth["ok"] and cls is not AuthRequest:
+                    blocks = None
+                    if conn["wire_version"] >= WIRE_VERSION_V2:
+                        request_id, slug, cls, body, blocks = parse_frame_v2(line)
+                    else:
+                        request_id, slug, cls, body = parse_frame_envelope(line)
+                    if not conn_auth["ok"] and cls not in (
+                        AuthRequest,
+                        HelloRequest,
+                    ):
                         # Rejected before any engine work: no body
                         # build, no service.handle, no in-flight slot.
-                        payload = encode_reply(
+                        # (hello is exempt like auth: version discovery
+                        # is transport plumbing, not a served verb.)
+                        payload = encode_reply_for(
+                            conn["wire_version"],
                             ErrorEnvelope(
                                 code="auth",
                                 message="authentication required: complete "
@@ -357,11 +463,17 @@ class ServiceServer:
                             writer.write(payload)
                             await self._drain_or_evict(writer)
                         continue
-                    message = materialize_frame(request_id, slug, cls, body)
+                    if blocks is None:
+                        message = materialize_frame(request_id, slug, cls, body)
+                    else:
+                        message = materialize_frame_v2(
+                            request_id, slug, cls, body, blocks
+                        )
                 except ProtocolError as exc:
                     async with write_lock:
                         writer.write(
-                            encode_reply(
+                            encode_reply_for(
+                                conn["wire_version"],
                                 ErrorEnvelope(code="protocol", message=str(exc)),
                                 request_id=getattr(exc, "request_id", None),
                             )
@@ -372,7 +484,9 @@ class ServiceServer:
                     # Transport-level: handled inline (tagged or not),
                     # never reaches the service facade.
                     reply = self._auth_reply(message, conn_auth)
-                    payload = encode_reply(reply, request_id=request_id)
+                    payload = encode_reply_for(
+                        conn["wire_version"], reply, request_id=request_id
+                    )
                     async with write_lock:
                         writer.write(payload)
                         await self._drain_or_evict(writer)
@@ -383,12 +497,33 @@ class ServiceServer:
                         # brute force cannot grind one socket.
                         break
                     continue
+                if isinstance(message, HelloRequest):
+                    # Transport-level: the reply is the framing switch
+                    # point.  The agreed version applies to every frame
+                    # after this reply in the byte stream — concurrent
+                    # in-flight replies pick it up at their own write —
+                    # so the write and the switch share the write lock.
+                    agreed = negotiate_wire_version(
+                        message.versions, self.wire_versions
+                    )
+                    payload = encode_reply_for(
+                        conn["wire_version"],
+                        HelloResponse(version=agreed, versions=self.wire_versions),
+                        request_id=request_id,
+                    )
+                    async with write_lock:
+                        writer.write(payload)
+                        await self._drain_or_evict(writer)
+                        conn["wire_version"] = agreed
+                    continue
                 if request_id is None:
                     # Untagged = legacy FIFO: handled inline, replies in
                     # request order, exactly the v1 behaviour.
                     self._active_requests += 1
                     try:
-                        payload = encode_reply(await self.service.handle(message))
+                        payload = encode_reply_for(
+                            conn["wire_version"], await self.service.handle(message)
+                        )
                     finally:
                         self._active_requests -= 1
                         self._requests_served += 1
@@ -403,7 +538,9 @@ class ServiceServer:
                 # global) so one connection full of huge frames cannot
                 # starve the global budget while also holding count
                 # slots: a blocked connection stops being read, and TCP
-                # pushes back.
+                # pushes back.  The cost is the frame's actual size on
+                # the wire — for a v2 frame that is prefix + header +
+                # columnar blocks, not a stringified estimate.
                 cost = len(line)
                 if conn_budget is not None:
                     await conn_budget.acquire(cost)
@@ -412,7 +549,13 @@ class ServiceServer:
                 await self._inflight.acquire()
                 task = asyncio.ensure_future(
                     self._serve_tagged(
-                        request_id, message, write_lock, writer, cost, conn_budget
+                        request_id,
+                        message,
+                        write_lock,
+                        writer,
+                        cost,
+                        conn_budget,
+                        conn,
                     )
                 )
                 tasks.add(task)
@@ -424,9 +567,14 @@ class ServiceServer:
         finally:
             if tasks:
                 # Let in-flight replies finish (the client may be
-                # half-closed but still reading); shutdown cancellation
-                # arrives via the outer CancelledError path.
-                await asyncio.gather(*tasks, return_exceptions=True)
+                # half-closed but still reading).  Server stop can
+                # cancel this handler a second time while it drains
+                # here — swallow it and fall through to the close, or
+                # asyncio logs a spurious CancelledError at teardown.
+                try:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                except asyncio.CancelledError:
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
@@ -517,6 +665,7 @@ class ServiceServer:
         """
         used = 0 if self._byte_budget is None else self._byte_budget.used
         return {
+            "wire_versions": list(self.wire_versions),
             "max_inflight": self.max_inflight,
             "inflight_requests": self._active_requests,
             "requests_served": self._requests_served,
@@ -691,6 +840,13 @@ class ServiceClient(ServiceClientBase):
     With ``auth_key`` set, the HMAC-blake2b handshake runs as part of
     every (re)connect, before any verb; a rejected key raises
     :class:`~repro.errors.AuthenticationError`.
+
+    With v2 in ``wire_versions`` (the default) every (re)connect ends
+    with a ``hello`` exchange: a modern server answers and both sides
+    switch to binary framing; a pre-negotiation (v1-only) server
+    rejects the hello by version, the client reads its own supported
+    versions out of the mismatch error, and the connection simply
+    stays on v1 JSON — the downgrade is not an error.
     """
 
     def __init__(
@@ -700,16 +856,31 @@ class ServiceClient(ServiceClientBase):
         unix_path: Optional[str] = None,
         timeout: float = 60.0,
         auth_key: Optional[bytes] = None,
+        wire_versions: Sequence[int] = SUPPORTED_WIRE_VERSIONS,
     ) -> None:
         if unix_path is None and (host is None or port is None):
             raise ConfigurationError(
                 "ServiceClient needs either host+port or unix_path"
+            )
+        versions = tuple(sorted({int(v) for v in wire_versions}))
+        if WIRE_VERSION not in versions:
+            raise ConfigurationError(
+                f"wire_versions must include v{WIRE_VERSION} (the JSON "
+                f"fallback every peer speaks); got {list(versions)}"
+            )
+        unknown = [v for v in versions if v not in SUPPORTED_WIRE_VERSIONS]
+        if unknown:
+            raise ConfigurationError(
+                f"unsupported wire version(s) {unknown}; this build speaks "
+                f"{list(SUPPORTED_WIRE_VERSIONS)}"
             )
         self._host = host
         self._port = None if port is None else int(port)
         self._unix_path = unix_path
         self._timeout = timeout
         self._auth_key = None if auth_key is None else bytes(auth_key)
+        self._wire_versions = versions
+        self._wire_version = WIRE_VERSION
         self._lock = threading.Lock()
         self._next_id = 0
         self._sock: Optional[socket.socket] = None
@@ -729,8 +900,12 @@ class ServiceClient(ServiceClientBase):
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._broken = None
+        # Fresh connection, fresh framing: negotiation is per-connection.
+        self._wire_version = WIRE_VERSION
         if self._auth_key is not None:
             self._handshake()
+        if max(self._wire_versions) > WIRE_VERSION:
+            self._negotiate()
 
     def _handshake(self) -> None:
         """Authenticate the fresh connection (runs before any verb).
@@ -795,14 +970,112 @@ class ServiceClient(ServiceClientBase):
                 )
             return self._request_unlocked(message)
 
-    def _request_unlocked(self, message: Message) -> Message:
-        assert self._file is not None
+    def _negotiate(self) -> None:
+        """Offer v2 framing; downgrade silently if the peer is v1-only.
+
+        The hello frame is deliberately tagged ``"v": 2`` so a
+        pre-negotiation server rejects it on *version* (an error whose
+        wording names the versions it speaks) rather than on the
+        unknown slug.  That rejection is the downgrade signal: the
+        connection stays on v1 JSON and stays healthy.  Only a reply
+        that is neither a hello answer nor a recognisable version
+        mismatch marks the connection broken.
+        """
         request_id = self._next_id
         self._next_id += 1
+        hello = HelloRequest(versions=self._wire_versions)
+        payload = encode_hello_frame(hello, request_id=request_id)
+        reply = self._exchange(payload, request_id)
+        if isinstance(reply, HelloResponse):
+            agreed = int(reply.version)
+            if agreed not in self._wire_versions:
+                self._mark_broken("negotiation violated the protocol")
+                raise ProtocolError(
+                    f"server agreed to wire v{agreed}, which this client "
+                    f"never offered ({list(self._wire_versions)}); the "
+                    "connection is broken — reconnect() to continue"
+                )
+            # The server switched at its reply; every frame from here
+            # on (both directions) uses the agreed framing.
+            self._wire_version = agreed
+            return
+        if isinstance(reply, ErrorEnvelope):
+            if peer_versions_from_error(reply.message) is not None:
+                # A v1-only peer: keep talking JSON, nothing is broken.
+                self._wire_version = WIRE_VERSION
+                return
+            self._mark_broken("negotiation rejected")
+            raise ServiceError(
+                reply.code, f"negotiation failed: {reply.message}"
+            )
+        self._mark_broken("negotiation violated the protocol")
+        raise ProtocolError(
+            f"expected hello_response or error during negotiation, got "
+            f"{type(reply).__name__}; the connection is broken — "
+            "reconnect() to continue"
+        )
+
+    def _read_exact(self, n: int) -> bytes:
+        """Read exactly ``n`` bytes (``BufferedReader.read`` may return
+        short under a socket timeout mid-fill); short = peer hung up."""
+        assert self._file is not None
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._file.read(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_binary_reply(self) -> bytes:
+        """Read one length-prefixed v2 frame off the negotiated stream."""
+        prefix = self._read_exact(V2_PREFIX_LEN)
+        if not prefix:
+            return b""
+        if len(prefix) < V2_PREFIX_LEN:
+            self._mark_broken("server closed the connection mid-frame")
+            raise TransportError("server closed the connection mid-frame")
         try:
-            self._file.write(encode_message(message, request_id=request_id))
+            header_len, blocks_len = v2_frame_lengths(prefix)
+        except ProtocolError as exc:
+            self._mark_broken(f"unparseable reply: {exc}")
+            raise ProtocolError(
+                f"unparseable reply ({exc}); the connection is broken — "
+                "reconnect() to continue"
+            ) from exc
+        total = header_len + blocks_len
+        if V2_PREFIX_LEN + total > MAX_LINE_BYTES:
+            self._mark_broken("oversized reply")
+            raise ProtocolError(
+                f"reply declares {V2_PREFIX_LEN + total} bytes, over the "
+                f"{MAX_LINE_BYTES} byte cap; the connection is broken — "
+                "reconnect() to continue"
+            )
+        rest = self._read_exact(total)
+        if len(rest) < total:
+            self._mark_broken("server closed the connection mid-frame")
+            raise TransportError("server closed the connection mid-frame")
+        return prefix + rest
+
+    def _request_unlocked(self, message: Message) -> Message:
+        request_id = self._next_id
+        self._next_id += 1
+        payload = encode_message_for(
+            self._wire_version, message, request_id=request_id
+        )
+        return self._exchange(payload, request_id)
+
+    def _exchange(self, payload: bytes, request_id: int) -> Message:
+        assert self._file is not None
+        try:
+            self._file.write(payload)
             self._file.flush()
-            line = self._file.readline(MAX_LINE_BYTES)
+            if self._wire_version >= WIRE_VERSION_V2:
+                line = self._read_binary_reply()
+            else:
+                line = self._file.readline(MAX_LINE_BYTES)
         except (socket.timeout, TimeoutError) as exc:
             # The reply (or its tail) is still in flight: this
             # stream can never be trusted again.
@@ -817,7 +1090,7 @@ class ServiceClient(ServiceClientBase):
         if not line:
             self._mark_broken("server closed the connection mid-request")
             raise TransportError("server closed the connection mid-request")
-        if not line.endswith(b"\n"):
+        if self._wire_version < WIRE_VERSION_V2 and not line.endswith(b"\n"):
             # A reply longer than the cap would leave its tail unread
             # and desynchronize every later request — fail loudly.
             self._mark_broken("oversized reply truncated mid-frame")
@@ -826,7 +1099,7 @@ class ServiceClient(ServiceClientBase):
                 "the connection is broken — reconnect() to continue"
             )
         try:
-            reply_id, reply = decode_frame(line)
+            reply_id, reply = decode_frame_any(line)
         except ProtocolError as exc:
             # A reply this side cannot parse (corrupted bytes, invalid
             # JSON) proves the stream is compromised: frame boundaries
@@ -885,10 +1158,25 @@ class AsyncServiceClient:
         endpoint: Endpoint,
         timeout: float = 120.0,
         auth_key: Optional[bytes] = None,
+        wire_versions: Sequence[int] = SUPPORTED_WIRE_VERSIONS,
     ) -> None:
+        versions = tuple(sorted({int(v) for v in wire_versions}))
+        if WIRE_VERSION not in versions:
+            raise ConfigurationError(
+                f"wire_versions must include v{WIRE_VERSION} (the JSON "
+                f"fallback every peer speaks); got {list(versions)}"
+            )
+        unknown = [v for v in versions if v not in SUPPORTED_WIRE_VERSIONS]
+        if unknown:
+            raise ConfigurationError(
+                f"unsupported wire version(s) {unknown}; this build speaks "
+                f"{list(SUPPORTED_WIRE_VERSIONS)}"
+            )
         self.endpoint = endpoint
         self.timeout = timeout
         self._auth_key = None if auth_key is None else bytes(auth_key)
+        self._wire_versions = versions
+        self._wire_version = WIRE_VERSION
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -905,10 +1193,94 @@ class AsyncServiceClient:
             self._reader, self._writer = await asyncio.open_connection(
                 self.endpoint.host, self.endpoint.port, limit=MAX_LINE_BYTES
             )
+        self._wire_version = WIRE_VERSION
+        if max(self._wire_versions) > WIRE_VERSION:
+            # Negotiate *before* the background reader starts: the hello
+            # reply is read inline, so there is no race between the
+            # framing switch and the loop's first read, and the loop is
+            # born knowing its final framing.
+            await self._negotiate()
         self._reader_task = asyncio.ensure_future(self._read_loop())
         if self._auth_key is not None:
             await self._handshake()
         return self
+
+    async def _negotiate(self) -> None:
+        """Offer v2 framing inline; downgrade silently on a v1-only peer.
+
+        Mirrors :meth:`ServiceClient._negotiate`: a hello answer
+        switches the connection to the agreed framing; a version
+        mismatch whose wording names the peer's versions keeps it on
+        v1 JSON (not an error); anything else poisons the client.
+        """
+        assert self._reader is not None and self._writer is not None
+        request_id = self._next_id
+        self._next_id += 1
+        hello = HelloRequest(versions=self._wire_versions)
+        try:
+            self._writer.write(encode_hello_frame(hello, request_id=request_id))
+            await self._writer.drain()
+            line = await asyncio.wait_for(
+                self._reader.readline(), self.timeout
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+            self._poison(f"negotiation failed: {exc}", None)
+            raise TransportError(
+                f"negotiation with {self.endpoint.label()} failed: {exc}"
+            ) from exc
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            self._poison("negotiation reply oversized", None)
+            raise TransportError(
+                f"negotiation reply from {self.endpoint.label()} exceeds "
+                f"{MAX_LINE_BYTES} bytes"
+            ) from exc
+        if not line:
+            self._poison("connection closed during negotiation", None)
+            raise TransportError(
+                f"{self.endpoint.label()} closed the connection during "
+                "negotiation"
+            )
+        try:
+            reply_id, reply = decode_frame(line)
+        except ProtocolError as exc:
+            self._poison(f"unparseable negotiation reply: {exc}", None)
+            raise TransportError(
+                f"unparseable negotiation reply from "
+                f"{self.endpoint.label()}: {exc}"
+            ) from exc
+        if reply_id is not None and reply_id != request_id:
+            self._poison("negotiation reply id mismatch", None)
+            raise TransportError(
+                f"negotiation reply id {reply_id!r} from "
+                f"{self.endpoint.label()} does not match {request_id!r}"
+            )
+        if isinstance(reply, HelloResponse):
+            agreed = int(reply.version)
+            if agreed not in self._wire_versions:
+                self._poison("negotiation violated the protocol", None)
+                raise TransportError(
+                    f"{self.endpoint.label()} agreed to wire v{agreed}, "
+                    f"which this client never offered "
+                    f"({list(self._wire_versions)})"
+                )
+            self._wire_version = agreed
+            return
+        if isinstance(reply, ErrorEnvelope):
+            if peer_versions_from_error(reply.message) is not None:
+                # A v1-only peer: keep talking JSON, nothing is broken.
+                self._wire_version = WIRE_VERSION
+                return
+            self._poison("negotiation rejected", None)
+            raise TransportError(
+                f"negotiation with {self.endpoint.label()} failed: "
+                f"[{reply.code}] {reply.message}"
+            )
+        self._poison("negotiation violated the protocol", None)
+        raise TransportError(
+            f"expected hello_response or error from "
+            f"{self.endpoint.label()} during negotiation, got "
+            f"{type(reply).__name__}"
+        )
 
     async def _handshake(self) -> None:
         """Authenticate before the connection carries any verb.
@@ -940,20 +1312,58 @@ class AsyncServiceClient:
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
+        # The loop starts after negotiation, so the framing is fixed for
+        # the connection's whole lifetime.
+        binary = self._wire_version >= WIRE_VERSION_V2
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
-                    raise TransportError(
-                        f"{self.endpoint.label()} closed the connection"
-                    )
-                if not line.endswith(b"\n"):
-                    raise TransportError(
-                        f"reply from {self.endpoint.label()} exceeds "
-                        f"{MAX_LINE_BYTES} bytes (truncated)"
-                    )
+                if binary:
+                    try:
+                        prefix = await self._reader.readexactly(V2_PREFIX_LEN)
+                    except asyncio.IncompleteReadError as exc:
+                        if not exc.partial:
+                            raise TransportError(
+                                f"{self.endpoint.label()} closed the "
+                                "connection"
+                            ) from exc
+                        raise TransportError(
+                            f"{self.endpoint.label()} closed the connection "
+                            "mid-frame"
+                        ) from exc
+                    try:
+                        header_len, blocks_len = v2_frame_lengths(prefix)
+                    except ProtocolError as exc:
+                        raise TransportError(
+                            f"{self.endpoint.label()} broke the negotiated "
+                            f"v2 framing: {exc}"
+                        ) from exc
+                    total = header_len + blocks_len
+                    if V2_PREFIX_LEN + total > MAX_LINE_BYTES:
+                        raise TransportError(
+                            f"reply from {self.endpoint.label()} declares "
+                            f"{V2_PREFIX_LEN + total} bytes, over the "
+                            f"{MAX_LINE_BYTES} byte cap"
+                        )
+                    try:
+                        line = prefix + await self._reader.readexactly(total)
+                    except asyncio.IncompleteReadError as exc:
+                        raise TransportError(
+                            f"{self.endpoint.label()} closed the connection "
+                            "mid-frame"
+                        ) from exc
+                else:
+                    line = await self._reader.readline()
+                    if not line:
+                        raise TransportError(
+                            f"{self.endpoint.label()} closed the connection"
+                        )
+                    if not line.endswith(b"\n"):
+                        raise TransportError(
+                            f"reply from {self.endpoint.label()} exceeds "
+                            f"{MAX_LINE_BYTES} bytes (truncated)"
+                        )
                 try:
-                    reply_id, message = decode_frame(line)
+                    reply_id, message = decode_frame_any(line)
                 except ProtocolError as exc:
                     reply_id = getattr(exc, "request_id", None)
                     future = self._pending.pop(reply_id, None)
@@ -1012,7 +1422,9 @@ class AsyncServiceClient:
         # Encode before registering the future: an unencodable message
         # (e.g. a NaN coordinate, ProtocolError) must propagate to the
         # caller without leaking a never-resolved pending entry.
-        payload = encode_message(message, request_id=request_id)
+        payload = encode_message_for(
+            self._wire_version, message, request_id=request_id
+        )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
@@ -1125,6 +1537,7 @@ class RemoteClusterClient:
         backoff_factor: float = 2.0,
         backoff_max: float = 2.0,
         auth_key: Optional[bytes] = None,
+        wire_versions: Sequence[int] = SUPPORTED_WIRE_VERSIONS,
     ) -> None:
         self.endpoints = [parse_endpoint(e) for e in endpoints]
         if not self.endpoints:
@@ -1153,6 +1566,9 @@ class RemoteClusterClient:
         self.backoff_factor = float(backoff_factor)
         self.backoff_max = float(backoff_max)
         self.auth_key = None if auth_key is None else bytes(auth_key)
+        # Validated by each AsyncServiceClient; per-connection outcomes
+        # may differ (a mixed cluster downgrades only its v1 endpoints).
+        self.wire_versions = tuple(sorted({int(v) for v in wire_versions}))
         n = len(self.endpoints)
         self._clients: List[Optional[AsyncServiceClient]] = [None] * n
         self._health = [EndpointHealth() for _ in range(n)]
@@ -1186,7 +1602,10 @@ class RemoteClusterClient:
                 # lock (another request's dial failed first).
                 raise _EndpointUnavailable()
             client = AsyncServiceClient(
-                self.endpoints[index], timeout=self.timeout, auth_key=self.auth_key
+                self.endpoints[index],
+                timeout=self.timeout,
+                auth_key=self.auth_key,
+                wire_versions=self.wire_versions,
             )
             try:
                 await client.connect()

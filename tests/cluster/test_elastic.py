@@ -349,3 +349,24 @@ class TestEngineElasticMode:
         )
         report = engine.protect_dataset(ds, daily=True)
         assert to_csv_string(report.published_dataset()) == reference_csv
+
+
+class TestMembershipEdges:
+    """The membership surface outside a running dispatch loop."""
+
+    def test_mark_departed_edges(self):
+        pool = ElasticClusterClient(["127.0.0.1:9"])
+        assert pool.mark_departed({}) is False  # unparseable spec
+        assert pool.mark_departed("127.0.0.1:10") is False  # unknown member
+        assert pool.mark_departed("127.0.0.1:9") is True
+        assert pool.mark_departed("127.0.0.1:9") is False  # already departed
+        assert pool.member_stats()["127.0.0.1:9"]["state"] == "departed"
+
+    def test_re_adding_a_departed_member_revives_it(self):
+        pool = ElasticClusterClient(["127.0.0.1:9"])
+        assert pool.mark_departed("127.0.0.1:9") is True
+        # The same label rejoining clears the departure instead of
+        # growing a duplicate entry.
+        assert pool.add_endpoint("127.0.0.1:9") is False
+        assert pool.member_stats()["127.0.0.1:9"]["state"] == "healthy"
+        assert len(pool.member_stats()) == 1

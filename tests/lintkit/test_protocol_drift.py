@@ -221,6 +221,36 @@ class TestMutationsAreCaught:
             "`cluster_membership_request`" in f.message for f in findings
         )
 
+    def test_deleting_half_a_v2_codec_branch_fails(self, tmp_path):
+        config = _copy_tree(
+            tmp_path,
+            api=lambda s: _delete_method(s, "ProtectRequest", "from_body_v2"),
+        )
+        findings = run_drift(config)
+        assert "PROTO005" in rule_ids(findings)
+        assert any(
+            "ProtectRequest" in f.message and "from_body_v2" in f.message
+            for f in findings
+            if f.rule == "PROTO005"
+        )
+
+    def test_v2_codec_on_unregistered_class_fails(self, tmp_path):
+        orphan = (
+            "\n\nclass OrphanBinary:\n"
+            "    def to_body_v2(self, blocks):\n"
+            "        return {}\n"
+            "    @classmethod\n"
+            "    def from_body_v2(cls, body, blocks):\n"
+            "        return cls()\n"
+        )
+        config = _copy_tree(tmp_path, api=lambda s: s + orphan)
+        findings = run_drift(config)
+        assert "PROTO005" in rule_ids(findings)
+        assert any(
+            "OrphanBinary" in f.message and "MESSAGE_TYPES" in f.message
+            for f in findings
+        )
+
     def test_unregistered_verb_in_sampled_is_ignored(self, tmp_path):
         # Extra strategy coverage is harmless; only missing coverage drifts.
         config = _copy_tree(

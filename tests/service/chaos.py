@@ -41,6 +41,15 @@ TCP level (a dial-phase failure, retryable on the same endpoint);
 :meth:`ChaosProxy.go_up` re-binds the same port — the endpoint
 disappears and later rejoins under the same address, which is exactly
 what endpoint rehabilitation must survive.
+
+**v1 framing only**: the reply pump splits frames on newlines, so it
+understands the v1 JSON-lines framing and nothing else.  Clients and
+executors that talk through a proxy must pin ``wire_versions=(1,)`` /
+``"wire": [1]`` — otherwise the hello exchange both shifts every reply
+ordinal by one per connection and switches the stream to binary frames
+the pump would mis-split.  (v2-specific fault coverage lives in
+``tests/service/test_wire_v2.py``, which scripts the binary framing
+directly.)
 """
 
 from __future__ import annotations

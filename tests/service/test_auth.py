@@ -409,18 +409,29 @@ class TestPreAuthServerInterop:
             conn, _ = listener.accept()
             with conn:
                 fh = conn.makefile("rwb")
-                line = fh.readline()
-                request_id = json.loads(line).get("id")
-                fh.write(
-                    encode_message(
-                        ErrorEnvelope(
-                            code="protocol",
-                            message="unknown message type 'auth_request'",
-                        ),
-                        request_id=request_id,
+                # Old parse order: version gate before slug gate.  A v2
+                # hello from a modern client is rejected by *version*
+                # (the client downgrades to v1 and carries on); the auth
+                # frame that follows is rejected by *type*.
+                for _ in range(2):
+                    line = fh.readline()
+                    if not line:
+                        return
+                    frame = json.loads(line)
+                    if frame.get("v") != 1:
+                        message = (
+                            f"unsupported protocol version {frame.get('v')} "
+                            "(this side speaks 1)"
+                        )
+                    else:
+                        message = "unknown message type 'auth_request'"
+                    fh.write(
+                        encode_message(
+                            ErrorEnvelope(code="protocol", message=message),
+                            request_id=frame.get("id"),
+                        )
                     )
-                )
-                fh.flush()
+                    fh.flush()
                 fh.readline()
 
         threading.Thread(target=serve, daemon=True).start()

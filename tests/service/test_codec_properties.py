@@ -30,6 +30,8 @@ from repro.service.api import (  # noqa: E402
     ClusterMembershipRequest,
     ClusterMembershipResponse,
     ErrorEnvelope,
+    HelloRequest,
+    HelloResponse,
     MESSAGE_TYPES,
     MetricsRequest,
     MetricsResponse,
@@ -49,11 +51,16 @@ from repro.service.api import (  # noqa: E402
     StreamOpen,
     StreamOpened,
     StreamRecord,
+    SUPPORTED_WIRE_VERSIONS,
     UploadRequest,
     UploadResponse,
     decode_frame,
+    decode_frame_any,
+    decode_frame_v2,
     decode_message,
     encode_message,
+    encode_message_v2,
+    is_v2_frame,
 )
 
 
@@ -167,6 +174,8 @@ def wire_messages(draw):
                 "cluster_membership_response",
                 "metrics_request",
                 "metrics_response",
+                "hello_request",
+                "hello_response",
                 "error",
             ]
         )
@@ -349,6 +358,19 @@ def wire_messages(draw):
                 "members": draw(st.lists(member_entries(), max_size=2)),
             },
         )
+    if kind == "hello_request":
+        return HelloRequest(
+            versions=tuple(
+                sorted(draw(st.sets(st.integers(1, 9), min_size=1, max_size=4)))
+            )
+        )
+    if kind == "hello_response":
+        return HelloResponse(
+            version=draw(st.sampled_from(list(SUPPORTED_WIRE_VERSIONS))),
+            versions=tuple(
+                sorted(draw(st.sets(st.integers(1, 9), min_size=1, max_size=4)))
+            ),
+        )
     if kind == "auth_request":
         return AuthRequest(proof=draw(st.one_of(st.none(), st.text(max_size=128))))
     if kind == "auth_challenge":
@@ -437,12 +459,141 @@ class TestCodecProperties:
 
         replies = asyncio.run(drive())
         assert len(replies) == len(lines)
-        for reply in replies:
-            assert reply.endswith(b"\n")
-            decode_message(reply)  # must parse cleanly
+        for line, reply in zip(lines, replies):
+            # Replies mirror the request framing: anything opening with
+            # the v2 magic gets a binary reply, everything else a JSON
+            # line — and both must parse cleanly.
+            if is_v2_frame(line):
+                assert is_v2_frame(reply)
+                decode_frame_any(reply)
+            else:
+                assert reply.endswith(b"\n")
+                decode_message(reply)  # must parse cleanly
 
     @given(message=wire_messages(), request_id=_request_id)
     @settings(max_examples=40, deadline=None)
     def test_every_slug_is_registered(self, message, request_id):
         slug = [s for s, cls in MESSAGE_TYPES.items() if cls is type(message)]
         assert len(slug) == 1
+
+
+#: Coordinates drawn to include subnormals (5e-324 sits inside ±90).
+_ordinal = st.integers(min_value=0, max_value=10**24)
+
+
+def _trace_bytes(trace):
+    """The three column arrays as raw bytes — the bit-exact fingerprint."""
+    return (
+        np.asarray(trace.timestamps, dtype="<f8").tobytes(),
+        np.asarray(trace.lats, dtype="<f8").tobytes(),
+        np.asarray(trace.lngs, dtype="<f8").tobytes(),
+    )
+
+
+class TestBinaryCodecProperties:
+    """Tentpole acceptance: every wire message round-trips through the
+    v2 binary codec, and the v1 and v2 decodes agree bit-exactly."""
+
+    @given(message=wire_messages(), request_id=_request_id)
+    @settings(max_examples=120, deadline=None)
+    def test_v2_round_trip_agrees_with_v1(self, message, request_id):
+        frame = encode_message_v2(message, request_id=request_id)
+        assert is_v2_frame(frame)
+        reply_id, via_v2 = decode_frame_v2(frame)
+        assert reply_id == request_id
+        via_v1 = decode_message(encode_message(message))
+        assert _structure(via_v2) == _structure(via_v1) == _structure(message)
+        # Deterministic encode: re-framing the decode reproduces the bytes.
+        assert encode_message_v2(via_v2, request_id=request_id) == frame
+
+    @given(message=wire_messages())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_frame_any_sniffs_both_framings(self, message):
+        _, from_line = decode_frame_any(encode_message(message))
+        _, from_binary = decode_frame_any(encode_message_v2(message))
+        assert _structure(from_line) == _structure(from_binary)
+
+    @given(trace=wire_traces(min_size=0), daily=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_v2_traces_are_bit_exact_vs_v1(self, trace, daily):
+        request = ProtectRequest(trace=trace, daily=daily)
+        _, via_v2 = decode_frame_v2(encode_message_v2(request))
+        via_v1 = decode_message(encode_message(request))
+        assert via_v2.trace.user_id == trace.user_id
+        # tobytes() comparison distinguishes -0.0 from 0.0 and preserves
+        # denormals — stricter than array_equal.
+        assert _trace_bytes(via_v2.trace) == _trace_bytes(via_v1.trace)
+        assert _trace_bytes(via_v2.trace) == _trace_bytes(trace)
+        assert via_v2.trace.fingerprint == trace.fingerprint
+
+    def test_v2_edge_trace_unicode_denormal_negzero_empty(self):
+        """The named edge cases from the issue, pinned explicitly."""
+        edgy = Trace(
+            "走β🧭 user\t\"quoted\"",
+            [0.0, 1.5, 3.0],
+            [5e-324, -5e-324, -0.0],
+            [-180.0, 1e-310, 90.0],
+        )
+        for trace in (edgy, Trace("∅-empty", [], [], [])):
+            request = UploadRequest(trace=trace, day_index=7)
+            _, via_v2 = decode_frame_v2(encode_message_v2(request))
+            via_v1 = decode_message(encode_message(request))
+            assert via_v2.trace.user_id == trace.user_id == via_v1.trace.user_id
+            assert _trace_bytes(via_v2.trace) == _trace_bytes(trace)
+            assert _trace_bytes(via_v1.trace) == _trace_bytes(trace)
+
+    @given(
+        user_id=_user_id,
+        ordinals=st.lists(_ordinal, min_size=1, max_size=6),
+        lat=_lat,
+        lng=_lng,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_stream_record_huge_ordinals_survive_v2(self, user_id, ordinals, lat, lng):
+        """Ordinals beyond int64 force the inline fallback; either path
+        must round-trip exactly and agree with v1."""
+        records = tuple(
+            (ordinal, float(i), lat, lng) for i, ordinal in enumerate(ordinals)
+        )
+        message = StreamRecord(user_id=user_id, records=records)
+        _, via_v2 = decode_frame_v2(encode_message_v2(message))
+        via_v1 = decode_message(encode_message(message))
+        assert _structure(via_v2) == _structure(via_v1) == _structure(message)
+        assert [r[0] for r in via_v2.records] == list(ordinals)
+
+    @given(payload=st.binary(max_size=200))
+    @settings(max_examples=120, deadline=None)
+    def test_v2_garbage_raises_protocol_error_or_decodes(self, payload):
+        try:
+            decode_frame_v2(b"MRB2" + payload)
+        except ProtocolError:
+            pass
+
+    @given(
+        frames=st.lists(
+            st.one_of(
+                st.binary(max_size=120).map(lambda b: b"MRB2" + b),
+                wire_messages().map(encode_message),
+                wire_messages().map(encode_message_v2),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_framing_stream_never_desyncs(self, frames):
+        """handle_wire sniffs per frame: a mix of v1 lines, v2 frames,
+        and binary garbage yields one decodable reply per frame, with
+        the reply framing matching the request framing."""
+        import asyncio
+
+        service = ProtectionService(stub_engine())
+
+        async def drive():
+            return [await service.handle_wire(frame) for frame in frames]
+
+        replies = asyncio.run(drive())
+        assert len(replies) == len(frames)
+        for frame, reply in zip(frames, replies):
+            assert is_v2_frame(reply) == is_v2_frame(frame)
+            decode_frame_any(reply)  # must parse cleanly

@@ -218,7 +218,11 @@ class TestClientDesyncRecovery:
 
         thread = threading.Thread(target=v1_server, daemon=True)
         thread.start()
-        client = ServiceClient(host=host, port=port, timeout=5.0)
+        # wire_versions=(1,) skips the hello this scripted server would
+        # not understand; the untagged-FIFO contract is v1 behaviour.
+        client = ServiceClient(
+            host=host, port=port, timeout=5.0, wire_versions=(1,)
+        )
         try:
             assert isinstance(client.request(StatsRequest()), StatsResponse)
         finally:
@@ -247,7 +251,9 @@ class TestClientDesyncRecovery:
 
         thread = threading.Thread(target=corrupting_server, daemon=True)
         thread.start()
-        client = ServiceClient(host=host, port=port, timeout=5.0)
+        client = ServiceClient(
+            host=host, port=port, timeout=5.0, wire_versions=(1,)
+        )
         try:
             with pytest.raises(ProtocolError, match="unparseable reply"):
                 client.stats()
@@ -278,7 +284,9 @@ class TestClientDesyncRecovery:
 
         thread = threading.Thread(target=evil_server, daemon=True)
         thread.start()
-        client = ServiceClient(host=host, port=port, timeout=5.0)
+        client = ServiceClient(
+            host=host, port=port, timeout=5.0, wire_versions=(1,)
+        )
         try:
             with pytest.raises(ProtocolError, match="does not match"):
                 client.stats()
@@ -431,7 +439,9 @@ class TestAsyncClient:
 
         async def scenario():
             client = AsyncServiceClient(
-                parse_endpoint(f"{host}:{port}"), timeout=60.0
+                parse_endpoint(f"{host}:{port}"),
+                timeout=60.0,
+                wire_versions=(1,),
             )
             await client.connect()
             try:
@@ -472,7 +482,9 @@ class TestAsyncClient:
 
         async def scenario():
             client = AsyncServiceClient(
-                parse_endpoint(f"{host}:{port}"), timeout=60.0
+                parse_endpoint(f"{host}:{port}"),
+                timeout=60.0,
+                wire_versions=(1,),
             )
             await client.connect()
             try:

@@ -107,6 +107,9 @@ def remote_spec(endpoints, **overrides):
         "retry_budget": 5,
         "backoff": {"base": 0.03, "factor": 2.0, "max": 0.5},
         "timeout": 1.5,
+        # ChaosProxy is v1-line frame-aware (see chaos.py): stay on v1
+        # so fault ordinals hit the replies the matrix targets.
+        "wire": [1],
     }
     spec.update(overrides)
     return spec
@@ -307,7 +310,10 @@ class TestRehabilitationStateMachine:
 
             async def scenario():
                 cluster = RemoteClusterClient(
-                    [proxy.endpoint], retry_budget=3, backoff_base=0.01
+                    [proxy.endpoint],
+                    retry_budget=3,
+                    backoff_base=0.01,
+                    wire_versions=(1,),
                 )
                 try:
                     with pytest.raises(TransportError):
@@ -400,6 +406,7 @@ class TestRehabilitationStateMachine:
                     backoff_base=0.05,
                     backoff_factor=1.5,
                     backoff_max=0.2,
+                    wire_versions=(1,),
                 )
                 try:
                     replies = await cluster.run([(0, StatsRequest())])
@@ -443,7 +450,10 @@ class TestStreamSoak:
     @staticmethod
     def proxy_client(proxy, timeout=5.0):
         host, port = proxy.endpoint.rsplit(":", 1)
-        return ServiceClient(host=host, port=int(port), timeout=timeout)
+        # Pinned to v1: ChaosProxy only understands JSON-lines framing.
+        return ServiceClient(
+            host=host, port=int(port), timeout=timeout, wire_versions=(1,)
+        )
 
     def test_mid_window_disconnect_resumes_from_watermark(self, servers):
         """The acceptance leg: the wire dies mid-window, the client
@@ -618,6 +628,9 @@ class TestMembershipChurnSoak:
                     "coordinator": coordinator,
                     "shards": 4,
                     "poll_s": 0.05,
+                    # Joiners may sit behind a ChaosProxy (v1-line
+                    # frame-aware): keep the whole pool on v1.
+                    "wire": [1],
                 },
                 jobs=1,  # A's parked request occupies its only slot
             )
